@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one row of the experiment index in
+DESIGN.md.  Measurements are printed *and* persisted under
+``benchmarks/results/`` so the paper-vs-measured comparison in
+EXPERIMENTS.md can be refreshed from the artifacts regardless of
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print an experiment report and persist it to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""ABLATION-STEERING — how the choice of S_j affects convergence.
+
+Definition 1's steering set "accounts for all possible steering
+policies".  This ablation fixes the operator and delay model and sweeps
+the policy: total updates (Jacobi), cyclic, shuffled sweeps, random
+subsets of varying density and a heavily skewed weighted policy.
+Measured in *component updates* (the work unit), so policies of
+different per-iteration width are comparable.  Expected: every policy
+converges (condition (c) is guaranteed by construction); skewed
+policies pay for starving components; comparable work for the
+balanced ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, once
+from repro.analysis.reporting import render_table
+from repro.core.async_iteration import AsyncIterationEngine
+from repro.core.macro import macro_sequence
+from repro.delays.bounded import UniformRandomDelay
+from repro.problems import make_jacobi_instance
+from repro.steering.policies import (
+    AllComponents,
+    BlockCyclic,
+    CyclicSingle,
+    PermutationSweeps,
+    RandomSubset,
+    WeightedRandom,
+)
+
+TOL = 1e-10
+N = 12
+
+
+def run_sweep():
+    op = make_jacobi_instance(N, dominance=0.35, seed=1)
+    skew = np.ones(N)
+    skew[: N // 2] = 10.0  # first half updated 10x as often
+    policies = [
+        ("all components (Jacobi)", AllComponents(N)),
+        ("cyclic single (Gauss-Seidel)", CyclicSingle(N)),
+        ("shuffled sweeps", PermutationSweeps(N, seed=2)),
+        ("block cyclic (3)", BlockCyclic(N, 3)),
+        ("random subset p=0.25", RandomSubset(N, 0.25, seed=3)),
+        ("random subset p=0.75", RandomSubset(N, 0.75, seed=4)),
+        ("weighted 10:1 skew", WeightedRandom(skew, seed=5)),
+    ]
+    rows = []
+    for name, pol in policies:
+        engine = AsyncIterationEngine(op, pol, UniformRandomDelay(N, 4, seed=6))
+        res = engine.run(np.zeros(N), max_iterations=300_000, tol=TOL)
+        work = int(res.trace.update_counts().sum())
+        ms = macro_sequence(res.trace)
+        rows.append([name, res.converged, res.iterations, work, ms.count])
+    return rows
+
+
+def test_ablation_steering(benchmark):
+    rows = once(benchmark, run_sweep)
+    table = render_table(
+        ["steering policy", "converged", "iterations", "component updates", "macro-iters"],
+        rows,
+        title=f"steering ablation on a q=0.65 contraction (tol {TOL}, delays U(0..4))",
+    )
+    emit("ablation_steering", table)
+
+    assert all(r[1] for r in rows)
+    by_name = {r[0]: r for r in rows}
+    balanced = [
+        by_name["cyclic single (Gauss-Seidel)"][3],
+        by_name["shuffled sweeps"][3],
+        by_name["block cyclic (3)"][3],
+    ]
+    # balanced single/block policies do comparable work (within 2x)
+    assert max(balanced) < 2.5 * min(balanced)
+    # the skewed policy wastes work on over-updated components
+    assert by_name["weighted 10:1 skew"][3] > min(balanced)

@@ -1,0 +1,120 @@
+"""ASYNC-SYNC — the paper's central efficiency claims, in simulated time.
+
+Section II: asynchronous iterations (i) remove synchronization waits,
+(ii) overlap communication with computation, and (iii) cope naturally
+with load imbalance.  We compare, on the same problem and machine
+models, a synchronous barrier method (round time = max over processors
+of phase time, plus latency) against the asynchronous simulator,
+sweeping worker heterogeneity.  The async advantage must grow with
+imbalance — the shape of the experimental results in the works the
+paper surveys ([7], [10], [26]).
+
+The sweep also exposes the honest boundary of the claim: with
+*extremely* heavy-tailed phase times (Pareto alpha < 1.5) and
+overwrite-style relaxation updates, a straggler's completion writes a
+value computed from enormously stale data and async loses — see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, once
+from repro.analysis.rates import time_to_tolerance
+from repro.analysis.reporting import render_table
+from repro.operators.linear import jacobi_operator
+from repro.problems.linear_system import tridiagonal_system
+from repro.runtime.simulator import (
+    ChannelSpec,
+    ConstantTime,
+    DistributedSimulator,
+    ExponentialTime,
+    ParetoTime,
+    ProcessorSpec,
+    UniformTime,
+)
+from repro.solvers.synchronous import jacobi_solve
+
+TOL = 1e-8
+LATENCY = 0.05
+N_PROCS = 8
+
+
+def make_operator():
+    # Positive-coupling tridiagonal system: spectral radius ~ 0.87, so
+    # both methods need O(100) sweeps and staleness effects amortize.
+    M, c = tridiagonal_system(16, off_diag=-1.0, diag=2.3, seed=1)
+    return jacobi_operator(M, c)
+
+
+def sync_simulated_time(op, duration_models, seed):
+    """Synchronous distributed Jacobi: one barrier per sweep."""
+    rng = np.random.default_rng(seed)
+    res = jacobi_solve(op, np.zeros(op.dim), tol=TOL)
+    total = 0.0
+    for sweep in range(1, res.iterations + 1):
+        total += max(m.sample(sweep, rng) for m in duration_models) + LATENCY
+    return total, res.iterations
+
+
+def async_simulated_time(op, duration_models, seed):
+    procs = [
+        ProcessorSpec(components=(2 * i, 2 * i + 1), compute_time=m)
+        for i, m in enumerate(duration_models)
+    ]
+    sim = DistributedSimulator(
+        op, procs, channels=ChannelSpec(latency=ConstantTime(LATENCY)), seed=seed
+    )
+    res = sim.run(np.zeros(op.dim), max_iterations=500_000, tol=TOL, residual_every=10)
+    assert res.converged
+    t = time_to_tolerance(res.trace.residuals, res.trace.times, TOL)
+    return (t if t is not None else res.final_time), res.trace.n_iterations
+
+
+def run_async_vs_sync():
+    op = make_operator()
+    scenarios = [
+        ("homogeneous", [UniformTime(0.9, 1.1) for _ in range(N_PROCS)]),
+        (
+            "strong imbalance (1x..8x)",
+            [UniformTime(0.5 * s, 1.0 * s) for s in np.geomspace(1.0, 8.0, N_PROCS)],
+        ),
+        (
+            "random jitter (exp)",
+            [ExponentialTime(2.0, offset=0.3) for _ in range(N_PROCS)],
+        ),
+        ("moderate heavy tail (Pareto 2.0)", [ParetoTime(2.0, 0.5) for _ in range(N_PROCS)]),
+        ("extreme heavy tail (Pareto 1.5)", [ParetoTime(1.5, 0.5) for _ in range(N_PROCS)]),
+    ]
+    rows = []
+    for name, models in scenarios:
+        t_sync, sweeps = sync_simulated_time(op, models, seed=2)
+        t_async, iters = async_simulated_time(op, models, seed=3)
+        rows.append((name, sweeps, t_sync, iters, t_async, t_sync / t_async))
+    return rows
+
+
+def test_async_vs_sync(benchmark):
+    rows = once(benchmark, run_async_vs_sync)
+    table = render_table(
+        [
+            "machine",
+            "sync sweeps",
+            "sync time",
+            "async updates",
+            "async time",
+            "async speedup",
+        ],
+        [list(r) for r in rows],
+        title=f"time to residual < {TOL} (simulated, {N_PROCS} processors, 16 components)",
+    )
+    emit("async_vs_sync", table)
+
+    by_name = {r[0]: r for r in rows}
+    # paper claim: async wins under load imbalance and random jitter
+    assert by_name["strong imbalance (1x..8x)"][5] > 1.3
+    assert by_name["random jitter (exp)"][5] > 1.3
+    assert by_name["moderate heavy tail (Pareto 2.0)"][5] > 1.0
+    # the advantage grows with heterogeneity
+    assert by_name["strong imbalance (1x..8x)"][5] > by_name["homogeneous"][5]

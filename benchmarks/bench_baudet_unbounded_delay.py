@@ -1,0 +1,71 @@
+"""BAUDET — the paper's unbounded-delay example, measured.
+
+Section II: processor P1 updates x_1 every time unit while P2's k-th
+updating phase takes k units.  The paper computes that the delay in
+x_2 grows as sqrt(j) and ``l_2(j) = j - sqrt(j) -> infinity``,
+satisfying condition (b) without any uniform bound.  We run exactly
+that machine and fit the realized delay-growth exponent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, once
+from repro.analysis.reporting import render_table
+from repro.problems import make_jacobi_instance
+from repro.runtime.simulator import (
+    ChannelSpec,
+    ConstantTime,
+    DistributedSimulator,
+    LinearGrowthTime,
+    ProcessorSpec,
+)
+
+
+def run_baudet():
+    op = make_jacobi_instance(2, dominance=0.5, seed=1)
+    procs = [
+        ProcessorSpec(components=(0,), compute_time=ConstantTime(1.0)),
+        ProcessorSpec(components=(1,), compute_time=LinearGrowthTime(1.0)),
+    ]
+    sim = DistributedSimulator(
+        op, procs, channels=ChannelSpec(latency=ConstantTime(1e-6)), seed=2
+    )
+    return sim.run(np.zeros(2), max_iterations=8000, tol=0.0)
+
+
+def test_baudet_unbounded_delay(benchmark):
+    res = once(benchmark, run_baudet)
+
+    delays = res.trace.delays()
+    J = res.trace.n_iterations
+    # realized staleness of x_2 at P1's updates, sampled on a j-grid
+    checkpoints = [100, 500, 1000, 2000, 4000, J]
+    rows = []
+    for j in checkpoints:
+        d = int(delays[: j, 1].max())
+        rows.append([j, d, f"{d / np.sqrt(2 * j):.3f}", j - 1 - d])
+    table = render_table(
+        ["iterations j", "max delay d_2", "d_2 / sqrt(2 j)", "min label l_2"],
+        rows,
+        title="Baudet example: delay of x_2 grows as sqrt(j), labels diverge",
+    )
+
+    # fit growth exponent: log d ~ alpha log j
+    js = np.arange(1, J + 1)
+    d2 = delays[:, 1].astype(float)
+    mask = d2 > 0
+    coef = np.polyfit(np.log(js[mask]), np.log(d2[mask]), 1)
+    alpha = float(coef[0])
+    text = table + f"\n\nfitted growth exponent alpha (d ~ j^alpha): {alpha:.3f} (paper: 0.5)"
+    emit("baudet_unbounded_delay", text)
+
+    # paper claim: sqrt growth, exponent ~ 0.5
+    assert 0.4 < alpha < 0.6
+    # condition (b): labels diverge
+    tail_labels = res.trace.labels[-100:, 1]
+    head_labels = res.trace.labels[: 100, 1]
+    assert tail_labels.min() > head_labels.max()
+    # delays are unbounded in practice: the max keeps growing
+    assert delays[J // 2 :, 1].max() > delays[: J // 2, 1].max()

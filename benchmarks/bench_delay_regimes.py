@@ -1,0 +1,97 @@
+"""DELAY-REGIMES — conditions (b)/(d): what staleness costs.
+
+One problem, one steering policy, a sweep over delay models from the
+degenerate (fresh data) through Chazan–Miranker bounded windows to
+Baudet-style unbounded growth and out-of-order shuffles.  Measured:
+iterations and macro-iterations to tolerance.  Convergence must hold
+for *every* admissible regime (the theory's point), with a graceful
+degradation of iteration counts as staleness grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, once
+from repro.analysis.reporting import render_table
+from repro.core.async_iteration import AsyncIterationEngine
+from repro.core.macro import macro_sequence
+from repro.delays.bounded import ChaoticRelaxationDelay, UniformRandomDelay, ZeroDelay
+from repro.delays.outoforder import OutOfOrderDelay, ShuffledWindowDelay
+from repro.delays.unbounded import (
+    AdversarialSpikeDelay,
+    BaudetSqrtDelay,
+    LogGrowthDelay,
+    PowerGrowthDelay,
+)
+from repro.problems import make_jacobi_instance
+from repro.steering.policies import PermutationSweeps
+
+TOL = 1e-10
+N = 12
+
+
+def run_regimes():
+    op = make_jacobi_instance(N, dominance=0.3, seed=1)
+    regimes = [
+        ("fresh (Gauss-Seidel-like)", ZeroDelay(N)),
+        ("bounded uniform(0..4)", UniformRandomDelay(N, 4, seed=2)),
+        ("bounded uniform(0..16)", UniformRandomDelay(N, 16, seed=3)),
+        ("chaotic relaxation b=8 (cond. d)", ChaoticRelaxationDelay(N, 8, seed=4)),
+        ("log growth (unbounded)", LogGrowthDelay(N, scale=2.0)),
+        ("Baudet sqrt(j) (unbounded)", BaudetSqrtDelay(N, [0, 1, 2])),
+        ("power j^0.7 (unbounded)", PowerGrowthDelay(N, alpha=0.7)),
+        ("adversarial spikes (unbounded)", AdversarialSpikeDelay(N, seed=5)),
+        ("out-of-order (bounded base)", OutOfOrderDelay(UniformRandomDelay(N, 4, seed=6), seed=7)),
+        ("shuffled window 16 (out-of-order)", ShuffledWindowDelay(N, 16, seed=8)),
+    ]
+    rows = []
+    for name, delays in regimes:
+        engine = AsyncIterationEngine(op, PermutationSweeps(N, seed=9), delays)
+        res = engine.run(np.zeros(N), max_iterations=400_000, tol=TOL)
+        ms = macro_sequence(res.trace)
+        adm = res.trace.admissibility()
+        rows.append(
+            (
+                name,
+                res.converged,
+                res.iterations,
+                ms.count,
+                adm.max_delay,
+                "yes" if adm.monotone else "no",
+            )
+        )
+    return rows
+
+
+def test_delay_regimes(benchmark):
+    rows = once(benchmark, run_regimes)
+    table = render_table(
+        [
+            "delay regime",
+            "converged",
+            "iterations to tol",
+            "macro-iterations",
+            "max realized delay",
+            "monotone labels",
+        ],
+        [list(r) for r in rows],
+        title=f"staleness sweep on a q=0.7 Jacobi contraction (tol {TOL})",
+    )
+    emit("delay_regimes", table)
+
+    by_name = {r[0]: r for r in rows}
+    # the theory's point: EVERY admissible regime converges
+    assert all(r[1] for r in rows), [r[0] for r in rows if not r[1]]
+    # fresher data is never slower than the most delayed bounded regime
+    assert (
+        by_name["fresh (Gauss-Seidel-like)"][2]
+        <= by_name["bounded uniform(0..16)"][2]
+    )
+    # staleness costs iterations: wide window slower than narrow window
+    assert (
+        by_name["bounded uniform(0..16)"][2]
+        >= by_name["bounded uniform(0..4)"][2]
+    )
+    # out-of-order regimes really were non-monotone
+    assert by_name["shuffled window 16 (out-of-order)"][5] == "no"

@@ -1,0 +1,98 @@
+"""MACRO-EPOCH — Section IV's critique of epochs [30], quantified.
+
+Macro-iterations (Definition 2) look at the labels actually consumed,
+so they only certify progress made with post-macro-start data.  Epochs
+[30] count update events per machine and are blind to out-of-order
+data usage.  We run the same machine under (i) tag-checked FIFO
+channels and (ii) untagged reordering channels; epochs advance at the
+same pace in both, while the certified macro-iteration count collapses
+under reordering — the measurable version of "macro-iteration
+sequences account for possible out of order messages while epochs do
+not".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, once
+from repro.analysis.comparison import compare_macro_epoch
+from repro.analysis.reporting import render_table
+from repro.problems import make_jacobi_instance
+from repro.runtime.simulator import (
+    ChannelSpec,
+    DistributedSimulator,
+    ProcessorSpec,
+    UniformTime,
+)
+
+
+def run_macro_epoch():
+    op = make_jacobi_instance(8, dominance=0.4, seed=1)
+    procs = [
+        ProcessorSpec(components=(2 * i, 2 * i + 1), compute_time=UniformTime(0.5, 1.5))
+        for i in range(4)
+    ]
+    configs = [
+        ("in-order (FIFO, tagged)", ChannelSpec(latency=UniformTime(0.05, 0.5), fifo=True)),
+        (
+            "reordering (tagged)",
+            ChannelSpec(latency=UniformTime(0.05, 2.5), fifo=False),
+        ),
+        (
+            "reordering (untagged overwrite)",
+            ChannelSpec(latency=UniformTime(0.05, 2.5), fifo=False, apply="overwrite"),
+        ),
+    ]
+    out = []
+    for name, chan in configs:
+        sim = DistributedSimulator(op, procs, channels=chan, seed=2)
+        res = sim.run(np.zeros(8), max_iterations=1500, tol=0.0)
+        cmp = compare_macro_epoch(res.trace)
+        out.append((name, res, cmp))
+    return out
+
+
+def test_macro_vs_epoch(benchmark):
+    results = once(benchmark, run_macro_epoch)
+
+    rows = []
+    for name, res, cmp in results:
+        rows.append(
+            [
+                name,
+                res.trace.n_iterations,
+                res.message_stats()["reordered_arrivals"],
+                cmp.epochs.count,
+                cmp.macro.count,
+                f"{cmp.macro_per_epoch:.3f}",
+            ]
+        )
+    table = render_table(
+        [
+            "channel regime",
+            "iterations",
+            "reordered arrivals",
+            "epochs [30]",
+            "macro-iterations (Def. 2)",
+            "macro / epoch",
+        ],
+        rows,
+        title="Macro-iterations certify less under reordering; epochs cannot tell",
+    )
+    emit("macro_vs_epoch", table)
+
+    by_name = {name: (res, cmp) for name, res, cmp in results}
+    ordered_res, ordered = by_name["in-order (FIFO, tagged)"]
+    reordered_res, reordered = by_name["reordering (tagged)"]
+    untagged_res, untagged = by_name["reordering (untagged overwrite)"]
+    # FIFO channels deliver in order; non-FIFO ones demonstrably reorder
+    assert ordered_res.message_stats()["reordered_arrivals"] == 0
+    assert reordered_res.message_stats()["reordered_arrivals"] > 0
+    # untagged application makes consumed labels genuinely non-monotone
+    assert not untagged.monotone_labels
+    # epochs advance similarly (same steering physics) ...
+    assert untagged.epochs.count >= 0.5 * ordered.epochs.count
+    # ... but certified macro progress degrades monotonically with disorder
+    assert reordered.macro_per_epoch < ordered.macro_per_epoch
+    assert untagged.macro_per_epoch <= reordered.macro_per_epoch + 0.05

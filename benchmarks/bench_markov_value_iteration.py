@@ -1,0 +1,89 @@
+"""MARKOV — Section III: asynchronous iterations for Markov systems.
+
+The survey lists Markov systems among the domains where macro-
+iteration-based convergence applies.  We run asynchronous policy
+evaluation (``x = beta P x + r``) and expected-absorption-cost
+computation (``x = Q x + r``) under bounded, unbounded and
+out-of-order delay regimes: all must converge to the exact values,
+with the per-macro-iteration contraction respecting the known factor
+(``beta`` for discounted evaluation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, once
+from repro.analysis.reporting import render_table
+from repro.core.async_iteration import AsyncIterationEngine
+from repro.core.convergence import theorem1_certificate
+from repro.core.macro import macro_sequence
+from repro.delays.bounded import UniformRandomDelay
+from repro.delays.outoforder import ShuffledWindowDelay
+from repro.delays.unbounded import BaudetSqrtDelay
+from repro.problems import (
+    absorption_cost_operator,
+    discounted_value_operator,
+    random_absorbing_chain,
+    random_markov_chain,
+)
+from repro.steering.policies import PermutationSweeps
+
+TOL = 1e-10
+N = 16
+BETA = 0.85
+
+
+def run_markov():
+    rng = np.random.default_rng(1)
+    P = random_markov_chain(N, density=0.4, seed=2)
+    value_op = discounted_value_operator(P, rng.standard_normal(N), beta=BETA)
+    Q, _ = random_absorbing_chain(N, 2, absorb_prob=0.15, seed=3)
+    cost_op = absorption_cost_operator(Q, np.ones(N))
+    regimes = [
+        ("bounded(6)", lambda: UniformRandomDelay(N, 6, seed=4)),
+        ("Baudet sqrt(j)", lambda: BaudetSqrtDelay(N, [0, 1, 2, 3])),
+        ("out-of-order window 12", lambda: ShuffledWindowDelay(N, 12, seed=5)),
+    ]
+    rows = []
+    for op_name, op, rho in (
+        (f"discounted value (beta={BETA})", value_op, 1.0 - BETA),
+        ("absorption cost", cost_op, None),
+    ):
+        fp = op.fixed_point()
+        for reg_name, make_delays in regimes:
+            engine = AsyncIterationEngine(op, PermutationSweeps(N, seed=6), make_delays())
+            res = engine.run(np.zeros(N), max_iterations=500_000, tol=TOL)
+            ms = macro_sequence(res.trace)
+            err = float(np.max(np.abs(res.x - fp)))
+            bound_ok = "-"
+            if rho is not None:
+                cert = theorem1_certificate(res.trace, ms, rho)
+                bound_ok = "yes" if cert.satisfied else "NO"
+            rows.append(
+                [op_name, reg_name, res.converged, res.iterations, ms.count, f"{err:.1e}", bound_ok]
+            )
+    return rows
+
+
+def test_markov_value_iteration(benchmark):
+    rows = once(benchmark, run_markov)
+    table = render_table(
+        [
+            "computation",
+            "delay regime",
+            "converged",
+            "iterations",
+            "macro-iters",
+            "error vs exact",
+            "(1-beta)^k bound",
+        ],
+        rows,
+        title=f"asynchronous Markov-system computations (tol {TOL})",
+    )
+    emit("markov_value_iteration", table)
+
+    assert all(r[2] for r in rows)
+    assert all(float(r[5]) < 1e-7 for r in rows)
+    # the beta-contraction macro bound holds for discounted evaluation
+    assert all(r[6] in ("yes", "-") for r in rows)

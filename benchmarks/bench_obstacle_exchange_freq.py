@@ -1,0 +1,104 @@
+"""OBSTACLE — [26]: sub-domain methods with several exchange frequencies.
+
+The IBM SP4 experiments of [26] solved the obstacle problem with
+asynchronous sub-domain (strip) relaxation and studied how the
+*frequency of data exchange* affects time to convergence: exchanging
+after every inner sweep costs bandwidth, exchanging rarely costs
+staleness.  We reproduce the sweep with strips of a 2-D grid: the
+number of inner steps per phase (1, 2, 4, 8, 16) is the inverse
+exchange frequency.  The expected shape is a shallow optimum at a
+moderate frequency once per-message overhead is accounted for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, once
+from repro.analysis.rates import time_to_tolerance
+from repro.analysis.reporting import render_table
+from repro.problems import make_obstacle_problem
+from repro.runtime.simulator import (
+    ChannelSpec,
+    ConstantTime,
+    DistributedSimulator,
+    ProcessorSpec,
+    UniformTime,
+)
+
+TOL = 1e-8
+N_STRIPS = 4
+INNER_SWEEP_COST = 0.25   # simulated time per inner sweep of one strip
+COMM_OVERHEAD = 0.6       # per-phase packing/send cost on the compute path
+MESSAGE_COST = 0.4        # in-flight latency
+
+
+def run_obstacle():
+    prob = make_obstacle_problem(10, 12, force=-2.0, seed=1)
+    spec = prob.strip_decomposition(N_STRIPS)
+    op = prob.projected_jacobi_operator(spec)
+    rows = []
+    for inner in (1, 2, 4, 8, 16):
+        procs = [
+            ProcessorSpec(
+                components=(i,),
+                compute_time=UniformTime(
+                    0.9 * (INNER_SWEEP_COST * inner + COMM_OVERHEAD),
+                    1.1 * (INNER_SWEEP_COST * inner + COMM_OVERHEAD),
+                ),
+                inner_steps=inner,
+            )
+            for i in range(N_STRIPS)
+        ]
+        sim = DistributedSimulator(
+            op,
+            procs,
+            channels=ChannelSpec(latency=ConstantTime(MESSAGE_COST)),
+            seed=2,
+        )
+        res = sim.run(
+            np.zeros(op.dim), max_iterations=100_000, tol=TOL, residual_every=4
+        )
+        assert res.converged
+        t = time_to_tolerance(res.trace.residuals, res.trace.times, TOL)
+        t = t if t is not None else res.final_time
+        lcp = prob.residual_complementarity(res.x)
+        rows.append(
+            [
+                inner,
+                f"1/{inner}",
+                res.trace.n_iterations,
+                int(res.stats["messages_sent"]),
+                f"{t:.1f}",
+                f"{lcp:.1e}",
+            ]
+        )
+    return rows
+
+
+def test_obstacle_exchange_freq(benchmark):
+    rows = once(benchmark, run_obstacle)
+    table = render_table(
+        [
+            "inner sweeps / phase",
+            "exchange freq",
+            "phases",
+            "messages",
+            "sim. time to tol",
+            "LCP residual",
+        ],
+        rows,
+        title=f"obstacle problem, {N_STRIPS} strips, exchange-frequency sweep ([26])",
+    )
+    emit("obstacle_exchange_freq", table)
+
+    # all frequencies converge to the LCP solution (the natural residual
+    # carries the stencil's ~4/h^2 scaling, hence the looser threshold)
+    assert all(float(r[5]) < 1e-4 for r in rows)
+    times = [float(r[4]) for r in rows]
+    msgs = [r[3] for r in rows]
+    # fewer exchanges -> strictly fewer messages
+    assert all(b <= a for a, b in zip(msgs, msgs[1:]))
+    # the extremes are not optimal: some interior frequency beats at
+    # least one endpoint (the [26] shape)
+    assert min(times[1:-1]) <= min(times[0], times[-1]) + 1e-9

@@ -1,0 +1,70 @@
+"""HOGWILD — Remark 3: shared-memory asynchronous machine-learning training.
+
+Remark 3 motivates flexible asynchronous iterations for machine
+learning at scale.  This bench runs the *real* (threaded, lock-free)
+shared-memory backend on logistic-regression training, sweeping worker
+counts, and reports updates, wall time and update throughput.  Under
+the Python GIL true parallel speedup is not expected (see module docs);
+the claims verified are correctness ones: every configuration reaches
+the same trained model, and throughput does not collapse with workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, once
+from repro.analysis.reporting import render_table
+from repro.operators.prox_gradient import ForwardBackwardOperator
+from repro.problems import make_classification, make_logistic
+from repro.runtime.shared_memory import SharedMemoryAsyncRunner
+
+TOL = 1e-7
+
+
+def run_hogwild():
+    data = make_classification(200, 12, separation=2.0, seed=1)
+    prob = make_logistic(data, l2=0.2)
+    op = ForwardBackwardOperator(prob, prob.smooth.max_step())
+    xstar = prob.solution()
+    rows = []
+    for workers in (1, 2, 4):
+        runner = SharedMemoryAsyncRunner(op, n_workers=workers)
+        res = runner.run(np.zeros(12), max_updates=2_000_000, tol=TOL, timeout=60.0)
+        err = float(np.max(np.abs(res.x - xstar)))
+        acc = prob.smooth.accuracy(res.x, data.features, data.labels)
+        rows.append(
+            [
+                workers,
+                res.converged,
+                res.total_updates,
+                f"{res.wall_time:.2f}",
+                f"{res.total_updates / max(res.wall_time, 1e-9):.0f}",
+                f"{err:.1e}",
+                f"{acc:.3f}",
+            ]
+        )
+    return rows, prob.smooth.accuracy(xstar, data.features, data.labels)
+
+
+def test_shared_memory_hogwild(benchmark):
+    rows, ref_acc = once(benchmark, run_hogwild)
+    table = render_table(
+        [
+            "threads",
+            "converged",
+            "updates",
+            "wall time (s)",
+            "updates/s",
+            "error vs x*",
+            "train accuracy",
+        ],
+        rows,
+        title=f"lock-free shared-memory logistic training (tol {TOL}, ref acc {ref_acc:.3f})",
+    )
+    emit("shared_memory_hogwild", table)
+
+    assert all(r[1] for r in rows)
+    # every thread count trains the same model
+    assert all(float(r[5]) < 1e-3 for r in rows)
+    assert all(abs(float(r[6]) - ref_acc) < 0.02 for r in rows)

@@ -1,0 +1,104 @@
+"""TERMINATION — [15], [22]: macro-iteration-based stopping criteria.
+
+Detecting that an asynchronous iteration has converged requires a
+criterion robust to stale data; El Baz's method [22] quantifies
+quiescence over a complete macro-iteration.  We run asynchronous
+iterations with the online detector at several thresholds and report
+(i) the iteration at which it fires, (ii) the true error at that
+moment, and (iii) the guaranteed bound eps/(1-q) — the detector must
+never fire with a true error above its guarantee, and the detection
+overhead versus an oracle (which watches the true error) must be
+bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, once
+from repro.analysis.reporting import render_table
+from repro.core.history import VectorHistory
+from repro.core.termination import MacroTerminationDetector
+from repro.delays.bounded import UniformRandomDelay
+from repro.problems import make_jacobi_instance
+from repro.steering.policies import PermutationSweeps
+
+
+def run_one(op, eps, seed):
+    n = op.n_components
+    q = op.contraction_factor()
+    norm = op.norm()
+    fp = op.fixed_point()
+    det = MacroTerminationDetector(n, eps=eps, q=q)
+    spec = op.block_spec
+    hist = VectorHistory(np.zeros(n), spec)
+    steering = PermutationSweeps(n, seed=seed)
+    delays = UniformRandomDelay(n, 4, seed=seed + 1)
+    guarantee = det.report().guaranteed_error
+    oracle_at = None
+    fired_at = None
+    for j in range(1, 500_000):
+        S = steering.active_set(j)
+        labels = delays.labels(j)
+        delayed = hist.assemble(labels)
+        updates = {}
+        disp = 0.0
+        for i in S:
+            new = op.apply_block(delayed, i)
+            disp = max(
+                disp, float(np.max(np.abs(new - hist.current[spec.slice(i)])))
+            )
+            updates[i] = new
+        hist.commit(j, updates)
+        err = norm(hist.current - fp)
+        if oracle_at is None and err < guarantee:
+            oracle_at = j
+        if det.observe(j, S, labels, disp):
+            fired_at = j
+            break
+    err_at_fire = norm(hist.current - fp)
+    return fired_at, oracle_at, err_at_fire, guarantee
+
+
+def run_termination():
+    op = make_jacobi_instance(10, dominance=0.4, seed=1)
+    rows = []
+    for eps in (1e-4, 1e-6, 1e-8, 1e-10):
+        fired, oracle, err, guarantee = run_one(op, eps, seed=2)
+        rows.append(
+            [
+                f"{eps:.0e}",
+                fired,
+                oracle,
+                f"{fired / oracle:.2f}" if oracle else "-",
+                f"{err:.1e}",
+                f"{guarantee:.1e}",
+                err <= guarantee,
+            ]
+        )
+    return rows
+
+
+def test_termination(benchmark):
+    rows = once(benchmark, run_termination)
+    table = render_table(
+        [
+            "eps",
+            "detector fired at",
+            "oracle reached bound at",
+            "overhead ratio",
+            "true error at fire",
+            "guarantee eps/(1-q)",
+            "guarantee held",
+        ],
+        rows,
+        title="macro-iteration termination detection ([15], [22])",
+    )
+    emit("termination", table)
+
+    # the detector's guarantee holds at every threshold
+    assert all(r[6] for r in rows)
+    # detection overhead versus the oracle stays bounded
+    for r in rows:
+        assert r[1] is not None and r[2] is not None
+        assert r[1] <= 5 * r[2] + 50

@@ -1,0 +1,99 @@
+"""Remark 3 in practice: asynchronous training of an ML model.
+
+Trains L2-regularized logistic regression two ways:
+
+* on the *simulated* distributed machine — four heterogeneous
+  processors with flexible communication, measuring simulated time and
+  the realized macro-iteration structure;
+* on the *real* shared-memory backend — lock-free Hogwild-style
+  threads on one iterate vector.
+
+Both must reach the same trained model as the synchronous reference.
+
+Run:  python examples/machine_learning_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.core.macro import macro_sequence
+from repro.operators.prox_gradient import ForwardBackwardOperator, ProxGradientOperator
+from repro.problems import make_classification, make_logistic
+from repro.runtime.shared_memory import SharedMemoryAsyncRunner
+from repro.runtime.simulator import (
+    ChannelSpec,
+    DistributedSimulator,
+    ProcessorSpec,
+    UniformTime,
+)
+from repro.utils.norms import BlockSpec
+
+
+def main() -> None:
+    data = make_classification(400, 24, separation=2.0, label_flip=0.05, seed=0)
+    problem = make_logistic(data, l2=0.1)
+    xstar = problem.solution()
+    ref_acc = problem.smooth.accuracy(xstar, data.features, data.labels)
+    print(f"logistic regression: {data.n_samples} samples, {data.n_features} features, "
+          f"reference train accuracy {ref_acc:.3f}")
+
+    rows = []
+
+    # --- simulated distributed machine with flexible communication ----
+    gamma = problem.smooth.max_step()
+    spec = BlockSpec.uniform(problem.dim, 4)
+    op = ProxGradientOperator(problem, gamma, spec)
+    procs = [
+        ProcessorSpec(
+            components=(i,),
+            compute_time=UniformTime(0.5 * (1 + i), 1.2 * (1 + i)),  # heterogeneous
+            inner_steps=3,
+            publish_partials=True,
+            refresh_reads=True,
+        )
+        for i in range(4)
+    ]
+    sim = DistributedSimulator(
+        op, procs, channels=ChannelSpec(latency=UniformTime(0.05, 0.4), fifo=False), seed=1
+    )
+    res = sim.run(np.zeros(problem.dim), max_iterations=100_000, tol=1e-9, residual_every=5)
+    x_sim = op.minimizer_from_fixed_point(res.x)
+    ms = macro_sequence(res.trace)
+    rows.append(
+        [
+            "simulated machine (flexible, 4 procs)",
+            res.converged,
+            res.trace.n_iterations,
+            f"{float(np.max(np.abs(x_sim - xstar))):.1e}",
+            f"{problem.smooth.accuracy(x_sim, data.features, data.labels):.3f}",
+            f"{res.final_time:.1f} (simulated)",
+        ]
+    )
+    print(f"simulated run: {ms.count} macro-iterations, "
+          f"{res.message_stats()['partial']} partial updates exchanged")
+
+    # --- real shared-memory threads ----------------------------------
+    fb = ForwardBackwardOperator(problem, gamma)
+    runner = SharedMemoryAsyncRunner(fb, n_workers=4)
+    sm = runner.run(np.zeros(problem.dim), max_updates=3_000_000, tol=1e-7, timeout=120.0)
+    rows.append(
+        [
+            "shared-memory threads (Hogwild, 4 workers)",
+            sm.converged,
+            sm.total_updates,
+            f"{float(np.max(np.abs(sm.x - xstar))):.1e}",
+            f"{problem.smooth.accuracy(sm.x, data.features, data.labels):.3f}",
+            f"{sm.wall_time:.2f}s (wall)",
+        ]
+    )
+
+    print()
+    print(render_table(
+        ["backend", "converged", "updates", "error vs x*", "train acc", "time"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: solve a lasso problem with flexible asynchronous iterations.
+
+Builds a synthetic regression dataset, sets up the strongly convex
+lasso of problem (4), and solves it three ways:
+
+1. synchronous FISTA (reference baseline);
+2. totally asynchronous proximal gradient (Definition 1);
+3. asynchronous iterations with flexible communication (Definitions
+   3/4) — the paper's method, with the Theorem 1 certificate checked
+   on the realized trace.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.core.convergence import theorem1_certificate
+from repro.core.macro import macro_sequence
+from repro.problems import make_lasso, make_regression
+from repro.solvers import AsyncSolver, FISTASolver, FlexibleAsyncSolver
+
+
+def main() -> None:
+    # A 300-sample, 60-feature sparse regression task.
+    data = make_regression(300, 60, sparsity=0.6, noise_std=0.1, seed=0)
+    problem = make_lasso(data, l1=0.05, l2=0.05)
+    xstar = problem.solution()
+    print(f"problem: lasso, dim={problem.dim}, mu={problem.smooth.mu:.4f}, "
+          f"L={problem.smooth.lipschitz:.4f}, gamma_max={problem.smooth.max_step():.4f}")
+
+    rows = []
+    results = {}
+    for name, solver in [
+        ("FISTA (synchronous)", FISTASolver()),
+        ("async prox-gradient (Def. 1)", AsyncSolver(seed=1)),
+        ("flexible async (Def. 3/4)", FlexibleAsyncSolver(seed=2)),
+    ]:
+        res = solver.solve(problem, tol=1e-9, max_iterations=2_000_000)
+        results[name] = res
+        rows.append(
+            [
+                name,
+                res.converged,
+                res.iterations,
+                f"{res.error_to(xstar):.2e}",
+                f"{res.objective:.6f}",
+            ]
+        )
+    print()
+    print(render_table(["solver", "converged", "iterations", "error vs x*", "objective"], rows))
+
+    # Theorem 1 certificate on the flexible run.
+    flex = results["flexible async (Def. 3/4)"]
+    ms = macro_sequence(flex.trace)
+    cert = theorem1_certificate(flex.trace, ms, flex.info["rho"])
+    print()
+    print(f"macro-iterations completed: {ms.count}")
+    print(f"Theorem 1 bound held on every iteration: {cert.satisfied}")
+    print(f"guaranteed rate (1-rho): {1 - cert.rho:.4f}, realized: {cert.empirical_rate:.4f}")
+    print(f"constraint (3) violations: {flex.info['constraint_violations']} "
+          f"of {flex.info['constraint_checks']} checks")
+
+    sparsity = np.mean(np.abs(flex.x) < 1e-10)
+    print(f"recovered solution sparsity: {sparsity:.0%} "
+          f"(ground truth: {np.mean(data.true_weights == 0):.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Verified error bounds with order intervals ([23]).
+
+For isotone operators, bracketing asynchronous iterations deliver a
+*proof* of accuracy: the fixed point is pinched between a rising lower
+run and a falling upper run, so the enclosure width is a rigorous
+error bound — with no contraction constant and no knowledge of the
+solution.  This example computes verified shortest-path distances and
+a verified obstacle-problem solution.
+
+Run:  python examples/verified_enclosures.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.core.order_intervals import OrderIntervalEngine
+from repro.delays.bounded import UniformRandomDelay
+from repro.operators.monotone import MinPlusBellmanFordOperator
+from repro.problems import make_obstacle_problem
+from repro.steering.policies import PermutationSweeps
+
+
+def main() -> None:
+    rows = []
+
+    # --- verified shortest paths --------------------------------------
+    rng = np.random.default_rng(0)
+    n = 15
+    W = np.full((n, n), np.inf)
+    for i in range(1, n):
+        for t in rng.choice(i, size=min(2, i), replace=False):
+            W[i, t] = float(rng.uniform(0.5, 4.0))
+    op = MinPlusBellmanFordOperator(W, 0)
+    fp = op.fixed_point()
+    hi = fp + 50.0
+    hi[0] = 0.0
+    eng = OrderIntervalEngine(
+        op, PermutationSweeps(n, seed=1), UniformRandomDelay(n, 5, seed=2)
+    )
+    res = eng.run(np.zeros(n), hi, tol=1e-10)
+    rows.append(
+        [
+            "shortest paths (15 nodes)",
+            res.iterations,
+            f"{res.width:.1e}",
+            res.enclosure_ok,
+            res.contains(fp),
+        ]
+    )
+
+    # --- verified obstacle solution -----------------------------------
+    prob = make_obstacle_problem(8, 8, force=-3.0, seed=3)
+    pop = prob.projected_jacobi_operator()
+    m = pop.dim
+    eng2 = OrderIntervalEngine(
+        pop, PermutationSweeps(m, seed=4), UniformRandomDelay(m, 4, seed=5)
+    )
+    res2 = eng2.run(np.full(m, -5.0), np.full(m, 5.0), tol=1e-9, max_iterations=500_000)
+    rows.append(
+        [
+            "obstacle LCP (8x8 grid)",
+            res2.iterations,
+            f"{res2.width:.1e}",
+            res2.enclosure_ok,
+            res2.contains(pop.fixed_point()),
+        ]
+    )
+
+    print(render_table(
+        ["problem", "iterations", "verified error bound", "enclosure held", "solution enclosed"],
+        rows,
+        title="order-interval asynchronous iterations: certified accuracy",
+    ))
+    print()
+    print("The 'verified error bound' column is rigorous: the true solution")
+    print("is mathematically guaranteed to lie within that distance of the")
+    print("returned iterate, with no contraction constant needed.")
+
+
+if __name__ == "__main__":
+    main()

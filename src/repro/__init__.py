@@ -1,0 +1,43 @@
+"""repro — asynchronous iterations with unbounded delays, out-of-order
+messages and flexible communication.
+
+A production-grade reproduction of
+
+    D. El-Baz, "On Parallel or Distributed Asynchronous Iterations with
+    Unbounded Delays and Possible Out of Order Messages or Flexible
+    Communication for Convex Optimization Problems and Machine
+    Learning", IPDPSW (IPPS) 2022.
+
+Public API tour
+---------------
+* ``repro.operators`` — fixed-point maps: affine splittings, gradient
+  steps, the Definition 4 prox-gradient operator, inner-iteration
+  approximations, Newton multi-splittings, monotone operators.
+* ``repro.problems`` — quadratics, lasso/ridge/logistic/SVM, convex
+  separable network flow duals, the obstacle problem, dataset makers.
+* ``repro.delays`` / ``repro.steering`` — the ``L`` and ``S`` of
+  Definition 1 (bounded, unbounded, out-of-order; cyclic, random, ...).
+* ``repro.core`` — the asynchronous engines (Definitions 1 and 3),
+  macro-iterations (Definition 2), epochs [30], Theorem 1 certificates
+  and termination detection.
+* ``repro.runtime`` — a deterministic discrete-event simulator of a
+  parallel/distributed machine plus a real shared-memory backend.
+* ``repro.solvers`` — end-to-end synchronous/asynchronous/flexible
+  solvers and modern baselines (ARock, DAve-PG, async Bellman–Ford).
+* ``repro.analysis`` — rate fitting, certificates, comparisons, and
+  paper-style text reports.
+
+Quickstart
+----------
+>>> from repro.problems import make_regression, make_lasso
+>>> from repro.solvers import FlexibleAsyncSolver
+>>> data = make_regression(200, 50, sparsity=0.5, seed=0)
+>>> problem = make_lasso(data)
+>>> result = FlexibleAsyncSolver(seed=1).solve(problem, tol=1e-8)
+>>> result.converged
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,67 @@
+"""Command-line interface: ``python -m repro {info,list,run <exp-id>}``."""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+from repro import __version__
+from repro.experiments import EXPERIMENTS, benchmarks_dir
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__}")
+    print(
+        "Reproduction of: El-Baz, 'On Parallel or Distributed Asynchronous "
+        "Iterations with Unbounded Delays and Possible Out of Order Messages "
+        "or Flexible Communication for Convex Optimization Problems and "
+        "Machine Learning', IPDPSW 2022."
+    )
+    print(f"{len(EXPERIMENTS)} registered experiments; see `python -m repro list`.")
+    return 0
+
+
+def _cmd_list() -> int:
+    width = max(len(e.exp_id) for e in EXPERIMENTS)
+    for e in EXPERIMENTS:
+        print(f"{e.exp_id.ljust(width)}  {e.paper_artifact}  [{e.bench_module}]")
+    return 0
+
+
+def _cmd_run(exp_id: str) -> int:
+    matches = [e for e in EXPERIMENTS if e.exp_id.lower() == exp_id.lower()]
+    if not matches:
+        print(f"unknown experiment {exp_id!r}; try `python -m repro list`", file=sys.stderr)
+        return 2
+    bench = benchmarks_dir() / matches[0].bench_module
+    cmd = [sys.executable, "-m", "pytest", str(bench), "--benchmark-only", "-q", "-s"]
+    return subprocess.call(cmd)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="asynchronous-iterations reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="print version and paper banner")
+    sub.add_parser("list", help="list registered experiments")
+    run = sub.add_parser("run", help="run one experiment's benchmark")
+    run.add_argument("exp_id", help="experiment id from `list` (e.g. THM1)")
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "info" or args.command is None:
+            return _cmd_info()
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.exp_id)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): not an error.
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Analysis: rates, certificates, comparisons and paper-style reports."""
+
+from repro.analysis.comparison import (
+    MacroEpochComparison,
+    SpeedupReport,
+    compare_macro_epoch,
+    speedup,
+)
+from repro.analysis.rates import (
+    RateFit,
+    fit_geometric_rate,
+    iterations_to_tolerance,
+    time_to_tolerance,
+)
+from repro.analysis.reporting import render_schedule, render_series, render_table
+
+__all__ = [
+    "MacroEpochComparison",
+    "RateFit",
+    "SpeedupReport",
+    "compare_macro_epoch",
+    "fit_geometric_rate",
+    "iterations_to_tolerance",
+    "render_schedule",
+    "render_series",
+    "render_table",
+    "speedup",
+    "time_to_tolerance",
+]

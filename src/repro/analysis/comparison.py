@@ -1,0 +1,110 @@
+"""Cross-method and macro-vs-epoch comparison utilities.
+
+The survey claims of the paper become measurable comparisons here:
+simulated-time speedup/efficiency of async over sync, and the
+structural comparison between macro-iteration and epoch sequences on
+the same trace (the Section IV argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.epochs import EpochSequence, epoch_sequence
+from repro.core.macro import MacroSequence, macro_sequence
+from repro.core.trace import IterationTrace
+
+__all__ = [
+    "SpeedupReport",
+    "speedup",
+    "MacroEpochComparison",
+    "compare_macro_epoch",
+]
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Simulated-time comparison of two runs reaching the same tolerance.
+
+    Attributes
+    ----------
+    baseline_time, candidate_time:
+        Simulated times to tolerance (``inf`` when not reached).
+    speedup:
+        ``baseline / candidate`` (``> 1`` means the candidate wins).
+    baseline_iterations, candidate_iterations:
+        Global iterations to tolerance.
+    """
+
+    baseline_time: float
+    candidate_time: float
+    baseline_iterations: int | None
+    candidate_iterations: int | None
+
+    @property
+    def speedup(self) -> float:
+        if self.candidate_time <= 0 or not np.isfinite(self.candidate_time):
+            return float("nan") if not np.isfinite(self.candidate_time) else float("inf")
+        return self.baseline_time / self.candidate_time
+
+
+def speedup(
+    baseline_series: np.ndarray,
+    baseline_times: np.ndarray,
+    candidate_series: np.ndarray,
+    candidate_times: np.ndarray,
+    tol: float,
+) -> SpeedupReport:
+    """Build a :class:`SpeedupReport` from two (series, times) pairs."""
+    from repro.analysis.rates import iterations_to_tolerance, time_to_tolerance
+
+    bt = time_to_tolerance(baseline_series, baseline_times, tol)
+    ct = time_to_tolerance(candidate_series, candidate_times, tol)
+    return SpeedupReport(
+        baseline_time=float("inf") if bt is None else bt,
+        candidate_time=float("inf") if ct is None else ct,
+        baseline_iterations=iterations_to_tolerance(baseline_series, tol),
+        candidate_iterations=iterations_to_tolerance(candidate_series, tol),
+    )
+
+
+@dataclass(frozen=True)
+class MacroEpochComparison:
+    """Macro-iteration vs epoch structure of one trace.
+
+    Attributes
+    ----------
+    macro:
+        The Definition 2 sequence.
+    epochs:
+        The [30] sequence.
+    monotone_labels:
+        Whether the trace's labels were monotone (no out-of-order
+        messages) — the regime where epochs are a valid progress
+        measure.
+    macro_per_epoch:
+        Ratio of completed macro-iterations to epochs (``< 1`` under
+        reordering: epochs over-count certified progress).
+    """
+
+    macro: MacroSequence
+    epochs: EpochSequence
+    monotone_labels: bool
+
+    @property
+    def macro_per_epoch(self) -> float:
+        if self.epochs.count == 0:
+            return float("nan")
+        return self.macro.count / self.epochs.count
+
+
+def compare_macro_epoch(trace: IterationTrace, min_updates: int = 2) -> MacroEpochComparison:
+    """Compute both sequences and the monotonicity flag for one trace."""
+    adm = trace.admissibility()
+    return MacroEpochComparison(
+        macro=macro_sequence(trace),
+        epochs=epoch_sequence(trace, min_updates=min_updates),
+        monotone_labels=adm.monotone,
+    )

@@ -1,0 +1,142 @@
+"""Text rendering: paper-style tables and the Figure 1/2 timelines.
+
+The benchmark harness prints its measurements through these helpers so
+every experiment's output is a self-describing block of rows/series —
+the reproduction of the paper's figures in a terminal.
+
+:func:`render_schedule` draws the simulator's phase/message records as
+an ASCII timeline in the style of Figures 1 and 2: one lane per
+processor, updating phases as labelled boxes, full updates as ``o``
+send markers and partial updates (flexible communication) as ``~``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.runtime.simulator.records import SimulationResult
+
+__all__ = ["render_table", "render_series", "render_schedule"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Monospace table with auto-sized columns.
+
+    Floats go through ``float_fmt``; everything else through ``str``.
+    """
+    def fmt(v: object) -> str:
+        if isinstance(v, (float, np.floating)):
+            if np.isnan(v):
+                return "-"
+            return float_fmt.format(float(v))
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells for {len(headers)} headers")
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    values: Sequence[float],
+    *,
+    max_points: int = 12,
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """One-line summary of a numeric series (subsampled)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return f"{name}: (empty)"
+    if arr.size > max_points:
+        idx = np.linspace(0, arr.size - 1, max_points).astype(int)
+        shown = arr[idx]
+    else:
+        shown = arr
+    body = ", ".join(float_fmt.format(v) for v in shown)
+    return f"{name} [{arr.size} pts]: {body}"
+
+
+def render_schedule(
+    result: SimulationResult,
+    *,
+    horizon: float | None = None,
+    width: int = 100,
+    show_messages: bool = True,
+) -> str:
+    """ASCII reproduction of the paper's Figure 1 / Figure 2 timelines.
+
+    One lane per processor; each updating phase is drawn as
+    ``[##j##]`` spanning its simulated duration and labelled with its
+    global iteration number.  Below each lane, ``o`` marks full-update
+    sends and ``~`` marks partial-update sends (flexible
+    communication) at their send times.
+    """
+    if width < 20:
+        raise ValueError(f"width must be >= 20, got {width}")
+    if not result.phases:
+        return "(no phases completed)"
+    t_max = horizon if horizon is not None else max(p.end for p in result.phases)
+    if t_max <= 0:
+        raise ValueError("horizon must be positive")
+    procs = sorted({p.processor for p in result.phases})
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int(round(t / t_max * (width - 1)))))
+
+    lines: list[str] = [f"time 0 {'-' * (width - 12)} {t_max:.3g}"]
+    for pid in procs:
+        lane = [" "] * width
+        for ph in result.phases:
+            if ph.processor != pid or ph.start > t_max:
+                continue
+            a, b = col(ph.start), col(min(ph.end, t_max))
+            if b <= a:
+                b = min(width - 1, a + 1)
+            lane[a] = "["
+            lane[b] = "]"
+            for c in range(a + 1, b):
+                lane[c] = "#"
+            label = str(ph.iteration)
+            mid = max(a + 1, (a + b) // 2 - len(label) // 2)
+            for k, ch in enumerate(label):
+                if mid + k < b:
+                    lane[mid + k] = ch
+        lines.append(f"P{pid} |" + "".join(lane))
+        if show_messages:
+            msg_lane = [" "] * width
+            for m in result.messages:
+                if m.src != pid or m.send_time > t_max:
+                    continue
+                c = col(m.send_time)
+                mark = "~" if m.partial else "o"
+                # Dropped messages render as 'x' regardless of kind.
+                if m.arrival is None:
+                    mark = "x"
+                msg_lane[c] = mark
+            lines.append("   |" + "".join(msg_lane))
+    lines.append(
+        "legend: [#j#] updating phase j | o full update sent | "
+        "~ partial update sent | x dropped"
+    )
+    return "\n".join(lines)

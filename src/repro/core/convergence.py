@@ -1,0 +1,149 @@
+"""Theorem 1 certificates: the macro-iteration contraction bound.
+
+Theorem 1 states that the flexible asynchronous iteration driven by
+the Definition 4 operator with step ``gamma in (0, 2/(mu+L)]``
+satisfies, for all ``j >= j_k``,
+
+    ``||x(j) - x*||^2  <=  (1 - rho)^k  max_i ||x_i(0) - x*_i||^2``
+
+with ``rho = gamma * mu`` and ``{j_k}`` the macro-iteration sequence.
+:func:`theorem1_certificate` evaluates the bound against a realized
+error series; :func:`macro_iterations_to_tolerance` inverts it to
+predict the macro budget for a target accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.macro import MacroSequence
+from repro.core.trace import IterationTrace
+
+__all__ = [
+    "theorem1_bound",
+    "macro_iterations_to_tolerance",
+    "TheoremOneReport",
+    "theorem1_certificate",
+    "empirical_macro_contraction",
+]
+
+
+def theorem1_bound(k: int | np.ndarray, rho: float, initial_sq_error: float) -> np.ndarray:
+    """The right-hand side ``(1 - rho)^k * max_i ||x_i(0) - x*_i||^2``."""
+    if not 0.0 < rho <= 1.0:
+        raise ValueError(f"rho must lie in (0, 1], got {rho}")
+    if initial_sq_error < 0:
+        raise ValueError(f"initial_sq_error must be >= 0, got {initial_sq_error}")
+    return (1.0 - rho) ** np.asarray(k) * initial_sq_error
+
+
+def macro_iterations_to_tolerance(rho: float, initial_error: float, tol: float) -> int:
+    """Smallest ``k`` with ``(1-rho)^k * err0^2 <= tol^2`` (inf-safe)."""
+    if not 0.0 < rho <= 1.0:
+        raise ValueError(f"rho must lie in (0, 1], got {rho}")
+    if tol <= 0:
+        raise ValueError(f"tol must be positive, got {tol}")
+    if initial_error <= tol:
+        return 0
+    if rho == 1.0:
+        return 1
+    k = 2.0 * (np.log(tol) - np.log(initial_error)) / np.log(1.0 - rho)
+    return int(np.ceil(k))
+
+
+@dataclass(frozen=True)
+class TheoremOneReport:
+    """Outcome of checking the bound (5) on a realized run.
+
+    Attributes
+    ----------
+    rho:
+        The modulus ``gamma * mu`` used.
+    satisfied:
+        True iff every iteration respected the bound (with slack).
+    n_checked:
+        Number of iterations checked (those with a defined bound).
+    worst_margin:
+        Max of ``err(j)^2 / bound(j)`` — ``<= 1`` means satisfied.
+    first_violation:
+        Iteration index of the first violation, or ``None``.
+    empirical_rate:
+        Fitted per-macro-iteration squared-error contraction factor
+        (geometric mean of consecutive macro-boundary ratios); compare
+        against the guaranteed ``1 - rho``.
+    """
+
+    rho: float
+    satisfied: bool
+    n_checked: int
+    worst_margin: float
+    first_violation: int | None
+    empirical_rate: float
+
+
+def theorem1_certificate(
+    trace: IterationTrace,
+    macro: MacroSequence,
+    rho: float,
+    *,
+    slack: float = 1e-9,
+) -> TheoremOneReport:
+    """Check inequality (5) on every iteration of a traced run.
+
+    The trace's ``errors`` series must be present (``||x(j) - x*||_u``
+    in the operator's max norm, so its square matches the theorem's
+    ``max_i ||x_i - x*_i||^2`` statement).
+    """
+    if trace.errors is None:
+        raise ValueError("trace has no error series; rerun with a known reference solution")
+    errors = trace.errors
+    sq = errors**2
+    initial_sq = float(sq[0])
+    J = trace.n_iterations
+    worst = 0.0
+    first_violation: int | None = None
+    n_checked = 0
+    for j in range(0, J + 1):
+        k = macro.index_of_iteration(j)
+        bound = theorem1_bound(k, rho, initial_sq)
+        if bound <= 0.0:
+            continue
+        margin = float(sq[j] / bound)
+        n_checked += 1
+        if margin > worst:
+            worst = margin
+        if margin > 1.0 + slack and first_violation is None:
+            first_violation = j
+
+    empirical = empirical_macro_contraction(trace, macro)
+    return TheoremOneReport(
+        rho=float(rho),
+        satisfied=first_violation is None,
+        n_checked=n_checked,
+        worst_margin=worst,
+        first_violation=first_violation,
+        empirical_rate=empirical,
+    )
+
+
+def empirical_macro_contraction(trace: IterationTrace, macro: MacroSequence) -> float:
+    """Geometric-mean squared-error ratio across macro boundaries.
+
+    Computes ``(err(j_K)^2 / err(j_0)^2)^(1/K)`` over the realized
+    macro labels — the per-macro-iteration contraction actually
+    achieved, to be compared with the guaranteed ``1 - rho``.  Returns
+    ``nan`` when fewer than one macro step completed or the error hits
+    exact zero (ratio undefined).
+    """
+    if trace.errors is None:
+        raise ValueError("trace has no error series")
+    labels = macro.labels
+    if labels.size < 2:
+        return float("nan")
+    errs = trace.errors[labels]
+    if errs[0] <= 0.0 or errs[-1] <= 0.0:
+        return float("nan")
+    K = labels.size - 1
+    return float((errs[-1] ** 2 / errs[0] ** 2) ** (1.0 / K))

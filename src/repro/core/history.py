@@ -1,0 +1,115 @@
+"""Iterate-history storage for label-addressed component access.
+
+Definition 1 updates use ``x_h(l_h(j))`` — the value component ``h``
+had at global iteration ``l_h(j)``.  Because a component's value only
+changes at iterations where it is updated, we store, per component,
+the sorted list of update labels plus the values written there, and
+answer "value at label ``m``" with a binary search (the value from the
+latest update at or before ``m``).  Memory is proportional to the
+number of *updates*, not to ``n * J``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.utils.norms import BlockSpec
+
+__all__ = ["VectorHistory"]
+
+
+class VectorHistory:
+    """Per-component update history of an asynchronous iteration.
+
+    Parameters
+    ----------
+    x0:
+        Initial iterate (label 0).
+    spec:
+        Block decomposition into ``n`` components.
+    """
+
+    def __init__(self, x0: np.ndarray, spec: BlockSpec) -> None:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != (spec.dim,):
+            raise ValueError(f"x0 must have shape ({spec.dim},), got {x0.shape}")
+        self.spec = spec
+        # labels[i] is a strictly increasing list of update labels of
+        # component i (starting with 0); values[i] the written blocks.
+        self._labels: list[list[int]] = [[0] for _ in range(spec.n_blocks)]
+        self._values: list[list[np.ndarray]] = [
+            [x0[sl].copy()] for sl in spec.slices()
+        ]
+        self._current = x0.copy()
+        self._latest_label = 0
+
+    # -- reads ---------------------------------------------------------
+    @property
+    def current(self) -> np.ndarray:
+        """The freshest full iterate ``x(j)`` (view; do not mutate)."""
+        return self._current
+
+    @property
+    def latest_label(self) -> int:
+        """The largest label written so far."""
+        return self._latest_label
+
+    def component_at(self, i: int, label: int) -> np.ndarray:
+        """Value of component ``i`` at global iteration ``label``.
+
+        The value from the most recent update of ``i`` at or before
+        ``label`` (label 0 = the initial vector).
+        """
+        if label < 0:
+            raise ValueError(f"label must be >= 0, got {label}")
+        labs = self._labels[i]
+        k = bisect_right(labs, label) - 1
+        return self._values[i][k]
+
+    def assemble(self, labels: np.ndarray) -> np.ndarray:
+        """The delayed vector ``(x_1(l_1), ..., x_n(l_n))`` as one array."""
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (self.spec.n_blocks,):
+            raise ValueError(
+                f"labels must have shape ({self.spec.n_blocks},), got {labels.shape}"
+            )
+        out = np.empty(self.spec.dim)
+        for i, sl in enumerate(self.spec.slices()):
+            out[sl] = self.component_at(i, int(labels[i]))
+        return out
+
+    def update_count(self, i: int) -> int:
+        """Number of updates recorded for component ``i`` (excluding label 0)."""
+        return len(self._labels[i]) - 1
+
+    # -- writes ----------------------------------------------------------
+    def commit(self, label: int, updates: dict[int, np.ndarray]) -> None:
+        """Record the updates of iteration ``label`` (components in ``S_label``).
+
+        Components absent from ``updates`` implicitly keep their value
+        (the second branch of equation (1)); nothing is stored for them.
+        """
+        if label <= self._latest_label:
+            raise ValueError(
+                f"labels must be strictly increasing; got {label} after {self._latest_label}"
+            )
+        for i, val in updates.items():
+            sl = self.spec.slice(i)
+            v = np.asarray(val, dtype=np.float64)
+            if v.shape != (sl.stop - sl.start,):
+                raise ValueError(
+                    f"component {i} update has shape {v.shape}, expected ({sl.stop - sl.start},)"
+                )
+            self._labels[i].append(label)
+            self._values[i].append(v.copy())
+            self._current[sl] = v
+        self._latest_label = label
+
+    def value_at(self, label: int) -> np.ndarray:
+        """Full iterate ``x(label)`` reconstructed from histories."""
+        out = np.empty(self.spec.dim)
+        for i, sl in enumerate(self.spec.slices()):
+            out[sl] = self.component_at(i, label)
+        return out

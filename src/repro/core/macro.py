@@ -1,0 +1,99 @@
+"""Macro-iteration sequences — Definition 2, implemented verbatim.
+
+With ``l(r) = min_h l_h(r)``, the macro-iteration sequence is
+
+    ``j_0 = 0``
+    ``j_{k+1} = min_j { U_{ j_k <= l(r), r <= j } S_r = {1, ..., n} }``
+
+i.e. the next macro-label is the first iteration by which *every*
+component has been updated at least once using values no older than
+the previous macro-label.  From one macro-iteration to the next the
+iterate provably enters the next contraction level set (the "boxes" of
+Bertsekas' General Convergence Theorem), which is what Theorem 1's
+``(1 - rho)^k`` rides on.
+
+Unlike the epoch sequence of [30] (:mod:`repro.core.epochs`), the
+construction uses the *labels actually consumed* (``l(r)``), so
+out-of-order messages — non-monotone ``l_h`` — are handled correctly:
+an update that consumed stale pre-``j_k`` data simply does not count
+toward macro-step ``k+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trace import IterationTrace
+
+__all__ = ["MacroSequence", "macro_sequence"]
+
+
+@dataclass(frozen=True)
+class MacroSequence:
+    """The realized macro-iteration labels ``(j_0=0, j_1, ..., j_K)``.
+
+    Attributes
+    ----------
+    labels:
+        Strictly increasing integer array starting at 0; entry ``k`` is
+        the paper's ``j_k``.
+    n_iterations:
+        Horizon ``J`` of the underlying trace (macro-steps beyond the
+        horizon are unknowable, not nonexistent).
+    """
+
+    labels: np.ndarray
+    n_iterations: int
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.labels, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0 or arr[0] != 0:
+            raise ValueError("macro labels must be a 1-D array starting at 0")
+        if np.any(np.diff(arr) <= 0):
+            raise ValueError("macro labels must be strictly increasing")
+        object.__setattr__(self, "labels", arr)
+
+    @property
+    def count(self) -> int:
+        """Number ``K`` of completed macro-iterations."""
+        return self.labels.size - 1
+
+    def index_of_iteration(self, j: int) -> int:
+        """``k(j) = max{k : j_k <= j}`` — the macro count completed by ``j``."""
+        if j < 0:
+            raise ValueError(f"iteration must be >= 0, got {j}")
+        return int(np.searchsorted(self.labels, j, side="right") - 1)
+
+    def lengths(self) -> np.ndarray:
+        """Macro-iteration lengths ``j_{k+1} - j_k``."""
+        return np.diff(self.labels)
+
+
+def macro_sequence(trace: IterationTrace) -> MacroSequence:
+    """Compute Definition 2's sequence from a realized trace.
+
+    Linear in the trace length: macro-step ``k+1`` only inspects
+    iterations ``r > j_k`` (since ``l(r) <= r - 1 < r`` forces
+    ``r > j_k`` whenever ``l(r) >= j_k``), and consecutive scans are
+    disjoint.
+    """
+    n = trace.n_components
+    J = trace.n_iterations
+    if J == 0:
+        return MacroSequence(np.array([0], dtype=np.int64), 0)
+    l_min = trace.labels.min(axis=1)  # l(r) for r = 1..J at index r-1
+    macro = [0]
+    covered: set[int] = set()
+    j_k = 0
+    r = j_k + 1
+    while r <= J:
+        if l_min[r - 1] >= j_k:
+            covered.update(trace.active_sets[r - 1])
+        if len(covered) == n:
+            macro.append(r)
+            j_k = r
+            covered = set()
+        r += 1
+    return MacroSequence(np.asarray(macro, dtype=np.int64), J)

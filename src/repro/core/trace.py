@@ -1,0 +1,212 @@
+"""Realized ``(S, L)`` traces of asynchronous runs.
+
+An :class:`IterationTrace` is the common currency between the pure-math
+engines (:mod:`repro.core.async_iteration`), the hardware simulator
+(:mod:`repro.runtime.simulator`) and the analysis layer: whatever
+produced the run, the trace records which components were updated at
+each global iteration (``S_j``), with which labels (``l_i(j)``), at
+what simulated time, and optional residual/error series — everything
+Definition 2 (macro-iterations), the epoch sequence of [30] and the
+Theorem 1 certificate need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.delays.admissibility import AdmissibilityReport, check_admissibility
+
+__all__ = ["IterationTrace", "TraceBuilder"]
+
+
+@dataclass(frozen=True)
+class IterationTrace:
+    """Immutable record of a completed asynchronous run.
+
+    Attributes
+    ----------
+    n_components:
+        Number ``n`` of components of the iterate vector.
+    active_sets:
+        ``active_sets[j-1] = S_j`` for ``j = 1..J``.
+    labels:
+        Array ``(J, n)``; ``labels[j-1, i] = l_i(j)``.
+    errors:
+        Optional ``(J + 1,)`` series ``||x(j) - x*||_u`` including the
+        initial point at index 0 (``None`` when ``x*`` is unknown).
+    residuals:
+        Optional ``(J + 1,)`` fixed-point residual series.
+    times:
+        Optional ``(J,)`` simulated completion times of each phase.
+    owners:
+        Optional ``(n,)`` map component -> machine (for epoch analysis).
+    meta:
+        Free-form provenance (problem name, seeds, parameters, ...).
+    """
+
+    n_components: int
+    active_sets: tuple[tuple[int, ...], ...]
+    labels: np.ndarray
+    errors: np.ndarray | None = None
+    residuals: np.ndarray | None = None
+    times: np.ndarray | None = None
+    owners: np.ndarray | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=np.int64)
+        J = labels.shape[0]
+        if labels.ndim != 2 or labels.shape[1] != self.n_components:
+            raise ValueError(
+                f"labels must have shape (J, {self.n_components}), got {labels.shape}"
+            )
+        if len(self.active_sets) != J:
+            raise ValueError(
+                f"got {len(self.active_sets)} active sets for {J} label rows"
+            )
+        object.__setattr__(self, "labels", labels)
+        for name in ("errors", "residuals"):
+            arr = getattr(self, name)
+            if arr is not None:
+                arr = np.asarray(arr, dtype=np.float64)
+                if arr.shape != (J + 1,):
+                    raise ValueError(f"{name} must have shape ({J + 1},), got {arr.shape}")
+                object.__setattr__(self, name, arr)
+        if self.times is not None:
+            t = np.asarray(self.times, dtype=np.float64)
+            if t.shape != (J,):
+                raise ValueError(f"times must have shape ({J},), got {t.shape}")
+            if J > 1 and np.any(np.diff(t) < -1e-12):
+                raise ValueError("times must be nondecreasing")
+            object.__setattr__(self, "times", t)
+        if self.owners is not None:
+            o = np.asarray(self.owners, dtype=np.int64)
+            if o.shape != (self.n_components,):
+                raise ValueError(
+                    f"owners must have shape ({self.n_components},), got {o.shape}"
+                )
+            object.__setattr__(self, "owners", o)
+
+    # -- derived quantities -------------------------------------------
+    @property
+    def n_iterations(self) -> int:
+        """Number of global iterations ``J``."""
+        return self.labels.shape[0]
+
+    def delays(self) -> np.ndarray:
+        """Realized delays ``d_i(j) = j - 1 - l_i(j)``, shape ``(J, n)``."""
+        J = self.n_iterations
+        iters = np.arange(1, J + 1)[:, None]
+        return (iters - 1) - self.labels
+
+    def update_counts(self) -> np.ndarray:
+        """Number of updates per component over the whole run."""
+        counts = np.zeros(self.n_components, dtype=np.int64)
+        for S in self.active_sets:
+            for i in S:
+                counts[i] += 1
+        return counts
+
+    def admissibility(self) -> AdmissibilityReport:
+        """Finite-horizon check of Definition 1's conditions (a)-(c)."""
+        return check_admissibility(list(self.active_sets), self.labels, self.n_components)
+
+    def truncated(self, J: int) -> "IterationTrace":
+        """The first ``J`` iterations as a new trace (series included)."""
+        if not 0 <= J <= self.n_iterations:
+            raise ValueError(f"J must lie in [0, {self.n_iterations}], got {J}")
+        return IterationTrace(
+            n_components=self.n_components,
+            active_sets=self.active_sets[:J],
+            labels=self.labels[:J],
+            errors=None if self.errors is None else self.errors[: J + 1],
+            residuals=None if self.residuals is None else self.residuals[: J + 1],
+            times=None if self.times is None else self.times[:J],
+            owners=self.owners,
+            meta=dict(self.meta),
+        )
+
+
+class TraceBuilder:
+    """Incremental construction of an :class:`IterationTrace`.
+
+    Engines call :meth:`record` once per global iteration and
+    :meth:`build` at the end; series that were never supplied stay
+    ``None`` in the built trace.
+    """
+
+    def __init__(self, n_components: int, owners: np.ndarray | None = None) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = int(n_components)
+        self._active: list[tuple[int, ...]] = []
+        self._labels: list[np.ndarray] = []
+        self._errors: list[float] = []
+        self._residuals: list[float] = []
+        self._times: list[float] = []
+        self._owners = owners
+        self.meta: dict[str, Any] = {}
+
+    def record_initial(self, error: float | None = None, residual: float | None = None) -> None:
+        """Record the label-0 (initial point) series values."""
+        if self._active:
+            raise RuntimeError("record_initial must be called before any record()")
+        if error is not None:
+            self._errors.append(float(error))
+        if residual is not None:
+            self._residuals.append(float(residual))
+
+    def record(
+        self,
+        active_set: tuple[int, ...],
+        labels: np.ndarray,
+        *,
+        error: float | None = None,
+        residual: float | None = None,
+        time: float | None = None,
+    ) -> None:
+        """Append one global iteration to the trace."""
+        if len(active_set) == 0:
+            raise ValueError("active_set must be nonempty (Definition 1)")
+        self._active.append(tuple(int(i) for i in active_set))
+        self._labels.append(np.asarray(labels, dtype=np.int64).copy())
+        if error is not None:
+            self._errors.append(float(error))
+        if residual is not None:
+            self._residuals.append(float(residual))
+        if time is not None:
+            self._times.append(float(time))
+
+    def build(self) -> IterationTrace:
+        """Finalize into an immutable :class:`IterationTrace`."""
+        J = len(self._active)
+        labels = (
+            np.stack(self._labels, axis=0)
+            if J
+            else np.zeros((0, self.n_components), dtype=np.int64)
+        )
+
+        def _series(values: list[float]) -> np.ndarray | None:
+            if not values:
+                return None
+            if len(values) != J + 1:
+                raise RuntimeError(
+                    f"series has {len(values)} entries, expected {J + 1} "
+                    "(record_initial + one per iteration)"
+                )
+            return np.asarray(values)
+
+        times = np.asarray(self._times) if len(self._times) == J and J > 0 else None
+        return IterationTrace(
+            n_components=self.n_components,
+            active_sets=tuple(self._active),
+            labels=labels,
+            errors=_series(self._errors),
+            residuals=_series(self._residuals),
+            times=times,
+            owners=self._owners,
+            meta=dict(self.meta),
+        )

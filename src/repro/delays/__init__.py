@@ -1,0 +1,46 @@
+"""Delay models ``L`` of Definition 1 and their admissibility checks.
+
+Bounded models realize Chazan–Miranker's condition (d); unbounded
+models realize Baudet's condition (b) only (including the paper's
+``sqrt(j)`` worked example); out-of-order models produce non-monotone
+label sequences, the case macro-iterations handle and epochs [30] do
+not.
+"""
+
+from repro.delays.admissibility import AdmissibilityReport, check_admissibility
+from repro.delays.base import DelayModel, delays_to_labels
+from repro.delays.bounded import (
+    ChaoticRelaxationDelay,
+    ConstantDelay,
+    UniformRandomDelay,
+    ZeroDelay,
+)
+from repro.delays.outoforder import (
+    OutOfOrderDelay,
+    ShuffledWindowDelay,
+    is_monotone_labels,
+)
+from repro.delays.unbounded import (
+    AdversarialSpikeDelay,
+    BaudetSqrtDelay,
+    LogGrowthDelay,
+    PowerGrowthDelay,
+)
+
+__all__ = [
+    "AdmissibilityReport",
+    "AdversarialSpikeDelay",
+    "BaudetSqrtDelay",
+    "ChaoticRelaxationDelay",
+    "ConstantDelay",
+    "DelayModel",
+    "LogGrowthDelay",
+    "OutOfOrderDelay",
+    "PowerGrowthDelay",
+    "ShuffledWindowDelay",
+    "UniformRandomDelay",
+    "ZeroDelay",
+    "check_admissibility",
+    "delays_to_labels",
+    "is_monotone_labels",
+]

@@ -1,0 +1,138 @@
+"""Verification of the admissibility conditions (a)-(d) on realized traces.
+
+Definition 1's conditions are *asymptotic*, so on a finite trace we
+check finite-horizon surrogates:
+
+* (a) ``l_i(j) <= j - 1`` — exact check;
+* (b) ``l_i(j) -> infinity`` — the running minimum of labels over the
+  tail must grow: we check ``min_{r >= j} l_i(r) >= g(j)`` for a
+  diverging staircase, reported as the *tail-minimum growth profile*;
+* (c) every component appears infinitely often in ``S_j`` — on a
+  finite trace we report the largest gap between consecutive updates
+  of each component and whether each component is updated in the final
+  window;
+* (d) bounded delays — the maximum realized delay.
+
+These checks power both the test suite (synthetic delay models must
+satisfy what they claim) and the simulator validation (realized
+hardware-like traces are admissible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AdmissibilityReport", "check_admissibility"]
+
+
+@dataclass(frozen=True)
+class AdmissibilityReport:
+    """Finite-horizon admissibility summary of an ``(S, L)`` trace.
+
+    Attributes
+    ----------
+    condition_a:
+        True iff every label satisfied ``l_i(j) <= j - 1``.
+    tail_min_labels:
+        Array ``(n,)``: ``min_{r > J/2} l_i(r)`` — the label floor over
+        the second half of the trace; grows with ``J`` iff (b) holds.
+    max_update_gap:
+        Array ``(n,)``: the largest gap (in iterations) between
+        consecutive updates of each component (condition (c) surrogate).
+    updated_in_final_window:
+        True iff every component is updated during the last
+        ``2 * max_update_gap`` iterations (no component abandoned).
+    max_delay:
+        The largest realized delay ``j - 1 - l_i(j)``.
+    monotone:
+        True iff all label sequences are nondecreasing (no out-of-order
+        messages — the [30] assumption).
+    """
+
+    condition_a: bool
+    tail_min_labels: np.ndarray
+    max_update_gap: np.ndarray
+    updated_in_final_window: bool
+    max_delay: int
+    monotone: bool
+
+    @property
+    def plausibly_admissible(self) -> bool:
+        """Conjunction of the finite-horizon surrogates for (a)-(c)."""
+        return bool(self.condition_a and self.updated_in_final_window)
+
+
+def check_admissibility(
+    active_sets: list[tuple[int, ...]],
+    labels: np.ndarray,
+    n_components: int,
+) -> AdmissibilityReport:
+    """Evaluate the admissibility surrogates on a realized trace.
+
+    Parameters
+    ----------
+    active_sets:
+        ``active_sets[j-1] = S_j`` for ``j = 1..J`` (tuples of component
+        indices, each nonempty).
+    labels:
+        Array ``(J, n)``: ``labels[j-1] = (l_1(j), ..., l_n(j))``.
+    n_components:
+        The ``n`` of the iterate decomposition.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    J = labels.shape[0]
+    if labels.ndim != 2 or labels.shape[1] != n_components:
+        raise ValueError(f"labels must have shape (J, {n_components}), got {labels.shape}")
+    if len(active_sets) != J:
+        raise ValueError(f"got {len(active_sets)} active sets for {J} label rows")
+    if J == 0:
+        return AdmissibilityReport(
+            condition_a=True,
+            tail_min_labels=np.zeros(n_components, dtype=np.int64),
+            max_update_gap=np.zeros(n_components, dtype=np.int64),
+            updated_in_final_window=True,
+            max_delay=0,
+            monotone=True,
+        )
+
+    iters = np.arange(1, J + 1)[:, None]
+    # (a): labels at iteration j must not exceed j - 1 and be >= 0.
+    cond_a = bool(np.all(labels <= iters - 1) and np.all(labels >= 0))
+
+    # (b) surrogate: label floor over the second half of the trace.
+    half = J // 2
+    tail = labels[half:, :] if half < J else labels
+    tail_min = np.min(tail, axis=0)
+
+    # Realized delays.
+    max_delay = int(np.max((iters - 1) - labels))
+
+    # (c) surrogate: update gaps per component.
+    gaps = np.zeros(n_components, dtype=np.int64)
+    last_seen = np.zeros(n_components, dtype=np.int64)  # iteration of last update, 0 = never
+    for j, S in enumerate(active_sets, start=1):
+        if len(S) == 0:
+            raise ValueError(f"S_{j} is empty; Definition 1 requires nonempty steering sets")
+        for i in S:
+            if not 0 <= i < n_components:
+                raise IndexError(f"component {i} in S_{j} out of range")
+            gaps[i] = max(gaps[i], j - last_seen[i])
+            last_seen[i] = j
+    # Account for the trailing gap after the last update.
+    gaps = np.maximum(gaps, (J + 1) - last_seen)
+    never = last_seen == 0
+    window = int(2 * np.max(gaps)) if np.any(last_seen > 0) else J + 1
+    final_ok = bool(np.all(~never) and np.all(last_seen > J - window))
+
+    monotone = bool(np.all(np.diff(labels, axis=0) >= 0)) if J > 1 else True
+
+    return AdmissibilityReport(
+        condition_a=cond_a,
+        tail_min_labels=tail_min,
+        max_update_gap=gaps,
+        updated_in_final_window=final_ok,
+        max_delay=max_delay,
+        monotone=monotone,
+    )

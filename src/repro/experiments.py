@@ -1,0 +1,80 @@
+"""Experiment registry and command-line entry point.
+
+``python -m repro list`` enumerates the reproduction experiments;
+``python -m repro run <exp-id>`` executes one benchmark module outside
+pytest (useful for quick regeneration of a single table);
+``python -m repro info`` prints the library's paper/version banner.
+
+The registry mirrors DESIGN.md's experiment index so the CLI, the
+benchmark suite and the documentation cannot drift apart silently —
+``tests/integration/test_registry.py`` cross-checks them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+__all__ = ["Experiment", "EXPERIMENTS", "benchmarks_dir", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One row of the reproduction's experiment index.
+
+    Attributes
+    ----------
+    exp_id:
+        Short identifier (matches DESIGN.md).
+    paper_artifact:
+        What in the paper this regenerates.
+    bench_module:
+        Filename under ``benchmarks/`` that produces it.
+    """
+
+    exp_id: str
+    paper_artifact: str
+    bench_module: str
+
+
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment("FIG1", "Figure 1: two-processor asynchronous schedule", "bench_fig1_schedule.py"),
+    Experiment("FIG2", "Figure 2: flexible communication schedule", "bench_fig2_flexible_schedule.py"),
+    Experiment("BAUDET", "Section II: sqrt(j) unbounded-delay example", "bench_baudet_unbounded_delay.py"),
+    Experiment("THM1", "Theorem 1: macro-iteration contraction bound", "bench_thm1_macro_contraction.py"),
+    Experiment("MACRO-EPOCH", "Section IV: macro-iterations vs epochs [30]", "bench_macro_vs_epoch.py"),
+    Experiment("ASYNC-SYNC", "Section II: async vs sync efficiency", "bench_async_vs_sync.py"),
+    Experiment("FLEX", "Section IV: flexible-communication gain", "bench_flexible_gain.py"),
+    Experiment("DELAY-REGIMES", "Conditions (b)/(d): staleness sweep", "bench_delay_regimes.py"),
+    Experiment("NETFLOW", "[6],[8]: network-flow relaxation", "bench_network_flow.py"),
+    Experiment("OBSTACLE", "[26]: exchange-frequency study", "bench_obstacle_exchange_freq.py"),
+    Experiment("BELLMAN", "Arpanet asynchronous Bellman-Ford", "bench_bellman_ford.py"),
+    Experiment("MODERN", "[30],[32]: DAve-PG and ARock", "bench_modern_baselines.py"),
+    Experiment("NEWTON", "[25]: Newton multi-splitting", "bench_newton_multisplitting.py"),
+    Experiment("TERMINATION", "[15],[22]: stopping criteria", "bench_termination.py"),
+    Experiment("HOGWILD", "Remark 3: shared-memory ML training", "bench_shared_memory_hogwild.py"),
+    Experiment("ORDER-INTERVALS", "[23]: verified enclosures", "bench_order_intervals.py"),
+    Experiment("MARKOV", "Section III: Markov systems", "bench_markov_value_iteration.py"),
+    Experiment("ABL-STEP", "Ablation: step-size range", "bench_ablation_step_size.py"),
+    Experiment("ABL-PARTIAL", "Ablation: partial freshness", "bench_ablation_partial_freshness.py"),
+    Experiment("ABL-STEER", "Ablation: steering policies", "bench_ablation_steering.py"),
+)
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment identifiers, in index order."""
+    return [e.exp_id for e in EXPERIMENTS]
+
+
+def benchmarks_dir() -> pathlib.Path:
+    """The repository's ``benchmarks/`` directory (best effort).
+
+    Resolved relative to the installed package's source checkout; only
+    meaningful for editable installs (which is how this repo ships).
+    """
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        cand = parent / "benchmarks"
+        if cand.is_dir():
+            return cand
+    raise FileNotFoundError("benchmarks/ directory not found relative to the package")

@@ -1,0 +1,88 @@
+"""Fixed-point operators: the maps ``F`` (exact) and ``G`` (approximate).
+
+This package implements every operator family the paper's survey and
+Theorem 1 rely on:
+
+* affine splittings (chaotic relaxation of [12], [14]);
+* fixed-step gradient maps (``rho = gamma*mu`` contraction, Section V);
+* proximal maps of the regularizers of problem (4);
+* the Definition 4 approximate prox-gradient operator ``G``;
+* inner-iteration approximations for flexible communication
+  (Definition 3, [9], [23], [24]);
+* modified Newton multi-splittings [25];
+* monotone operators (min-plus Bellman–Ford, projected relaxation for
+  the obstacle problem) covering the M-function route [4];
+* contraction certificates in weighted max norms.
+"""
+
+from repro.operators.approximate import AdditiveNoiseOperator, InnerIterationOperator
+from repro.operators.base import ComposedOperator, DampedOperator, FixedPointOperator
+from repro.operators.contraction import (
+    ContractionReport,
+    diagonal_dominance_margin,
+    estimate_contraction_factor,
+    perron_weights,
+)
+from repro.operators.gradient import (
+    GradientStepOperator,
+    gradient_contraction_factor,
+    max_contraction_step,
+)
+from repro.operators.linear import (
+    AffineOperator,
+    jacobi_operator,
+    jor_operator,
+    richardson_operator,
+)
+from repro.operators.monotone import (
+    MinPlusBellmanFordOperator,
+    ProjectedAffineOperator,
+    is_isotone_sample,
+)
+from repro.operators.newton import ModifiedNewtonOperator
+from repro.operators.prox_gradient import ForwardBackwardOperator, ProxGradientOperator
+from repro.operators.proximal import (
+    BoxConstraint,
+    ElasticNetRegularizer,
+    GroupLassoRegularizer,
+    L1Regularizer,
+    L2Regularizer,
+    NonNegativeConstraint,
+    Regularizer,
+    SquaredL2Regularizer,
+    ZeroRegularizer,
+)
+
+__all__ = [
+    "AdditiveNoiseOperator",
+    "AffineOperator",
+    "BoxConstraint",
+    "ComposedOperator",
+    "ContractionReport",
+    "DampedOperator",
+    "ElasticNetRegularizer",
+    "FixedPointOperator",
+    "ForwardBackwardOperator",
+    "GradientStepOperator",
+    "GroupLassoRegularizer",
+    "InnerIterationOperator",
+    "L1Regularizer",
+    "L2Regularizer",
+    "MinPlusBellmanFordOperator",
+    "ModifiedNewtonOperator",
+    "NonNegativeConstraint",
+    "ProjectedAffineOperator",
+    "ProxGradientOperator",
+    "Regularizer",
+    "SquaredL2Regularizer",
+    "ZeroRegularizer",
+    "diagonal_dominance_margin",
+    "estimate_contraction_factor",
+    "gradient_contraction_factor",
+    "is_isotone_sample",
+    "jacobi_operator",
+    "jor_operator",
+    "max_contraction_step",
+    "perron_weights",
+    "richardson_operator",
+]

@@ -1,0 +1,107 @@
+"""Fixed-step gradient operators for smooth strongly convex functions.
+
+The gradient step ``T(x) = x - gamma * grad f(x)`` is the prototypical
+contracting fixed-point map of the paper's Section V: for ``f``
+L-smooth and mu-strongly convex and ``gamma in (0, 2/(mu+L)]`` it
+contracts in the Euclidean norm with factor
+
+    ``q = max(|1 - gamma*mu|, |1 - gamma*L|) = 1 - gamma*mu``
+
+(the equality holding exactly on the admissible step range), which is
+the ``1 - rho`` of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.operators.base import FixedPointOperator
+from repro.utils.norms import BlockSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.problems.base import SmoothProblem
+
+__all__ = ["GradientStepOperator", "max_contraction_step", "gradient_contraction_factor"]
+
+
+def max_contraction_step(mu: float, L: float) -> float:
+    """The largest admissible fixed step of the paper, ``2 / (mu + L)``.
+
+    At this step the Euclidean contraction factor ``(L - mu)/(L + mu)``
+    is minimal among fixed-step gradient methods.
+    """
+    if mu <= 0 or L < mu:
+        raise ValueError(f"need 0 < mu <= L, got mu={mu}, L={L}")
+    return 2.0 / (mu + L)
+
+
+def gradient_contraction_factor(gamma: float, mu: float, L: float) -> float:
+    """Euclidean contraction factor of ``x -> x - gamma grad f(x)``.
+
+    ``max(|1-gamma*mu|, |1-gamma*L|)``; equals ``1 - gamma*mu`` (the
+    Theorem 1 quantity) whenever ``gamma <= 2/(mu+L)``.
+    """
+    if mu <= 0 or L < mu:
+        raise ValueError(f"need 0 < mu <= L, got mu={mu}, L={L}")
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    return max(abs(1.0 - gamma * mu), abs(1.0 - gamma * L))
+
+
+class GradientStepOperator(FixedPointOperator):
+    """``T(x) = x - gamma * grad f(x)`` for a smooth problem ``f``.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`~repro.problems.base.SmoothProblem` exposing
+        ``gradient``, ``mu`` and ``lipschitz``.
+    gamma:
+        Fixed step size; must lie in ``(0, 2/(mu+L)]`` when
+        ``strict_step`` is true (the paper's admissible range).
+    block_spec:
+        Component decomposition for asynchronous updates.
+    strict_step:
+        Enforce the paper's step bound (default true).
+    """
+
+    def __init__(
+        self,
+        problem: "SmoothProblem",
+        gamma: float,
+        block_spec: BlockSpec | None = None,
+        *,
+        strict_step: bool = True,
+    ) -> None:
+        super().__init__(problem.dim, block_spec)
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        gmax = 2.0 / (problem.mu + problem.lipschitz)
+        if strict_step and gamma > gmax * (1.0 + 1e-12):
+            raise ValueError(
+                f"gamma={gamma} exceeds the admissible bound 2/(mu+L)={gmax:.6g}; "
+                "pass strict_step=False to override"
+            )
+        self.problem = problem
+        self.gamma = float(gamma)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return x - self.gamma * self.problem.gradient(x)
+
+    def apply_block(self, x: np.ndarray, i: int) -> np.ndarray:
+        sl = self.block_spec.slice(i)
+        g = self.problem.gradient_block(x, sl)
+        return x[sl] - self.gamma * g
+
+    def fixed_point(self) -> np.ndarray | None:
+        return self.problem.solution()
+
+    def contraction_factor(self) -> float | None:
+        return gradient_contraction_factor(self.gamma, self.problem.mu, self.problem.lipschitz)
+
+    @property
+    def rho(self) -> float:
+        """Theorem 1's convergence modulus ``rho = gamma * mu``."""
+        return self.gamma * self.problem.mu

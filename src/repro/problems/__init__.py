@@ -1,0 +1,87 @@
+"""Problem zoo: every workload the paper's survey and Section V touch.
+
+* Quadratics and diagonally dominant linear systems (chaotic
+  relaxation heritage, [12], [14]);
+* Ridge / lasso / elastic net / logistic / SVM — the machine-learning
+  instances of problem (4);
+* Convex separable network flow duals ([6], [8] — the author's original
+  application);
+* The 2-D obstacle problem ([26] — numerical-simulation substrate);
+* Synthetic dataset generators (offline substitutes for the
+  unavailable historical testbeds).
+"""
+
+from repro.problems.base import CompositeProblem, SmoothProblem
+from repro.problems.datasets import (
+    ClassificationData,
+    RegressionData,
+    make_classification,
+    make_regression,
+)
+from repro.problems.least_squares import (
+    LeastSquaresProblem,
+    make_elastic_net,
+    make_lasso,
+    make_ridge,
+)
+from repro.problems.linear_system import (
+    make_jacobi_instance,
+    random_dominant_system,
+    tridiagonal_system,
+)
+from repro.problems.markov import (
+    absorption_cost_operator,
+    discounted_value_operator,
+    random_absorbing_chain,
+    random_markov_chain,
+)
+from repro.problems.logistic import LogisticProblem, make_logistic, make_sparse_logistic
+from repro.problems.network_flow import (
+    FlowNetwork,
+    NetworkFlowDualProblem,
+    make_network_flow_dual,
+    random_flow_network,
+)
+from repro.problems.obstacle import ObstacleProblem, make_obstacle_problem
+from repro.problems.quadratic import (
+    QuadraticProblem,
+    laplacian_quadratic,
+    random_quadratic,
+    separable_quadratic,
+)
+from repro.problems.svm import SmoothedHingeSVM, make_svm
+
+__all__ = [
+    "ClassificationData",
+    "CompositeProblem",
+    "FlowNetwork",
+    "LeastSquaresProblem",
+    "LogisticProblem",
+    "NetworkFlowDualProblem",
+    "ObstacleProblem",
+    "QuadraticProblem",
+    "RegressionData",
+    "SmoothProblem",
+    "SmoothedHingeSVM",
+    "absorption_cost_operator",
+    "discounted_value_operator",
+    "laplacian_quadratic",
+    "make_classification",
+    "make_elastic_net",
+    "make_jacobi_instance",
+    "make_lasso",
+    "make_logistic",
+    "make_network_flow_dual",
+    "make_obstacle_problem",
+    "make_regression",
+    "make_ridge",
+    "make_sparse_logistic",
+    "make_svm",
+    "random_absorbing_chain",
+    "random_dominant_system",
+    "random_markov_chain",
+    "random_flow_network",
+    "random_quadratic",
+    "separable_quadratic",
+    "tridiagonal_system",
+]

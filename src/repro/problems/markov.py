@@ -1,0 +1,140 @@
+"""Markov systems — the third application family of the survey.
+
+Section III notes macro-iterations have been used "for applications
+that range from numerical simulation and Markov systems to convex
+optimization".  The classical asynchronous-friendly Markov computations
+are fixed points of substochastic linear maps:
+
+* **expected absorption cost**: for an absorbing chain with transient
+  transition block ``Q`` (substochastic) and per-step cost ``r``, the
+  expected total cost ``x`` solves ``x = Q x + r`` — an affine map
+  whose ``|Q|`` has spectral radius < 1, hence a weighted-max-norm
+  contraction and a valid totally asynchronous target;
+* **discounted Markov reward / policy evaluation**: ``x = beta P x + r``
+  with row-stochastic ``P`` and discount ``beta < 1`` — contraction
+  factor exactly ``beta`` in the unweighted max norm (the asynchronous
+  value-iteration setting of Bertsekas [3]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.operators.linear import AffineOperator
+from repro.utils.norms import BlockSpec
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_in_range, check_vector
+
+__all__ = [
+    "absorption_cost_operator",
+    "discounted_value_operator",
+    "random_absorbing_chain",
+    "random_markov_chain",
+]
+
+
+def random_markov_chain(
+    n_states: int,
+    *,
+    density: float = 0.5,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Random row-stochastic transition matrix with given support density.
+
+    Every row keeps a self-loop so no row is empty; remaining mass is
+    spread over a random subset of targets.
+    """
+    if n_states < 2:
+        raise ValueError("need at least 2 states")
+    check_in_range(density, 0.0, 1.0, "density", lo_open=True)
+    rng = as_generator(seed)
+    P = np.zeros((n_states, n_states))
+    for i in range(n_states):
+        mask = rng.random(n_states) < density
+        mask[i] = True
+        weights = rng.random(n_states) * mask
+        P[i] = weights / weights.sum()
+    return P
+
+
+def random_absorbing_chain(
+    n_transient: int,
+    n_absorbing: int = 1,
+    *,
+    absorb_prob: float = 0.1,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random absorbing chain: returns (Q, R).
+
+    ``Q`` is the transient-to-transient block (strictly substochastic:
+    every transient state leaks at least ``absorb_prob`` to the
+    absorbing states), ``R`` the transient-to-absorbing block.
+    """
+    if n_transient < 1 or n_absorbing < 1:
+        raise ValueError("need at least one transient and one absorbing state")
+    check_in_range(absorb_prob, 0.0, 1.0, "absorb_prob", lo_open=True, hi_open=True)
+    rng = as_generator(seed)
+    Q = rng.random((n_transient, n_transient))
+    R = rng.random((n_transient, n_absorbing)) + 1e-3
+    # Normalize rows of [Q R] to 1, then guarantee the absorbing leak.
+    for i in range(n_transient):
+        total = Q[i].sum() + R[i].sum()
+        Q[i] /= total
+        R[i] /= total
+        leak = R[i].sum()
+        if leak < absorb_prob:
+            scale = (1.0 - absorb_prob) / max(Q[i].sum(), 1e-300)
+            Q[i] *= scale
+            R[i] *= absorb_prob / leak
+    return Q, R
+
+
+def absorption_cost_operator(
+    Q: np.ndarray,
+    costs: np.ndarray,
+    block_spec: BlockSpec | None = None,
+) -> AffineOperator:
+    """Fixed-point map ``x -> Q x + r`` for expected absorption cost.
+
+    ``x_i`` is the expected total cost accumulated before absorption
+    starting from transient state ``i``.  Strict substochasticity of
+    every row (checked) gives a max-norm contraction, so asynchronous
+    iterations converge under arbitrary admissible delays.
+    """
+    Q = np.asarray(Q, dtype=np.float64)
+    if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+        raise ValueError(f"Q must be square, got shape {Q.shape}")
+    if np.any(Q < 0):
+        raise ValueError("Q must be nonnegative")
+    row_sums = Q.sum(axis=1)
+    if np.any(row_sums >= 1.0):
+        raise ValueError(
+            "every transient row must be strictly substochastic "
+            f"(max row sum {row_sums.max():.6f})"
+        )
+    r = check_vector(costs, "costs", dim=Q.shape[0])
+    return AffineOperator(Q, r, block_spec)
+
+
+def discounted_value_operator(
+    P: np.ndarray,
+    rewards: np.ndarray,
+    beta: float,
+    block_spec: BlockSpec | None = None,
+) -> AffineOperator:
+    """Policy-evaluation map ``x -> beta P x + r`` (discounted rewards).
+
+    For row-stochastic ``P`` and ``beta in (0, 1)`` this contracts in
+    the unweighted max norm with factor exactly ``beta`` — asynchronous
+    value iteration in the sense of [3].
+    """
+    P = np.asarray(P, dtype=np.float64)
+    if P.ndim != 2 or P.shape[0] != P.shape[1]:
+        raise ValueError(f"P must be square, got shape {P.shape}")
+    if np.any(P < 0):
+        raise ValueError("P must be nonnegative")
+    if not np.allclose(P.sum(axis=1), 1.0, atol=1e-9):
+        raise ValueError("P must be row-stochastic")
+    check_in_range(beta, 0.0, 1.0, "beta", lo_open=True, hi_open=True)
+    r = check_vector(rewards, "rewards", dim=P.shape[0])
+    return AffineOperator(beta * P, r, block_spec)

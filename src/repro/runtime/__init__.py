@@ -1,0 +1,42 @@
+"""Runtime substrates: the simulated machine and the real threads.
+
+* :mod:`repro.runtime.simulator` — deterministic discrete-event
+  simulation of processors + channels (the hardware substitute);
+* :mod:`repro.runtime.shared_memory` — lock-free Hogwild-style
+  threading backend on a shared NumPy iterate.
+"""
+
+from repro.runtime.shared_memory import SharedMemoryAsyncRunner, SharedMemoryResult
+from repro.runtime.simulator import (
+    ChannelSpec,
+    ConstantTime,
+    DistributedSimulator,
+    ExponentialTime,
+    LinearGrowthTime,
+    ParetoTime,
+    ProcessorSpec,
+    SimulationResult,
+    UniformTime,
+    shared_memory_network,
+    two_cluster_grid,
+    uniform_cluster,
+    wide_area_network,
+)
+
+__all__ = [
+    "ChannelSpec",
+    "ConstantTime",
+    "DistributedSimulator",
+    "ExponentialTime",
+    "LinearGrowthTime",
+    "ParetoTime",
+    "ProcessorSpec",
+    "SharedMemoryAsyncRunner",
+    "SharedMemoryResult",
+    "SimulationResult",
+    "UniformTime",
+    "shared_memory_network",
+    "two_cluster_grid",
+    "uniform_cluster",
+    "wide_area_network",
+]

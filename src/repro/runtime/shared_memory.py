@@ -1,0 +1,194 @@
+"""Real shared-memory asynchronous backend (Hogwild-style threads).
+
+The simulator models a machine; this module *is* one, at laptop scale:
+worker threads relax the components they own directly against a shared
+NumPy iterate with no locks and no synchronization — the shared-memory
+limit of the paper's model (data exchange "via writing in a shared
+memory", Section II).  Python's GIL serializes bytecode, so this
+backend demonstrates correctness of lock-free asynchronous iterations
+and measures update throughput, not true parallel speedup (NumPy kernels
+release the GIL, so there is still some overlap); wall-clock scaling
+claims belong to the simulator.
+
+Remark 3 of the paper (asynchronous training of large ML models) is
+exercised by running :class:`SharedMemoryAsyncRunner` on the logistic
+regression problems of :mod:`repro.problems.logistic`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.operators.base import FixedPointOperator
+from repro.utils.validation import check_vector
+
+__all__ = ["SharedMemoryResult", "SharedMemoryAsyncRunner"]
+
+
+@dataclass
+class SharedMemoryResult:
+    """Outcome of a shared-memory asynchronous run.
+
+    Attributes
+    ----------
+    x:
+        Final shared iterate.
+    converged:
+        Whether the residual monitor hit the tolerance.
+    total_updates:
+        Component updates performed across all workers.
+    updates_per_worker:
+        Update counts keyed by worker id.
+    wall_time:
+        Elapsed wall-clock seconds.
+    residual_history:
+        ``(time, residual)`` samples from the monitor thread.
+    final_residual:
+        Fixed-point residual at the final iterate.
+    """
+
+    x: np.ndarray
+    converged: bool
+    total_updates: int
+    updates_per_worker: dict[int, int]
+    wall_time: float
+    residual_history: list[tuple[float, float]] = field(default_factory=list)
+    final_residual: float = float("nan")
+
+
+class SharedMemoryAsyncRunner:
+    """Lock-free multithreaded asynchronous fixed-point iteration.
+
+    Parameters
+    ----------
+    operator:
+        The fixed-point map; ``apply_block`` must be thread-safe for
+        concurrent reads (all operators in this library are: they only
+        read problem data and the iterate).
+    n_workers:
+        Number of threads; components are dealt round-robin.
+    worker_sleep:
+        Optional per-update sleep (seconds) injecting heterogeneity:
+        scalar, or one value per worker (slow workers model load
+        imbalance).
+    monitor_interval:
+        Residual sampling period (seconds) of the monitor thread.
+    """
+
+    def __init__(
+        self,
+        operator: FixedPointOperator,
+        n_workers: int = 4,
+        *,
+        worker_sleep: float | list[float] = 0.0,
+        monitor_interval: float = 0.005,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        n = operator.n_components
+        if n_workers > n:
+            raise ValueError(
+                f"n_workers {n_workers} exceeds component count {n}"
+            )
+        self.operator = operator
+        self.n_workers = int(n_workers)
+        if isinstance(worker_sleep, (int, float)):
+            self._sleeps = [float(worker_sleep)] * self.n_workers
+        else:
+            if len(worker_sleep) != self.n_workers:
+                raise ValueError(
+                    f"worker_sleep must have {self.n_workers} entries, got {len(worker_sleep)}"
+                )
+            self._sleeps = [float(s) for s in worker_sleep]
+        if any(s < 0 for s in self._sleeps):
+            raise ValueError("worker_sleep values must be >= 0")
+        if monitor_interval <= 0:
+            raise ValueError(f"monitor_interval must be positive, got {monitor_interval}")
+        self.monitor_interval = float(monitor_interval)
+        self._partition = [
+            tuple(range(w, n, self.n_workers)) for w in range(self.n_workers)
+        ]
+
+    def run(
+        self,
+        x0: np.ndarray,
+        *,
+        max_updates: int = 100_000,
+        tol: float = 1e-8,
+        timeout: float = 60.0,
+    ) -> SharedMemoryResult:
+        """Run until tolerance, update budget or timeout.
+
+        The shared iterate is read and written without locks; the
+        monitor thread samples the residual and raises the stop flag.
+        """
+        x0 = check_vector(x0, "x0", dim=self.operator.dim)
+        if max_updates < 1:
+            raise ValueError(f"max_updates must be >= 1, got {max_updates}")
+        shared = x0.copy()
+        spec = self.operator.block_spec
+        stop = threading.Event()
+        update_counter = itertools.count()
+        counts = [0] * self.n_workers
+        history: list[tuple[float, float]] = []
+        t_start = time.perf_counter()
+
+        def worker(wid: int) -> None:
+            comps = self._partition[wid]
+            sleep = self._sleeps[wid]
+            k = 0
+            while not stop.is_set():
+                comp = comps[k % len(comps)]
+                k += 1
+                # Inconsistent read of the shared iterate (Hogwild): the
+                # vector may be mid-write elsewhere; that *is* the model.
+                local = shared.copy()
+                new_block = self.operator.apply_block(local, comp)
+                shared[spec.slice(comp)] = new_block
+                counts[wid] += 1
+                total = next(update_counter)
+                if total + 1 >= max_updates:
+                    stop.set()
+                if sleep > 0.0:
+                    time.sleep(sleep)
+
+        def monitor() -> None:
+            while not stop.is_set():
+                res = self.operator.residual(shared.copy())
+                history.append((time.perf_counter() - t_start, res))
+                if res < tol:
+                    stop.set()
+                    return
+                if time.perf_counter() - t_start > timeout:
+                    stop.set()
+                    return
+                time.sleep(self.monitor_interval)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,), daemon=True)
+            for w in range(self.n_workers)
+        ]
+        mon = threading.Thread(target=monitor, daemon=True)
+        for t in threads:
+            t.start()
+        mon.start()
+        for t in threads:
+            t.join()
+        mon.join()
+        wall = time.perf_counter() - t_start
+        final = shared.copy()
+        final_res = self.operator.residual(final)
+        return SharedMemoryResult(
+            x=final,
+            converged=final_res < tol,
+            total_updates=sum(counts),
+            updates_per_worker={w: counts[w] for w in range(self.n_workers)},
+            wall_time=wall,
+            residual_history=history,
+            final_residual=final_res,
+        )

@@ -1,0 +1,47 @@
+"""Discrete-event simulator of parallel/distributed asynchronous machines.
+
+The hardware substitute for the paper's historical testbeds: seeded,
+deterministic, and emitting the same :class:`~repro.core.trace.IterationTrace`
+the mathematical engines produce, so every theoretical object
+(macro-iterations, epochs, Theorem 1 bounds, admissibility) is
+measurable on simulated hardware runs.
+"""
+
+from repro.runtime.simulator.channel import ChannelSpec, ChannelState
+from repro.runtime.simulator.engine import DistributedSimulator
+from repro.runtime.simulator.network import (
+    shared_memory_network,
+    two_cluster_grid,
+    uniform_cluster,
+    wide_area_network,
+)
+from repro.runtime.simulator.processor import ProcessorSpec
+from repro.runtime.simulator.records import MessageRecord, PhaseRecord, SimulationResult
+from repro.runtime.simulator.timing import (
+    ConstantTime,
+    DurationModel,
+    ExponentialTime,
+    LinearGrowthTime,
+    ParetoTime,
+    UniformTime,
+)
+
+__all__ = [
+    "ChannelSpec",
+    "ChannelState",
+    "ConstantTime",
+    "DistributedSimulator",
+    "DurationModel",
+    "ExponentialTime",
+    "LinearGrowthTime",
+    "MessageRecord",
+    "ParetoTime",
+    "PhaseRecord",
+    "ProcessorSpec",
+    "SimulationResult",
+    "UniformTime",
+    "shared_memory_network",
+    "two_cluster_grid",
+    "uniform_cluster",
+    "wide_area_network",
+]

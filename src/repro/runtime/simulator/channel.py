@@ -1,0 +1,115 @@
+"""Message channels: latency, loss, FIFO or reordering delivery.
+
+A channel carries component-update messages between two processors.
+Three properties matter to asynchronous convergence theory and all are
+modelled:
+
+* **latency** — a :class:`~repro.runtime.simulator.timing.DurationModel`;
+  random latency with non-FIFO delivery produces *out-of-order
+  messages*;
+* **FIFO enforcement** — when on, delivery times are monotonized so
+  messages arrive in send order (TCP-like); when off, a message can
+  overtake an earlier one (UDP-like / multi-path);
+* **loss** — messages dropped with probability ``drop_prob``;
+  admissible as long as later messages keep flowing (the paper's
+  remark that transient faults are covered by newer messages).
+
+The receiver's *application policy* lives here too:
+``apply = "latest_label"`` discards stale messages by tag (the safe
+implementation), while ``apply = "overwrite"`` applies whatever
+arrives last (untagged DMA/put-style writes) — the mode that produces
+genuinely non-monotone label sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.simulator.timing import ConstantTime, DurationModel
+from repro.utils.validation import check_probability
+
+__all__ = ["ChannelSpec", "ChannelState"]
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Configuration of a directed channel between two processors.
+
+    Attributes
+    ----------
+    latency:
+        Duration model for message transit times.
+    fifo:
+        Enforce in-order delivery (monotonized arrival times).
+    drop_prob:
+        Probability a message is silently lost.
+    apply:
+        Receiver policy: ``"latest_label"`` (tag-checked) or
+        ``"overwrite"`` (last-arrival-wins).
+    """
+
+    latency: DurationModel = ConstantTime(0.05)
+    fifo: bool = True
+    drop_prob: float = 0.0
+    apply: str = "latest_label"
+
+    def __post_init__(self) -> None:
+        check_probability(self.drop_prob, "drop_prob")
+        if self.apply not in ("latest_label", "overwrite"):
+            raise ValueError(
+                f"apply must be 'latest_label' or 'overwrite', got {self.apply!r}"
+            )
+
+    @staticmethod
+    def shared_memory() -> "ChannelSpec":
+        """Near-zero-latency reliable channel (shared-memory writes)."""
+        return ChannelSpec(latency=ConstantTime(1e-9), fifo=True, drop_prob=0.0)
+
+    @staticmethod
+    def lossy_reordering(
+        latency: DurationModel,
+        drop_prob: float = 0.05,
+        apply: str = "overwrite",
+    ) -> "ChannelSpec":
+        """A UDP-like channel: random latency, reordering, loss."""
+        return ChannelSpec(latency=latency, fifo=False, drop_prob=drop_prob, apply=apply)
+
+
+class ChannelState:
+    """Runtime state of one directed channel (owns its RNG stream)."""
+
+    def __init__(self, spec: ChannelSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._sent = 0
+        self._dropped = 0
+        self._last_delivery_time = -np.inf
+
+    @property
+    def messages_sent(self) -> int:
+        """Messages offered to the channel (including dropped ones)."""
+        return self._sent
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages lost to ``drop_prob``."""
+        return self._dropped
+
+    def delivery_time(self, send_time: float) -> float | None:
+        """Arrival time for a message sent at ``send_time``.
+
+        Returns ``None`` when the message is dropped.  FIFO channels
+        monotonize arrival times so order is preserved; non-FIFO
+        channels return raw ``send + latency`` and may reorder.
+        """
+        self._sent += 1
+        if self.spec.drop_prob > 0.0 and self.rng.random() < self.spec.drop_prob:
+            self._dropped += 1
+            return None
+        t = send_time + self.spec.latency.sample(self._sent, self.rng)
+        if self.spec.fifo:
+            t = max(t, self._last_delivery_time)
+            self._last_delivery_time = t
+        return t

@@ -1,0 +1,125 @@
+"""Network presets: channel maps for common platform archetypes.
+
+The paper's experimental history spans shared-memory supercomputers
+(Cray T3E SHMEM put/get), clusters (Grid5000 multi-network) and
+planetary-scale grids (PlanetLab, nodes on different continents).
+These helpers build the corresponding ``(src, dst) -> ChannelSpec``
+maps for the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.simulator.channel import ChannelSpec
+from repro.runtime.simulator.timing import ConstantTime, ExponentialTime, UniformTime
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "shared_memory_network",
+    "uniform_cluster",
+    "wide_area_network",
+    "two_cluster_grid",
+]
+
+
+def shared_memory_network(n_processors: int) -> dict[tuple[int, int], ChannelSpec]:
+    """All pairs near-zero latency, reliable, FIFO (one-sided put/get)."""
+    spec = ChannelSpec.shared_memory()
+    return {
+        (s, d): spec
+        for s in range(n_processors)
+        for d in range(n_processors)
+        if s != d
+    }
+
+
+def uniform_cluster(
+    n_processors: int,
+    latency: float = 0.05,
+    jitter: float = 0.0,
+) -> dict[tuple[int, int], ChannelSpec]:
+    """Homogeneous cluster interconnect; optional exponential jitter.
+
+    With jitter and FIFO off a message can overtake its predecessor —
+    the benign out-of-order regime of a multi-path fabric.
+    """
+    check_positive(latency, "latency")
+    if jitter < 0:
+        raise ValueError(f"jitter must be >= 0, got {jitter}")
+    if jitter == 0.0:
+        spec = ChannelSpec(latency=ConstantTime(latency), fifo=True)
+    else:
+        spec = ChannelSpec(latency=ExponentialTime(jitter, offset=latency), fifo=False)
+    return {
+        (s, d): spec
+        for s in range(n_processors)
+        for d in range(n_processors)
+        if s != d
+    }
+
+
+def wide_area_network(
+    n_processors: int,
+    *,
+    base_latency: float = 0.5,
+    spread: float = 2.0,
+    drop_prob: float = 0.02,
+    overwrite: bool = True,
+    seed: int | np.random.Generator | None = 0,
+) -> dict[tuple[int, int], ChannelSpec]:
+    """PlanetLab-style WAN: heterogeneous latencies, loss, reordering.
+
+    Each ordered pair gets its own latency scale drawn from
+    ``Uniform[base, base * spread]``; channels are non-FIFO and lossy,
+    and (by default) apply messages in arrival order — the regime where
+    label sequences are genuinely non-monotone.
+    """
+    check_positive(base_latency, "base_latency")
+    if spread < 1.0:
+        raise ValueError(f"spread must be >= 1, got {spread}")
+    rng = as_generator(seed)
+    apply = "overwrite" if overwrite else "latest_label"
+    out: dict[tuple[int, int], ChannelSpec] = {}
+    for s in range(n_processors):
+        for d in range(n_processors):
+            if s == d:
+                continue
+            scale = float(rng.uniform(base_latency, base_latency * spread))
+            out[(s, d)] = ChannelSpec(
+                latency=UniformTime(0.5 * scale, 1.5 * scale),
+                fifo=False,
+                drop_prob=drop_prob,
+                apply=apply,
+            )
+    return out
+
+
+def two_cluster_grid(
+    n_processors: int,
+    *,
+    intra_latency: float = 0.02,
+    inter_latency: float = 1.0,
+    jitter: float = 0.1,
+) -> dict[tuple[int, int], ChannelSpec]:
+    """Grid5000-style two-site grid: fast intra-site, slow inter-site.
+
+    Processors ``0 .. n/2-1`` form site A, the rest site B; inter-site
+    channels carry the long latency plus exponential jitter (non-FIFO).
+    """
+    check_positive(intra_latency, "intra_latency")
+    check_positive(inter_latency, "inter_latency")
+    half = n_processors // 2
+    fast = ChannelSpec(latency=ConstantTime(intra_latency), fifo=True)
+    slow = ChannelSpec(
+        latency=ExponentialTime(max(jitter, 1e-12), offset=inter_latency), fifo=False
+    )
+    out: dict[tuple[int, int], ChannelSpec] = {}
+    for s in range(n_processors):
+        for d in range(n_processors):
+            if s == d:
+                continue
+            same = (s < half) == (d < half)
+            out[(s, d)] = fast if same else slow
+    return out

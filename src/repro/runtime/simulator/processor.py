@@ -1,0 +1,70 @@
+"""Processor specifications for the simulated machine.
+
+A processor owns a disjoint set of components of the iterate vector
+and repeatedly executes *updating phases*: read local data, compute
+(possibly several inner iterations), commit, communicate.  Phase
+durations come from a :class:`~repro.runtime.simulator.timing.DurationModel`;
+heterogeneous models across processors create the load imbalance the
+paper's efficiency claims are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.simulator.timing import ConstantTime, DurationModel
+
+__all__ = ["ProcessorSpec"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Static configuration of one simulated processor.
+
+    Attributes
+    ----------
+    components:
+        Component indices this processor updates (disjoint across
+        processors; the union must cover all components).
+    compute_time:
+        Duration model of one updating phase.
+    inner_steps:
+        Inner iterations per phase (``s >= 1``); with ``s > 1`` the
+        phase evaluates the approximate operator ``T^s`` of
+        Definition 3's generating process.
+    publish_partials:
+        Send the current inner iterate to peers after every inner step
+        before the last — the partial updates (hatched arrows) of
+        Figure 2.  Requires ``inner_steps > 1`` to have any effect.
+    refresh_reads:
+        Re-read remote components from the live local view before each
+        inner step (instead of freezing them at phase start) — the
+        receiving half of flexible communication: phases "immediately
+        take benefit of partial updates".
+    think_time:
+        Optional idle gap between phases (defaults to none).
+    """
+
+    components: tuple[int, ...]
+    compute_time: DurationModel = ConstantTime(1.0)
+    inner_steps: int = 1
+    publish_partials: bool = False
+    refresh_reads: bool = False
+    think_time: DurationModel | None = None
+
+    def __post_init__(self) -> None:
+        comps = tuple(sorted(set(int(c) for c in self.components)))
+        if len(comps) == 0:
+            raise ValueError("a processor must own at least one component")
+        if len(comps) != len(self.components):
+            raise ValueError("duplicate components in processor spec")
+        object.__setattr__(self, "components", comps)
+        if self.inner_steps < 1:
+            raise ValueError(f"inner_steps must be >= 1, got {self.inner_steps}")
+        if self.publish_partials and self.inner_steps < 2:
+            raise ValueError("publish_partials requires inner_steps >= 2")
+
+    @property
+    def flexible(self) -> bool:
+        """Whether this processor uses any flexible-communication feature."""
+        return self.publish_partials or self.refresh_reads

@@ -1,0 +1,126 @@
+"""Compute-time and latency models for the simulated machine.
+
+The simulator replaces the paper's historical testbeds (Tnode, Cray
+T3E, IBM SP4, Grid5000) with explicit stochastic models of how long an
+updating phase takes on each processor and how long a message spends
+in each channel.  All models are deterministic functions of a seeded
+generator; heterogeneity across processors is the lever behind the
+load-imbalance experiments, and :class:`LinearGrowthTime` realizes the
+paper's Baudet example (the k-th phase of the slow processor takes k
+time units, producing sqrt(j) delay growth).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "DurationModel",
+    "ConstantTime",
+    "UniformTime",
+    "ExponentialTime",
+    "ParetoTime",
+    "LinearGrowthTime",
+]
+
+
+class DurationModel(abc.ABC):
+    """Produces strictly positive durations, indexed by occurrence number."""
+
+    @abc.abstractmethod
+    def sample(self, k: int, rng: np.random.Generator) -> float:
+        """Duration of the ``k``-th occurrence (``k = 1, 2, ...``)."""
+
+    def mean(self) -> float:
+        """Long-run mean duration (``inf`` when it grows without bound)."""
+        raise NotImplementedError
+
+
+class ConstantTime(DurationModel):
+    """Every occurrence takes exactly ``value`` time units."""
+
+    def __init__(self, value: float) -> None:
+        self.value = check_positive(value, "value")
+
+    def sample(self, k: int, rng: np.random.Generator) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+class UniformTime(DurationModel):
+    """Durations i.i.d. uniform on ``[lo, hi]``."""
+
+    def __init__(self, lo: float, hi: float) -> None:
+        lo = check_positive(lo, "lo")
+        hi = check_positive(hi, "hi")
+        if hi < lo:
+            raise ValueError(f"need lo <= hi, got [{lo}, {hi}]")
+        self.lo, self.hi = lo, hi
+
+    def sample(self, k: int, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.lo, self.hi))
+
+    def mean(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+
+class ExponentialTime(DurationModel):
+    """Durations i.i.d. ``offset + Exp(mean_extra)`` (memoryless jitter)."""
+
+    def __init__(self, mean_extra: float, offset: float = 0.0) -> None:
+        self.mean_extra = check_positive(mean_extra, "mean_extra")
+        self.offset = check_nonnegative(offset, "offset")
+        if self.offset == 0.0 and self.mean_extra == 0.0:
+            raise ValueError("duration must be strictly positive")
+
+    def sample(self, k: int, rng: np.random.Generator) -> float:
+        return self.offset + float(rng.exponential(self.mean_extra))
+
+    def mean(self) -> float:
+        return self.offset + self.mean_extra
+
+
+class ParetoTime(DurationModel):
+    """Heavy-tailed durations ``scale * (1 + Pareto(alpha))``.
+
+    ``alpha <= 1`` has infinite mean — the stress regime where a
+    synchronous method's per-round time is dominated by stragglers.
+    """
+
+    def __init__(self, alpha: float, scale: float = 1.0) -> None:
+        self.alpha = check_positive(alpha, "alpha")
+        self.scale = check_positive(scale, "scale")
+
+    def sample(self, k: int, rng: np.random.Generator) -> float:
+        return self.scale * (1.0 + float(rng.pareto(self.alpha)))
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return float("inf")
+        return self.scale * (1.0 + 1.0 / (self.alpha - 1.0))
+
+
+class LinearGrowthTime(DurationModel):
+    """The Baudet example: the ``k``-th occurrence takes ``k * unit`` time.
+
+    A processor with this model slows down forever; against a
+    unit-speed peer, the peer's values age as ``sqrt(j)`` in iteration
+    count — unbounded delays satisfying condition (b).
+    """
+
+    def __init__(self, unit: float = 1.0) -> None:
+        self.unit = check_positive(unit, "unit")
+
+    def sample(self, k: int, rng: np.random.Generator) -> float:
+        if k < 1:
+            raise ValueError(f"occurrence index must be >= 1, got {k}")
+        return self.unit * k
+
+    def mean(self) -> float:
+        return float("inf")

@@ -1,0 +1,21 @@
+"""Steering policies ``S`` of Definition 1 (which components update when)."""
+
+from repro.steering.base import SteeringPolicy
+from repro.steering.policies import (
+    AllComponents,
+    BlockCyclic,
+    CyclicSingle,
+    PermutationSweeps,
+    RandomSubset,
+    WeightedRandom,
+)
+
+__all__ = [
+    "AllComponents",
+    "BlockCyclic",
+    "CyclicSingle",
+    "PermutationSweeps",
+    "RandomSubset",
+    "SteeringPolicy",
+    "WeightedRandom",
+]

@@ -1,0 +1,35 @@
+"""Steering policies: the sequence ``S = {S_j}`` of Definition 1.
+
+A steering policy chooses, at each global iteration ``j``, the
+nonempty subset ``S_j`` of components to relax.  Condition (c) — every
+component occurs infinitely often — is the policy's responsibility;
+every concrete policy in :mod:`repro.steering.policies` either
+guarantees it structurally (cyclic sweeps) or enforces it with a
+starvation guard (random policies).
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["SteeringPolicy"]
+
+
+class SteeringPolicy(abc.ABC):
+    """Produces the nonempty active set ``S_j`` for each iteration ``j``."""
+
+    def __init__(self, n_components: int) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = int(n_components)
+
+    @abc.abstractmethod
+    def active_set(self, j: int) -> tuple[int, ...]:
+        """The component indices updated at iteration ``j >= 1``.
+
+        Must be nonempty with indices in ``[0, n_components)``; the
+        engine validates both.
+        """
+
+    def reset(self) -> None:
+        """Reset internal state (default: stateless no-op)."""

@@ -1,0 +1,184 @@
+"""Concrete steering policies.
+
+The set ``S`` "accounts for all possible steering policies" (paper,
+Section II); these cover the spectrum used in the experiments:
+
+* :class:`AllComponents` — Jacobi-style total update each iteration;
+* :class:`CyclicSingle` — Gauss–Seidel-style single component sweeps;
+* :class:`BlockCyclic` — groups of components in round robin;
+* :class:`RandomSubset` — i.i.d. random subsets with a starvation
+  guard enforcing condition (c);
+* :class:`WeightedRandom` — heterogeneous update frequencies (slow
+  workers update their components rarely), also guarded;
+* :class:`PermutationSweeps` — random order within each sweep, every
+  component exactly once per sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.steering.base import SteeringPolicy
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_integer, check_probability, check_vector
+
+__all__ = [
+    "AllComponents",
+    "CyclicSingle",
+    "BlockCyclic",
+    "RandomSubset",
+    "WeightedRandom",
+    "PermutationSweeps",
+]
+
+
+class AllComponents(SteeringPolicy):
+    """``S_j = {1, ..., n}``: synchronous-style total updates."""
+
+    def active_set(self, j: int) -> tuple[int, ...]:
+        return tuple(range(self.n_components))
+
+
+class CyclicSingle(SteeringPolicy):
+    """One component per iteration in cyclic order (Gauss–Seidel steering)."""
+
+    def active_set(self, j: int) -> tuple[int, ...]:
+        return ((j - 1) % self.n_components,)
+
+
+class BlockCyclic(SteeringPolicy):
+    """``group_size`` consecutive components per iteration, cyclically."""
+
+    def __init__(self, n_components: int, group_size: int) -> None:
+        super().__init__(n_components)
+        self.group_size = check_positive_integer(group_size, "group_size")
+        if self.group_size > n_components:
+            raise ValueError(
+                f"group_size {group_size} exceeds n_components {n_components}"
+            )
+        self._n_groups = int(np.ceil(n_components / self.group_size))
+
+    def active_set(self, j: int) -> tuple[int, ...]:
+        g = (j - 1) % self._n_groups
+        start = g * self.group_size
+        stop = min(start + self.group_size, self.n_components)
+        return tuple(range(start, stop))
+
+
+class _StarvationGuard:
+    """Force-update any component idle for more than ``max_gap`` iterations.
+
+    Random policies only satisfy condition (c) almost surely; the guard
+    makes it sure, which matters for short traces and for the
+    termination protocol's correctness.
+    """
+
+    def __init__(self, n_components: int, max_gap: int) -> None:
+        self.max_gap = check_positive_integer(max_gap, "max_gap")
+        self.last_update = np.zeros(n_components, dtype=np.int64)
+
+    def apply(self, j: int, chosen: set[int]) -> set[int]:
+        overdue = np.nonzero(j - self.last_update > self.max_gap)[0]
+        chosen.update(int(i) for i in overdue)
+        for i in chosen:
+            self.last_update[i] = j
+        return chosen
+
+    def reset(self) -> None:
+        self.last_update[:] = 0
+
+
+class RandomSubset(SteeringPolicy):
+    """Each component enters ``S_j`` independently with probability ``p``.
+
+    A starvation guard (default gap ``10 * n / p``-ish, configurable)
+    enforces condition (c) deterministically; an empty draw falls back
+    to one uniformly chosen component so ``S_j`` is never empty.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        p: float = 0.5,
+        *,
+        max_gap: int | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(n_components)
+        self.p = check_probability(p, "p")
+        if self.p == 0.0:
+            raise ValueError("p must be positive, otherwise no component is ever updated")
+        if max_gap is None:
+            max_gap = max(8, int(np.ceil(10.0 / self.p)))
+        self._guard = _StarvationGuard(n_components, max_gap)
+        self.rng = as_generator(seed)
+
+    def active_set(self, j: int) -> tuple[int, ...]:
+        mask = self.rng.random(self.n_components) < self.p
+        chosen = set(int(i) for i in np.nonzero(mask)[0])
+        if not chosen:
+            chosen = {int(self.rng.integers(0, self.n_components))}
+        chosen = self._guard.apply(j, chosen)
+        return tuple(sorted(chosen))
+
+    def reset(self) -> None:
+        self._guard.reset()
+
+
+class WeightedRandom(SteeringPolicy):
+    """One component per iteration, drawn with heterogeneous probabilities.
+
+    Models load imbalance: a component owned by a slow processor is
+    relaxed less often.  The starvation guard keeps condition (c).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        *,
+        max_gap: int | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        w = check_vector(weights, "weights")
+        if np.any(w <= 0):
+            raise ValueError("weights must be strictly positive")
+        super().__init__(w.shape[0])
+        self.probs = w / np.sum(w)
+        if max_gap is None:
+            max_gap = max(8, int(np.ceil(10.0 / float(np.min(self.probs)))))
+        self._guard = _StarvationGuard(self.n_components, max_gap)
+        self.rng = as_generator(seed)
+
+    def active_set(self, j: int) -> tuple[int, ...]:
+        chosen = {int(self.rng.choice(self.n_components, p=self.probs))}
+        chosen = self._guard.apply(j, chosen)
+        return tuple(sorted(chosen))
+
+    def reset(self) -> None:
+        self._guard.reset()
+
+
+class PermutationSweeps(SteeringPolicy):
+    """Random-order sweeps: each sweep visits every component once.
+
+    Satisfies condition (c) with gap at most ``2n - 1`` and is the
+    natural "shuffled Gauss–Seidel" policy of randomized coordinate
+    descent.
+    """
+
+    def __init__(self, n_components: int, seed: int | np.random.Generator | None = 0) -> None:
+        super().__init__(n_components)
+        self.rng = as_generator(seed)
+        self._perm = self.rng.permutation(self.n_components)
+        self._pos = 0
+
+    def active_set(self, j: int) -> tuple[int, ...]:
+        if self._pos >= self.n_components:
+            self._perm = self.rng.permutation(self.n_components)
+            self._pos = 0
+        out = (int(self._perm[self._pos]),)
+        self._pos += 1
+        return out
+
+    def reset(self) -> None:
+        self._pos = 0

@@ -1,0 +1,56 @@
+"""Deterministic random-number helpers.
+
+Every stochastic object in the library (delay models, steering
+policies, simulator channels, synthetic datasets) accepts either a seed
+or a :class:`numpy.random.Generator`.  These helpers normalize both
+cases and derive independent child streams for parallel entities so
+that experiments are bit-reproducible regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(seed: "int | np.random.Generator | np.random.SeedSequence | None") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    ``None`` yields a fresh nondeterministic generator; an existing
+    generator is passed through unchanged (shared state, by design).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(
+    seed: "int | np.random.Generator | np.random.SeedSequence | None",
+    n: int,
+) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Used to give every simulated processor/channel its own stream so
+    that adding a processor does not perturb the others' draws.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Spawn through the generator's bit generator seed sequence when
+        # available; fall back to drawing child seeds.
+        ss = getattr(seed.bit_generator, "seed_seq", None)
+        if isinstance(ss, np.random.SeedSequence):
+            return [np.random.default_rng(child) for child in ss.spawn(n)]
+        child_seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    if isinstance(seed, np.random.SeedSequence):
+        return [np.random.default_rng(child) for child in seed.spawn(n)]
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

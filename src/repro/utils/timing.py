@@ -1,0 +1,62 @@
+"""Lightweight wall-clock instrumentation.
+
+The benchmark harness reports *simulated* time from the discrete-event
+simulator; :class:`Stopwatch` is only used to attribute real wall-clock
+cost in examples and the shared-memory backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with context-manager support.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing."""
+        if self._start is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return total elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time (stopwatch must be stopped)."""
+        if self._start is not None:
+            raise RuntimeError("cannot reset a running Stopwatch")
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently timing."""
+        return self._start is not None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

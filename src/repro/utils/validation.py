@@ -1,0 +1,115 @@
+"""Argument-validation helpers used across the library.
+
+All public entry points validate their inputs eagerly so that failures
+surface at the call site with a clear message rather than deep inside a
+vectorized kernel.  The helpers raise :class:`TypeError` or
+:class:`ValueError` with the offending parameter name embedded.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "check_finite_array",
+    "check_positive",
+    "check_positive_integer",
+    "check_probability",
+    "check_vector",
+    "check_nonnegative",
+    "check_in_range",
+]
+
+
+def check_vector(x: Any, name: str = "x", dim: int | None = None) -> np.ndarray:
+    """Coerce ``x`` to a 1-D ``float64`` array and optionally check length.
+
+    Parameters
+    ----------
+    x:
+        Array-like input.
+    name:
+        Parameter name used in error messages.
+    dim:
+        If given, the required length of the vector.
+
+    Returns
+    -------
+    numpy.ndarray
+        A 1-D ``float64`` copy (or view when already conforming).
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be a 1-D vector, got shape {arr.shape}")
+    if dim is not None and arr.shape[0] != dim:
+        raise ValueError(f"{name} must have length {dim}, got {arr.shape[0]}")
+    return arr
+
+
+def check_finite_array(x: Any, name: str = "x") -> np.ndarray:
+    """Return ``x`` as an ndarray, raising if it contains NaN or inf."""
+    arr = np.asarray(x, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is a strictly positive finite scalar."""
+    val = float(value)
+    if not np.isfinite(val) or val <= 0.0:
+        raise ValueError(f"{name} must be a positive finite scalar, got {value!r}")
+    return val
+
+
+def check_nonnegative(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is a non-negative finite scalar."""
+    val = float(value)
+    if not np.isfinite(val) or val < 0.0:
+        raise ValueError(f"{name} must be a non-negative finite scalar, got {value!r}")
+    return val
+
+
+def check_positive_integer(value: Any, name: str = "value") -> int:
+    """Validate that ``value`` is an integer >= 1 (numpy ints accepted)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    ival = int(value)
+    if ival < 1:
+        raise ValueError(f"{name} must be >= 1, got {ival}")
+    return ival
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    val = float(value)
+    if not np.isfinite(val) or val < 0.0 or val > 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return val
+
+
+def check_in_range(
+    value: float,
+    lo: float,
+    hi: float,
+    name: str = "value",
+    *,
+    lo_open: bool = False,
+    hi_open: bool = False,
+) -> float:
+    """Validate that ``value`` lies inside an interval.
+
+    ``lo_open``/``hi_open`` select open endpoints; defaults are closed.
+    """
+    val = float(value)
+    lo_ok = val > lo if lo_open else val >= lo
+    hi_ok = val < hi if hi_open else val <= hi
+    if not (np.isfinite(val) and lo_ok and hi_ok):
+        lb = "(" if lo_open else "["
+        rb = ")" if hi_open else "]"
+        raise ValueError(f"{name} must lie in {lb}{lo}, {hi}{rb}, got {value!r}")
+    return val

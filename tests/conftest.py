@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems import (
+    make_classification,
+    make_jacobi_instance,
+    make_lasso,
+    make_logistic,
+    make_regression,
+    make_ridge,
+    random_flow_network,
+    random_quadratic,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_jacobi():
+    """A 10-dim strictly dominant Jacobi operator with known fixed point."""
+    return make_jacobi_instance(10, dominance=0.5, seed=7)
+
+
+@pytest.fixture
+def lasso_problem():
+    data = make_regression(80, 12, sparsity=0.4, noise_std=0.1, seed=3)
+    return make_lasso(data, l1=0.05, l2=0.1)
+
+
+@pytest.fixture
+def ridge_problem():
+    data = make_regression(60, 10, seed=4)
+    return make_ridge(data, l2=0.2)
+
+
+@pytest.fixture
+def logistic_problem():
+    data = make_classification(100, 8, seed=5)
+    return make_logistic(data, l2=0.3)
+
+
+@pytest.fixture
+def quadratic_problem():
+    return random_quadratic(12, condition=8.0, seed=6)
+
+
+@pytest.fixture
+def flow_network():
+    return random_flow_network(12, arc_density=0.25, seed=8)

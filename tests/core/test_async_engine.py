@@ -1,0 +1,143 @@
+"""Tests for the Definition 1 asynchronous iteration engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.async_iteration import AsyncIterationEngine
+from repro.delays.bounded import ConstantDelay, UniformRandomDelay, ZeroDelay
+from repro.delays.outoforder import ShuffledWindowDelay
+from repro.delays.unbounded import BaudetSqrtDelay
+from repro.problems import make_jacobi_instance
+from repro.steering.policies import AllComponents, CyclicSingle, RandomSubset
+
+
+class TestEngineSemantics:
+    def test_all_components_zero_delay_equals_jacobi_sweeps(self, small_jacobi):
+        """S_j = all, l = j-1 must reproduce synchronous Jacobi exactly."""
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(small_jacobi, AllComponents(n), ZeroDelay(n))
+        res = engine.run(np.zeros(n), max_iterations=5, tol=0.0, track_residuals=False)
+        x_manual = np.zeros(n)
+        for _ in range(5):
+            x_manual = small_jacobi(x_manual)
+        np.testing.assert_allclose(res.x, x_manual, atol=1e-14)
+
+    def test_cyclic_zero_delay_equals_gauss_seidel(self, small_jacobi):
+        """One component at a time with fresh data = Gauss-Seidel order."""
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(small_jacobi, CyclicSingle(n), ZeroDelay(n))
+        res = engine.run(np.zeros(n), max_iterations=n, tol=0.0, track_residuals=False)
+        x_manual = np.zeros(n)
+        for i in range(n):
+            x_manual[i] = small_jacobi.apply_block(x_manual, i)[0]
+        np.testing.assert_allclose(res.x, x_manual, atol=1e-14)
+
+    def test_constant_delay_uses_stale_values(self, small_jacobi):
+        """With delay d, iteration j must consume x(j-1-d), verified on trace."""
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(
+            small_jacobi, AllComponents(n), ConstantDelay(n, 3)
+        )
+        res = engine.run(np.zeros(n), max_iterations=10, tol=0.0, track_residuals=False)
+        labels = res.trace.labels
+        for j in range(1, 11):
+            expected = max(0, j - 1 - 3)
+            assert np.all(labels[j - 1] == expected)
+
+    def test_converges_under_unbounded_delays(self, small_jacobi):
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(
+            small_jacobi, RandomSubset(n, 0.5, seed=1), BaudetSqrtDelay(n, [0, 1])
+        )
+        res = engine.run(np.zeros(n), max_iterations=50_000, tol=1e-11)
+        assert res.converged
+        fp = small_jacobi.fixed_point()
+        assert np.max(np.abs(res.x - fp)) < 1e-9
+
+    def test_converges_under_out_of_order(self, small_jacobi):
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(
+            small_jacobi, RandomSubset(n, 0.5, seed=2), ShuffledWindowDelay(n, 10, seed=3)
+        )
+        res = engine.run(np.zeros(n), max_iterations=50_000, tol=1e-11)
+        assert res.converged
+        assert not res.trace.admissibility().monotone
+
+    def test_error_series_monotone_under_contraction_sync(self, small_jacobi):
+        """Synchronous contraction must give monotone error decay."""
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(small_jacobi, AllComponents(n), ZeroDelay(n))
+        res = engine.run(np.zeros(n), max_iterations=50, tol=0.0)
+        errs = res.trace.errors
+        assert np.all(np.diff(errs) <= 1e-14)
+
+    def test_reference_override(self, small_jacobi):
+        n = small_jacobi.n_components
+        fake_ref = np.ones(n)
+        engine = AsyncIterationEngine(
+            small_jacobi, AllComponents(n), ZeroDelay(n), reference=fake_ref
+        )
+        res = engine.run(np.zeros(n), max_iterations=1, tol=0.0)
+        assert res.trace.errors[0] == pytest.approx(small_jacobi.norm()(fake_ref))
+
+    def test_deterministic_given_seeds(self, small_jacobi):
+        n = small_jacobi.n_components
+
+        def run():
+            engine = AsyncIterationEngine(
+                small_jacobi,
+                RandomSubset(n, 0.4, seed=5),
+                UniformRandomDelay(n, 4, seed=6),
+            )
+            return engine.run(np.zeros(n), max_iterations=200, tol=0.0)
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.trace.labels, b.trace.labels)
+
+    def test_stops_at_tolerance(self, small_jacobi):
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(small_jacobi, AllComponents(n), ZeroDelay(n))
+        res = engine.run(np.zeros(n), max_iterations=100_000, tol=1e-6)
+        assert res.converged
+        assert res.iterations < 100_000
+        assert res.final_residual < 1e-6
+
+    def test_budget_exhaustion_reports_not_converged(self, small_jacobi):
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(small_jacobi, AllComponents(n), ZeroDelay(n))
+        res = engine.run(np.zeros(n), max_iterations=2, tol=1e-14)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_residual_every_skips_checks(self, small_jacobi):
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(
+            small_jacobi, AllComponents(n), ZeroDelay(n), residual_every=7
+        )
+        res = engine.run(np.zeros(n), max_iterations=100, tol=1e-8)
+        assert res.converged
+        # convergence can only be detected at multiples of 7
+        assert res.iterations % 7 == 0
+
+    def test_component_count_mismatch_rejected(self, small_jacobi):
+        n = small_jacobi.n_components
+        with pytest.raises(ValueError, match="steering"):
+            AsyncIterationEngine(small_jacobi, AllComponents(n + 1), ZeroDelay(n))
+        with pytest.raises(ValueError, match="delay"):
+            AsyncIterationEngine(small_jacobi, AllComponents(n), ZeroDelay(n + 1))
+
+    def test_meta_passthrough(self, small_jacobi):
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(small_jacobi, AllComponents(n), ZeroDelay(n))
+        res = engine.run(np.zeros(n), max_iterations=2, tol=0.0, meta={"tag": "t"})
+        assert res.trace.meta["tag"] == "t"
+
+    def test_final_error_accessor(self, small_jacobi):
+        n = small_jacobi.n_components
+        engine = AsyncIterationEngine(small_jacobi, AllComponents(n), ZeroDelay(n))
+        res = engine.run(np.zeros(n), max_iterations=30, tol=0.0)
+        fp = small_jacobi.fixed_point()
+        assert res.final_error() == pytest.approx(small_jacobi.norm()(res.x - fp))

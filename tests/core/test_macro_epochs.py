@@ -1,0 +1,196 @@
+"""Tests for macro-iteration (Definition 2) and epoch [30] sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.epochs import epoch_sequence
+from repro.core.macro import MacroSequence, macro_sequence
+from repro.core.trace import IterationTrace
+
+
+def make_trace(active_sets, labels, n, owners=None):
+    return IterationTrace(
+        n_components=n,
+        active_sets=tuple(tuple(s) for s in active_sets),
+        labels=np.asarray(labels, dtype=np.int64),
+        owners=None if owners is None else np.asarray(owners, dtype=np.int64),
+    )
+
+
+class TestMacroByHand:
+    def test_round_robin_fresh_data(self):
+        """Cyclic updates with fresh labels: one macro step per n iterations."""
+        n = 3
+        active = [(j % n,) for j in range(6)]
+        labels = np.array([[j, j, j] for j in range(6)])  # l(j+1)=j fresh
+        t = make_trace(active, labels, n)
+        ms = macro_sequence(t)
+        np.testing.assert_array_equal(ms.labels, [0, 3, 6])
+
+    def test_stale_update_does_not_count(self):
+        """An update using pre-macro-start data must not advance coverage."""
+        n = 2
+        # iteration 1: comp0 with labels (0,0) -> counts toward step 1
+        # iteration 2: comp1 but with label l=0... l(2)=0 >= j_0=0 counts.
+        active = [(0,), (1,)]
+        labels = np.array([[0, 0], [0, 0]])
+        t = make_trace(active, labels, n)
+        assert macro_sequence(t).labels.tolist() == [0, 2]
+        # second macro step: iteration 3 uses labels (1,1) >= j_1=2? No:
+        # l(3)=1 < 2 so it must NOT count; coverage needs iterations with
+        # l >= 2.
+        active = [(0,), (1,), (0,), (1,), (0,)]
+        labels = np.array([[0, 0], [0, 0], [1, 1], [3, 3], [4, 4]])
+        t = make_trace(active, labels, n)
+        ms = macro_sequence(t)
+        # step 1 completes at 2. Then iteration 3 (l=1<2) ignored;
+        # iteration 4 covers comp1 (l=3>=2), iteration 5 covers comp0 -> 5.
+        np.testing.assert_array_equal(ms.labels, [0, 2, 5])
+
+    def test_empty_trace(self):
+        t = make_trace([], np.zeros((0, 2)), 2)
+        ms = macro_sequence(t)
+        np.testing.assert_array_equal(ms.labels, [0])
+        assert ms.count == 0
+
+    def test_incomplete_final_step_not_counted(self):
+        n = 2
+        active = [(0,)] * 5  # comp 1 never updated
+        labels = np.array([[j, j] for j in range(5)])
+        ms = macro_sequence(make_trace(active, labels, n))
+        assert ms.count == 0
+
+
+class TestMacroGuarantee:
+    """The defining property: every j >= j_{k+1} uses data >= j_k."""
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_macro_guarantee_on_random_traces(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        J = 120
+        active, labels = [], []
+        for j in range(1, J + 1):
+            k = int(rng.integers(1, n + 1))
+            active.append(tuple(int(i) for i in rng.choice(n, size=k, replace=False)))
+            labels.append(rng.integers(max(0, j - 8), j, size=n))
+        t = make_trace(active, np.stack(labels), n)
+        ms = macro_sequence(t)
+        # Check the Definition 2 consequence on realized macro labels:
+        # for each k >= 1 the union of S_r over j_k-valid r up to j_{k+1}
+        # covers all components.
+        l_min = t.labels.min(axis=1)
+        for k in range(ms.count):
+            j_k, j_k1 = int(ms.labels[k]), int(ms.labels[k + 1])
+            covered = set()
+            for r in range(j_k + 1, j_k1 + 1):
+                if l_min[r - 1] >= j_k:
+                    covered.update(t.active_sets[r - 1])
+            assert covered == set(range(n)), f"macro step {k} not covered"
+            # minimality: coverage must NOT be complete one iteration earlier
+            covered_early = set()
+            for r in range(j_k + 1, j_k1):
+                if l_min[r - 1] >= j_k:
+                    covered_early.update(t.active_sets[r - 1])
+            assert covered_early != set(range(n)), f"macro step {k} not minimal"
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_index_of_iteration_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 3
+        J = 80
+        active = [tuple({int(rng.integers(0, n))}) for _ in range(J)]
+        labels = np.stack(
+            [rng.integers(max(0, j - 5), j, size=n) for j in range(1, J + 1)]
+        )
+        ms = macro_sequence(make_trace(active, labels, n))
+        for j in [0, 1, J // 2, J]:
+            k = ms.index_of_iteration(j)
+            assert ms.labels[k] <= j
+            if k + 1 < ms.labels.size:
+                assert j < ms.labels[k + 1]
+
+
+class TestMacroSequenceObject:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MacroSequence(np.array([1, 2]), 5)  # must start at 0
+        with pytest.raises(ValueError):
+            MacroSequence(np.array([0, 3, 3]), 5)  # strictly increasing
+
+    def test_lengths(self):
+        ms = MacroSequence(np.array([0, 4, 10]), 12)
+        np.testing.assert_array_equal(ms.lengths(), [4, 6])
+
+    def test_index_of_negative_rejected(self):
+        ms = MacroSequence(np.array([0, 2]), 4)
+        with pytest.raises(ValueError):
+            ms.index_of_iteration(-1)
+
+
+class TestEpochs:
+    def test_two_updates_per_machine(self):
+        """k_{m+1} is the first k where every machine made >= 2 updates."""
+        n = 2
+        active = [(0,), (0,), (1,), (1,), (0,), (1,), (0,), (1,)]
+        labels = np.stack([np.full(n, j) for j in range(8)])
+        es = epoch_sequence(make_trace(active, labels, n))
+        # epoch 1 completes at iteration 4 (both machines twice)
+        assert es.labels[1] == 4
+        # epoch 2: needs 2 more each: 5,6,7,8 -> completes at 8
+        assert es.labels[2] == 8
+
+    def test_owners_group_components_into_machines(self):
+        n = 4
+        owners = [0, 0, 1, 1]
+        # machine 0 via comps {0,1}, machine 1 via comps {2,3}
+        active = [(0,), (1,), (2,), (3,)]
+        labels = np.stack([np.full(n, j) for j in range(4)])
+        es = epoch_sequence(make_trace(active, labels, n, owners=owners))
+        assert es.n_machines == 2
+        assert es.labels[1] == 4
+
+    def test_min_updates_one(self):
+        n = 2
+        active = [(0,), (1,), (0,), (1,)]
+        labels = np.stack([np.full(n, j) for j in range(4)])
+        es = epoch_sequence(make_trace(active, labels, n), min_updates=1)
+        np.testing.assert_array_equal(es.labels, [0, 2, 4])
+
+    def test_epochs_ignore_labels_entirely(self):
+        """Identical steering with wildly different labels -> same epochs.
+
+        This is the structural point of Section IV: epochs cannot see
+        out-of-order data usage; macro-iterations can.
+        """
+        n = 2
+        active = [(0,), (1,)] * 6
+        fresh = np.stack([np.full(n, j) for j in range(12)])
+        stale = np.zeros((12, n), dtype=np.int64)  # always label 0
+        t_fresh = make_trace(active, fresh, n)
+        t_stale = make_trace(active, stale, n)
+        es_fresh = epoch_sequence(t_fresh)
+        es_stale = epoch_sequence(t_stale)
+        np.testing.assert_array_equal(es_fresh.labels, es_stale.labels)
+        # but macro-iterations differ drastically
+        assert macro_sequence(t_fresh).count > macro_sequence(t_stale).count
+
+    def test_min_updates_validation(self):
+        t = make_trace([(0,)], np.zeros((1, 1)), 1)
+        with pytest.raises(ValueError):
+            epoch_sequence(t, min_updates=0)
+
+    def test_index_of_iteration(self):
+        n = 1
+        active = [(0,)] * 6
+        labels = np.stack([np.full(n, j) for j in range(6)])
+        es = epoch_sequence(make_trace(active, labels, n))
+        assert es.index_of_iteration(0) == 0
+        assert es.index_of_iteration(2) == 1
+        assert es.index_of_iteration(5) == 2

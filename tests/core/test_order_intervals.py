@@ -1,0 +1,116 @@
+"""Tests for order-interval (bracketing) asynchronous iterations [23]."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.order_intervals import OrderIntervalEngine
+from repro.delays.bounded import UniformRandomDelay, ZeroDelay
+from repro.delays.outoforder import ShuffledWindowDelay
+from repro.operators.monotone import MinPlusBellmanFordOperator
+from repro.problems.obstacle import make_obstacle_problem
+from repro.steering.policies import CyclicSingle, PermutationSweeps
+
+
+@pytest.fixture
+def bellman_op():
+    W = np.full((5, 5), np.inf)
+    for i in range(4):
+        W[i + 1, i] = 1.0
+    W[4, 0] = 3.5
+    return MinPlusBellmanFordOperator(W, 0)
+
+
+@pytest.fixture
+def obstacle_op():
+    prob = make_obstacle_problem(5, 5, seed=1)
+    return prob.projected_jacobi_operator()
+
+
+class TestBracketing:
+    def test_encloses_and_converges_bellman(self, bellman_op):
+        fp = bellman_op.fixed_point()
+        lo = np.zeros(5)
+        hi = fp + 10.0
+        hi[0] = 0.0
+        eng = OrderIntervalEngine(
+            bellman_op, PermutationSweeps(5, seed=1), UniformRandomDelay(5, 3, seed=2)
+        )
+        res = eng.run(lo, hi, tol=1e-12)
+        assert res.converged
+        assert res.enclosure_ok
+        assert res.contains(fp)
+        np.testing.assert_allclose(res.lower, fp, atol=1e-10)
+        np.testing.assert_allclose(res.upper, fp, atol=1e-10)
+
+    def test_monotone_invariant_with_monotone_labels(self, bellman_op):
+        """With fresh (monotone) labels the endpoint runs are monotone."""
+        fp = bellman_op.fixed_point()
+        hi = fp + 5.0
+        hi[0] = 0.0
+        eng = OrderIntervalEngine(bellman_op, CyclicSingle(5), ZeroDelay(5))
+        res = eng.run(np.zeros(5), hi, tol=1e-12)
+        assert res.monotone_ok
+        assert res.enclosure_ok
+
+    def test_enclosure_under_out_of_order(self, obstacle_op):
+        n = obstacle_op.dim
+        lo = np.full(n, -10.0)
+        hi = np.full(n, 10.0)
+        eng = OrderIntervalEngine(
+            obstacle_op,
+            PermutationSweeps(n, seed=3),
+            ShuffledWindowDelay(n, 10, seed=4),
+        )
+        res = eng.run(lo, hi, tol=1e-9, max_iterations=300_000)
+        assert res.converged
+        assert res.enclosure_ok
+        assert res.contains(obstacle_op.fixed_point())
+
+    def test_widths_reach_tolerance(self, obstacle_op):
+        n = obstacle_op.dim
+        eng = OrderIntervalEngine(
+            obstacle_op, PermutationSweeps(n, seed=5), UniformRandomDelay(n, 3, seed=6)
+        )
+        res = eng.run(np.full(n, -10.0), np.full(n, 10.0), tol=1e-8, max_iterations=300_000)
+        assert res.widths[0] == pytest.approx(20.0)
+        assert res.widths[-1] < 1e-8
+        # width is a *verified* error bound: true solution within width
+        fp = obstacle_op.fixed_point()
+        assert np.max(np.abs(res.lower - fp)) <= res.widths[-1] + 1e-12
+
+    def test_bracket_hypotheses_checked(self, obstacle_op):
+        n = obstacle_op.dim
+        eng = OrderIntervalEngine(
+            obstacle_op, CyclicSingle(n), ZeroDelay(n)
+        )
+        # upper bound far below the solution is not a super-solution
+        with pytest.raises(ValueError, match="super-solution"):
+            eng.run(np.full(n, -10.0), np.full(n, -9.0), tol=1e-8)
+        # order violated
+        with pytest.raises(ValueError, match="lower0 <= upper0"):
+            eng.run(np.full(n, 1.0), np.full(n, 0.0), tol=1e-8)
+
+    def test_bracket_check_can_be_skipped(self, obstacle_op):
+        n = obstacle_op.dim
+        eng = OrderIntervalEngine(obstacle_op, CyclicSingle(n), ZeroDelay(n))
+        res = eng.run(
+            np.full(n, -0.01),
+            np.full(n, 0.01),
+            tol=1e-8,
+            max_iterations=100_000,
+            require_bracket=False,
+        )
+        assert res.iterations >= 0  # runs without the hypothesis check
+
+    def test_component_mismatch_rejected(self, bellman_op):
+        with pytest.raises(ValueError):
+            OrderIntervalEngine(bellman_op, CyclicSingle(6), ZeroDelay(5))
+
+    def test_already_tight_interval(self, bellman_op):
+        fp = bellman_op.fixed_point()
+        eng = OrderIntervalEngine(bellman_op, CyclicSingle(5), ZeroDelay(5))
+        res = eng.run(fp, fp, tol=1e-8)
+        assert res.converged
+        assert res.iterations == 0

@@ -1,0 +1,91 @@
+"""Tests for the admissibility checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.delays.admissibility import check_admissibility
+
+
+def _simple_trace(J: int, n: int, delay: int = 0):
+    """Round-robin steering with constant delay."""
+    active = [((j - 1) % n,) for j in range(1, J + 1)]
+    labels = np.zeros((J, n), dtype=np.int64)
+    for j in range(1, J + 1):
+        labels[j - 1] = max(0, j - 1 - delay)
+    return active, labels
+
+
+class TestCheckAdmissibility:
+    def test_clean_trace_passes(self):
+        active, labels = _simple_trace(30, 3)
+        rep = check_admissibility(active, labels, 3)
+        assert rep.condition_a
+        assert rep.plausibly_admissible
+        assert rep.max_delay == 0
+        assert rep.monotone
+
+    def test_condition_a_violation_detected(self):
+        active, labels = _simple_trace(10, 2)
+        labels[4, 0] = 10  # label from the future
+        rep = check_admissibility(active, labels, 2)
+        assert not rep.condition_a
+
+    def test_max_delay_reported(self):
+        active, labels = _simple_trace(50, 2, delay=7)
+        rep = check_admissibility(active, labels, 2)
+        assert rep.max_delay == 7
+
+    def test_abandoned_component_detected(self):
+        # component 1 never updated
+        active = [(0,)] * 40
+        labels = np.zeros((40, 2), dtype=np.int64)
+        for j in range(1, 41):
+            labels[j - 1] = j - 1
+        rep = check_admissibility(active, labels, 2)
+        assert not rep.updated_in_final_window
+        assert not rep.plausibly_admissible
+
+    def test_update_gaps(self):
+        # comp 0 every iteration, comp 1 every 5th
+        active = [(0, 1) if j % 5 == 0 else (0,) for j in range(1, 21)]
+        labels = np.zeros((20, 2), dtype=np.int64)
+        for j in range(1, 21):
+            labels[j - 1] = j - 1
+        rep = check_admissibility(active, labels, 2)
+        assert rep.max_update_gap[0] == 1
+        assert rep.max_update_gap[1] == 5
+
+    def test_non_monotone_flagged(self):
+        active, labels = _simple_trace(10, 2)
+        labels[5, 0] = 1
+        labels[4, 0] = 3
+        rep = check_admissibility(active, labels, 2)
+        assert not rep.monotone
+        assert rep.condition_a  # reordering alone doesn't break (a)
+
+    def test_tail_min_growth(self):
+        active, labels = _simple_trace(100, 2, delay=3)
+        rep = check_admissibility(active, labels, 2)
+        assert np.all(rep.tail_min_labels >= 100 // 2 - 4)
+
+    def test_empty_trace(self):
+        rep = check_admissibility([], np.zeros((0, 3), dtype=np.int64), 3)
+        assert rep.plausibly_admissible
+
+    def test_empty_active_set_rejected(self):
+        labels = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="nonempty"):
+            check_admissibility([()], labels, 2)
+
+    def test_component_out_of_range_rejected(self):
+        labels = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(IndexError):
+            check_admissibility([(5,)], labels, 2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            check_admissibility([(0,)], np.zeros((2, 2), dtype=np.int64), 2)
+        with pytest.raises(ValueError):
+            check_admissibility([(0,)], np.zeros((1, 3), dtype=np.int64), 2)

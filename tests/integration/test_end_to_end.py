@@ -1,0 +1,208 @@
+"""Integration tests crossing module boundaries.
+
+These exercise the claims the benchmarks quantify, at assertion level:
+Theorem 1 on simulated hardware, simulator-vs-engine consistency, the
+macro-vs-epoch gap under reordering, termination detection on live
+runs, and the Baudet sqrt(j) example end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_macro_epoch
+from repro.analysis.rates import time_to_tolerance
+from repro.core.convergence import theorem1_certificate
+from repro.core.macro import macro_sequence
+from repro.core.termination import MacroTerminationDetector
+from repro.operators.prox_gradient import ProxGradientOperator
+from repro.problems import (
+    make_lasso,
+    make_jacobi_instance,
+    make_regression,
+)
+from repro.runtime.simulator import (
+    ChannelSpec,
+    ConstantTime,
+    DistributedSimulator,
+    LinearGrowthTime,
+    ProcessorSpec,
+    UniformTime,
+)
+from repro.utils.norms import BlockSpec
+
+
+class TestTheorem1OnSimulatedHardware:
+    """Theorem 1 must hold on traces produced by the machine simulator."""
+
+    def test_flexible_prox_gradient_on_simulator(self):
+        data = make_regression(60, 8, sparsity=0.4, seed=1)
+        prob = make_lasso(data, l1=0.05, l2=0.15)
+        gamma = prob.smooth.max_step()
+        spec = BlockSpec.uniform(8, 4)
+        op = ProxGradientOperator(prob, gamma, spec)
+        procs = [
+            ProcessorSpec(
+                components=(i,),
+                compute_time=UniformTime(0.5, 1.5 + i),
+                inner_steps=2,
+                publish_partials=True,
+                refresh_reads=True,
+            )
+            for i in range(4)
+        ]
+        sim = DistributedSimulator(
+            op,
+            procs,
+            channels=ChannelSpec(latency=UniformTime(0.05, 0.5), fifo=False),
+            seed=2,
+        )
+        res = sim.run(np.zeros(8), max_iterations=4000, tol=1e-11, residual_every=5)
+        assert res.converged
+        ms = macro_sequence(res.trace)
+        assert ms.count > 3
+        cert = theorem1_certificate(res.trace, ms, op.rho)
+        assert cert.satisfied
+        assert cert.empirical_rate <= (1 - op.rho) + 1e-9
+
+
+class TestSimulatorEngineConsistency:
+    def test_both_reach_same_fixed_point(self, small_jacobi):
+        from repro.core.async_iteration import AsyncIterationEngine
+        from repro.delays.bounded import UniformRandomDelay
+        from repro.steering.policies import PermutationSweeps
+
+        n = small_jacobi.n_components
+        eng = AsyncIterationEngine(
+            small_jacobi,
+            PermutationSweeps(n, seed=1),
+            UniformRandomDelay(n, 5, seed=2),
+        )
+        r1 = eng.run(np.zeros(n), max_iterations=100_000, tol=1e-12)
+        procs = [
+            ProcessorSpec(components=(i,), compute_time=UniformTime(0.5, 2.0))
+            for i in range(n)
+        ]
+        sim = DistributedSimulator(
+            small_jacobi,
+            procs,
+            channels=ChannelSpec(latency=UniformTime(0.05, 0.3), fifo=False),
+            seed=3,
+        )
+        r2 = sim.run(np.zeros(n), max_iterations=100_000, tol=1e-12, residual_every=10)
+        assert r1.converged and r2.converged
+        np.testing.assert_allclose(r1.x, r2.x, atol=1e-9)
+
+
+class TestBaudetExample:
+    """P1 unit speed, P2 k-th phase takes k units: delay grows as sqrt(j)."""
+
+    def test_sqrt_growth_of_realized_delay(self):
+        op = make_jacobi_instance(2, dominance=0.5, seed=4)
+        procs = [
+            ProcessorSpec(components=(0,), compute_time=ConstantTime(1.0)),
+            ProcessorSpec(components=(1,), compute_time=LinearGrowthTime(1.0)),
+        ]
+        sim = DistributedSimulator(
+            op, procs, channels=ChannelSpec(latency=ConstantTime(1e-6)), seed=5
+        )
+        res = sim.run(np.zeros(2), max_iterations=6000, tol=0.0)
+        delays = res.trace.delays()
+        # Updates by P1 read x_2 with staleness ~ sqrt(2j) (P2 finished
+        # its k-th phase at time k(k+1)/2 ~ j ~ t, so k ~ sqrt(2t)).
+        J = res.trace.n_iterations
+        tail = delays[int(0.9 * J) :, 1]
+        ratio = tail.max() / np.sqrt(2 * J)
+        assert 0.5 < ratio < 2.0, f"delay/sqrt(2J) ratio {ratio}"
+        # and the labels still diverge (condition (b))
+        adm = res.trace.admissibility()
+        assert adm.condition_a
+        assert adm.tail_min_labels.min() > J // 4
+
+
+class TestMacroEpochGapUnderReordering:
+    def test_overwrite_channels_shrink_macro_count(self, small_jacobi):
+        n = small_jacobi.n_components
+        procs = [
+            ProcessorSpec(components=(i,), compute_time=UniformTime(0.5, 1.5))
+            for i in range(n)
+        ]
+
+        def run(apply: str, fifo: bool):
+            sim = DistributedSimulator(
+                small_jacobi,
+                procs,
+                channels=ChannelSpec(
+                    latency=UniformTime(0.05, 2.0), fifo=fifo, apply=apply
+                ),
+                seed=6,
+            )
+            return sim.run(np.zeros(n), max_iterations=1200, tol=0.0)
+
+        ordered = compare_macro_epoch(run("latest_label", True).trace)
+        reordered = compare_macro_epoch(run("overwrite", False).trace)
+        assert not reordered.monotone_labels
+        # epochs barely notice; macro-iterations certify less progress
+        assert reordered.macro_per_epoch <= ordered.macro_per_epoch
+
+
+class TestTerminationOnLiveRun:
+    def test_detector_fires_and_error_is_small(self, small_jacobi):
+        from repro.core.history import VectorHistory
+        from repro.delays.bounded import UniformRandomDelay
+        from repro.steering.policies import PermutationSweeps
+
+        n = small_jacobi.n_components
+        q = small_jacobi.contraction_factor()
+        eps = 1e-8
+        det = MacroTerminationDetector(n, eps=eps, q=q)
+        spec = small_jacobi.block_spec
+        hist = VectorHistory(np.zeros(n), spec)
+        steering = PermutationSweeps(n, seed=7)
+        delays = UniformRandomDelay(n, 3, seed=8)
+        fired_at = None
+        for j in range(1, 100_000):
+            S = steering.active_set(j)
+            labels = delays.labels(j)
+            delayed = hist.assemble(labels)
+            updates = {}
+            disp = 0.0
+            for i in S:
+                new = small_jacobi.apply_block(delayed, i)
+                disp = max(disp, float(np.max(np.abs(new - hist.current[spec.slice(i)]))))
+                updates[i] = new
+            hist.commit(j, updates)
+            if det.observe(j, S, labels, disp):
+                fired_at = j
+                break
+        assert fired_at is not None
+        fp = small_jacobi.fixed_point()
+        err = float(np.max(np.abs(hist.current - fp)))
+        # guarantee: err <= eps / (1 - q) (up to weighted-norm slack)
+        assert err <= 100 * det.report().guaranteed_error
+
+
+class TestPublicAPI:
+    def test_top_level_imports(self):
+        import repro
+        import repro.analysis
+        import repro.core
+        import repro.delays
+        import repro.operators
+        import repro.problems
+        import repro.runtime
+        import repro.solvers
+        import repro.steering
+        import repro.utils
+
+        assert repro.__version__
+
+    def test_docstring_quickstart_runs(self):
+        from repro.problems import make_regression, make_lasso
+        from repro.solvers import FlexibleAsyncSolver
+
+        data = make_regression(200, 50, sparsity=0.5, seed=0)
+        problem = make_lasso(data)
+        result = FlexibleAsyncSolver(seed=1).solve(problem, tol=1e-8)
+        assert result.converged

@@ -1,0 +1,146 @@
+"""Failure injection: hostile machines must not break convergence.
+
+The paper argues (Section II) that lack of synchronization buys
+fault tolerance: "transient faults in data exchange are covered by the
+arrival of new messages or data."  These tests inject message loss,
+extreme reordering, stalls and crash-like slowdowns and assert the
+iterations still converge — or fail loudly where they must.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems import make_jacobi_instance
+from repro.runtime.simulator import (
+    ChannelSpec,
+    ConstantTime,
+    DistributedSimulator,
+    LinearGrowthTime,
+    ProcessorSpec,
+    UniformTime,
+)
+
+
+@pytest.fixture
+def op8():
+    return make_jacobi_instance(8, dominance=0.4, seed=1)
+
+
+def two_procs(op, **kw):
+    return [
+        ProcessorSpec(components=(0, 1, 2, 3), **kw),
+        ProcessorSpec(components=(4, 5, 6, 7), **kw),
+    ]
+
+
+class TestMessageLoss:
+    @pytest.mark.parametrize("drop", [0.2, 0.5, 0.8])
+    def test_convergence_under_heavy_loss(self, op8, drop):
+        sim = DistributedSimulator(
+            op8,
+            two_procs(op8),
+            channels=ChannelSpec(latency=ConstantTime(0.1), drop_prob=drop),
+            seed=2,
+        )
+        res = sim.run(np.zeros(8), max_iterations=30_000, tol=1e-10, residual_every=10)
+        assert res.converged, f"failed to converge at drop={drop}"
+        assert res.stats["messages_dropped"] > 0
+
+    def test_loss_costs_iterations(self, op8):
+        def iters(drop):
+            sim = DistributedSimulator(
+                op8,
+                two_procs(op8),
+                channels=ChannelSpec(latency=ConstantTime(0.1), drop_prob=drop),
+                seed=3,
+            )
+            res = sim.run(
+                np.zeros(8), max_iterations=50_000, tol=1e-10, residual_every=10
+            )
+            assert res.converged
+            return res.trace.n_iterations
+
+        assert iters(0.8) > iters(0.0)
+
+
+class TestExtremeReordering:
+    def test_untagged_wan_converges(self, op8):
+        sim = DistributedSimulator(
+            op8,
+            two_procs(op8, compute_time=UniformTime(0.2, 1.0)),
+            channels=ChannelSpec(
+                latency=UniformTime(0.01, 5.0),
+                fifo=False,
+                drop_prob=0.1,
+                apply="overwrite",
+            ),
+            seed=4,
+        )
+        res = sim.run(np.zeros(8), max_iterations=60_000, tol=1e-9, residual_every=20)
+        assert res.converged
+        assert not res.trace.admissibility().monotone
+
+
+class TestStallsAndCrawls:
+    def test_one_processor_crawling_forever(self, op8):
+        """A Baudet-style ever-slowing processor: still converges."""
+        procs = [
+            ProcessorSpec(components=(0, 1, 2, 3), compute_time=ConstantTime(0.5)),
+            ProcessorSpec(components=(4, 5, 6, 7), compute_time=LinearGrowthTime(0.5)),
+        ]
+        sim = DistributedSimulator(
+            op8, procs, channels=ChannelSpec(latency=ConstantTime(0.05)), seed=5
+        )
+        res = sim.run(np.zeros(8), max_iterations=100_000, tol=1e-9, residual_every=20)
+        assert res.converged
+
+    def test_long_think_time_stall(self, op8):
+        """A processor that stalls between phases (GC pause / preemption)."""
+        procs = [
+            ProcessorSpec(components=(0, 1, 2, 3), compute_time=ConstantTime(0.5)),
+            ProcessorSpec(
+                components=(4, 5, 6, 7),
+                compute_time=ConstantTime(0.5),
+                think_time=UniformTime(5.0, 20.0),
+            ),
+        ]
+        sim = DistributedSimulator(
+            op8, procs, channels=ChannelSpec(latency=ConstantTime(0.05)), seed=6
+        )
+        res = sim.run(np.zeros(8), max_iterations=50_000, tol=1e-9, residual_every=10)
+        assert res.converged
+        counts = res.updates_per_processor()
+        assert counts[0] > 3 * counts[1]
+
+
+class TestEngineFailureModes:
+    def test_non_contracting_operator_does_not_converge(self):
+        """A spectral-radius > 1 map must exhaust the budget, not 'converge'."""
+        from repro.core.async_iteration import AsyncIterationEngine
+        from repro.delays.bounded import ZeroDelay
+        from repro.operators.linear import AffineOperator
+        from repro.steering.policies import AllComponents
+
+        op = AffineOperator(1.2 * np.eye(4), np.ones(4))
+        engine = AsyncIterationEngine(op, AllComponents(4), ZeroDelay(4))
+        res = engine.run(np.zeros(4), max_iterations=200, tol=1e-10)
+        assert not res.converged
+        assert res.final_residual > 1.0
+
+    def test_starved_component_detected_by_admissibility(self, op8):
+        """A steering policy that abandons a component is caught."""
+        from repro.core.async_iteration import AsyncIterationEngine
+        from repro.delays.bounded import ZeroDelay
+        from repro.steering.base import SteeringPolicy
+
+        class Starving(SteeringPolicy):
+            def active_set(self, j):
+                return (j % 7,)  # never touches component 7
+
+        engine = AsyncIterationEngine(op8, Starving(8), ZeroDelay(8))
+        res = engine.run(np.zeros(8), max_iterations=500, tol=1e-12)
+        assert not res.converged
+        rep = res.trace.admissibility()
+        assert not rep.updated_in_final_window

@@ -1,0 +1,183 @@
+"""Differential tests: optimized code vs naive reference implementations.
+
+Each core data structure / algorithm is re-implemented here in the
+dumbest possible way and compared against the library on random inputs
+(hypothesis).  This is the strongest guard against index/off-by-one
+bugs in the label bookkeeping that everything else rides on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.history import VectorHistory
+from repro.core.macro import macro_sequence
+from repro.core.epochs import epoch_sequence
+from repro.core.trace import IterationTrace
+from repro.utils.norms import BlockSpec
+
+
+class NaiveHistory:
+    """Reference: store the full iterate at every label."""
+
+    def __init__(self, x0: np.ndarray) -> None:
+        self.snapshots = [x0.copy()]
+
+    def commit(self, updates: dict[int, float]) -> None:
+        x = self.snapshots[-1].copy()
+        for i, v in updates.items():
+            x[i] = v
+        self.snapshots.append(x)
+
+    def component_at(self, i: int, label: int) -> float:
+        return float(self.snapshots[label][i])
+
+
+@st.composite
+def update_schedules(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    J = draw(st.integers(min_value=1, max_value=40))
+    schedule = []
+    for _ in range(J):
+        k = draw(st.integers(min_value=1, max_value=n))
+        comps = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        values = draw(
+            st.lists(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=k,
+                max_size=k,
+            )
+        )
+        schedule.append(dict(zip(comps, values)))
+    return n, schedule
+
+
+class TestHistoryVsNaive:
+    @given(data=update_schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_component_lookup_matches(self, data):
+        n, schedule = data
+        x0 = np.zeros(n)
+        fast = VectorHistory(x0, BlockSpec.scalar(n))
+        naive = NaiveHistory(x0)
+        for j, updates in enumerate(schedule, start=1):
+            fast.commit(j, {i: np.array([v]) for i, v in updates.items()})
+            naive.commit(updates)
+        J = len(schedule)
+        for label in range(J + 1):
+            for i in range(n):
+                assert fast.component_at(i, label)[0] == naive.component_at(i, label)
+
+    @given(data=update_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_assemble_matches(self, data):
+        n, schedule = data
+        rng = np.random.default_rng(0)
+        fast = VectorHistory(np.zeros(n), BlockSpec.scalar(n))
+        naive = NaiveHistory(np.zeros(n))
+        for j, updates in enumerate(schedule, start=1):
+            fast.commit(j, {i: np.array([v]) for i, v in updates.items()})
+            naive.commit(updates)
+        J = len(schedule)
+        labels = rng.integers(0, J + 1, size=n)
+        got = fast.assemble(labels)
+        want = np.array([naive.component_at(i, int(labels[i])) for i in range(n)])
+        np.testing.assert_array_equal(got, want)
+
+
+def naive_macro_sequence(active_sets, labels, n):
+    """Definition 2 implemented literally (O(J^2))."""
+    J = len(active_sets)
+    l = [int(np.min(labels[r - 1])) for r in range(1, J + 1)]
+    macro = [0]
+    while True:
+        j_k = macro[-1]
+        found = None
+        for j in range(1, J + 1):
+            covered = set()
+            for r in range(1, j + 1):
+                if j_k <= l[r - 1] <= r <= j:
+                    covered.update(active_sets[r - 1])
+            if covered == set(range(n)):
+                found = j
+                break
+        if found is None or found <= j_k:
+            # Definition 2's min over j: the union condition is monotone
+            # in j, so found > j_k whenever it exists; stop otherwise.
+            if found is None:
+                break
+            break
+        macro.append(found)
+    return macro
+
+
+class TestMacroVsNaive:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_macro_matches_literal_definition(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        J = int(rng.integers(5, 60))
+        active, labels = [], []
+        for j in range(1, J + 1):
+            k = int(rng.integers(1, n + 1))
+            active.append(tuple(int(i) for i in rng.choice(n, size=k, replace=False)))
+            labels.append(rng.integers(max(0, j - 6), j, size=n))
+        trace = IterationTrace(
+            n_components=n,
+            active_sets=tuple(active),
+            labels=np.stack(labels),
+        )
+        fast = macro_sequence(trace).labels.tolist()
+        naive = naive_macro_sequence(active, np.stack(labels), n)
+        assert fast == naive
+
+
+def naive_epochs(active_sets, owners, J, min_updates=2):
+    """[30]'s epoch construction implemented literally."""
+    machines = sorted(set(owners))
+    labels = [0]
+    counts = {m: 0 for m in machines}
+    for r in range(1, J + 1):
+        touched = {owners[i] for i in active_sets[r - 1]}
+        for m in touched:
+            counts[m] += 1
+        if all(c >= min_updates for c in counts.values()):
+            labels.append(r)
+            counts = {m: 0 for m in machines}
+    return labels
+
+
+class TestEpochsVsNaive:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_epochs_match_literal_definition(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        n_machines = int(rng.integers(1, n + 1))
+        owners = rng.integers(0, n_machines, size=n)
+        J = int(rng.integers(5, 60))
+        active = []
+        for _ in range(J):
+            k = int(rng.integers(1, n + 1))
+            active.append(tuple(int(i) for i in rng.choice(n, size=k, replace=False)))
+        labels = np.stack([np.full(n, j - 1) for j in range(1, J + 1)])
+        trace = IterationTrace(
+            n_components=n,
+            active_sets=tuple(active),
+            labels=labels,
+            owners=owners,
+        )
+        fast = epoch_sequence(trace).labels.tolist()
+        naive = naive_epochs(active, list(owners), J)
+        assert fast == naive

@@ -1,0 +1,61 @@
+"""Cross-checks between the experiment registry, benchmarks/ and docs."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, benchmarks_dir, experiment_ids
+from repro.__main__ import main
+
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_every_registered_bench_exists(self):
+        bdir = benchmarks_dir()
+        for e in EXPERIMENTS:
+            assert (bdir / e.bench_module).is_file(), e.bench_module
+
+    def test_every_bench_file_is_registered(self):
+        bdir = benchmarks_dir()
+        on_disk = {p.name for p in bdir.glob("bench_*.py")}
+        registered = {e.bench_module for e in EXPERIMENTS}
+        assert on_disk == registered
+
+    def test_ids_unique(self):
+        ids = experiment_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_design_md_mentions_every_bench(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for e in EXPERIMENTS:
+            assert e.bench_module in design, f"{e.bench_module} missing from DESIGN.md"
+
+    def test_experiments_md_covers_every_id(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for e in EXPERIMENTS:
+            assert e.bench_module in text or e.exp_id in text, e.exp_id
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "IPDPSW 2022" in out
+
+    def test_default_is_info(self, capsys):
+        assert main([]) == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for e in EXPERIMENTS:
+            assert e.exp_id in out
+
+    def test_run_unknown_id(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,211 @@
+"""Tests for inner-iteration, noise, Newton and monotone operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.operators.approximate import AdditiveNoiseOperator, InnerIterationOperator
+from repro.operators.base import DampedOperator
+from repro.operators.monotone import (
+    MinPlusBellmanFordOperator,
+    ProjectedAffineOperator,
+    is_isotone_sample,
+)
+from repro.operators.newton import ModifiedNewtonOperator
+from repro.problems import make_jacobi_instance, random_quadratic
+from repro.problems.base import CompositeProblem
+from repro.utils.norms import BlockSpec
+
+
+class TestInnerIterationOperator:
+    def test_apply_is_power_of_base(self, small_jacobi):
+        op = InnerIterationOperator(small_jacobi, 3)
+        x = np.ones(small_jacobi.dim)
+        expected = small_jacobi(small_jacobi(small_jacobi(x)))
+        np.testing.assert_allclose(op(x), expected)
+
+    def test_contraction_factor_compounds(self, small_jacobi):
+        q = small_jacobi.contraction_factor()
+        op = InnerIterationOperator(small_jacobi, 4)
+        assert op.contraction_factor() == pytest.approx(q**4)
+
+    def test_same_fixed_point(self, small_jacobi):
+        op = InnerIterationOperator(small_jacobi, 5)
+        np.testing.assert_allclose(op.fixed_point(), small_jacobi.fixed_point())
+
+    def test_inner_trajectory_length_and_final(self, small_jacobi):
+        op = InnerIterationOperator(small_jacobi, 4)
+        x = np.zeros(small_jacobi.dim)
+        traj = op.inner_trajectory(x, 2)
+        assert len(traj) == 4
+        np.testing.assert_allclose(traj[-1], op.apply_block(x, 2))
+
+    def test_inner_trajectory_converges_toward_block_fixed_point(self, small_jacobi):
+        """Inner Gauss-Seidel on one block with others frozen must progress."""
+        op = InnerIterationOperator(small_jacobi, 10)
+        x = np.zeros(small_jacobi.dim)
+        traj = op.inner_trajectory(x, 0)
+        # displacement between consecutive inner iterates must contract
+        d1 = abs(traj[1][0] - traj[0][0])
+        d_last = abs(traj[-1][0] - traj[-2][0])
+        assert d_last <= d1 + 1e-12
+
+    def test_rejects_zero_steps(self, small_jacobi):
+        with pytest.raises(ValueError):
+            InnerIterationOperator(small_jacobi, 0)
+
+
+class TestAdditiveNoiseOperator:
+    def test_zero_eta_is_exact(self, small_jacobi, rng):
+        op = AdditiveNoiseOperator(small_jacobi, 0.0, rng)
+        x = rng.standard_normal(small_jacobi.dim)
+        np.testing.assert_allclose(op(x), small_jacobi(x))
+
+    def test_noise_vanishes_at_fixed_point(self, small_jacobi, rng):
+        op = AdditiveNoiseOperator(small_jacobi, 0.5, rng)
+        fp = small_jacobi.fixed_point()
+        np.testing.assert_allclose(op(fp), fp, atol=1e-10)
+
+    def test_noise_scales_with_residual(self, small_jacobi):
+        rng = np.random.default_rng(0)
+        op = AdditiveNoiseOperator(small_jacobi, 0.5, rng)
+        x = np.ones(small_jacobi.dim) * 10
+        diff = np.linalg.norm(op(x) - small_jacobi(x))
+        assert diff > 0
+        assert diff <= 0.5 * small_jacobi.norm()(small_jacobi(x) - x) + 1e-9
+
+    def test_perturbed_iteration_still_converges(self, small_jacobi):
+        rng = np.random.default_rng(1)
+        op = AdditiveNoiseOperator(small_jacobi, 0.1, rng)
+        x = np.zeros(small_jacobi.dim)
+        for _ in range(300):
+            x = op(x)
+        assert small_jacobi.norm()(x - small_jacobi.fixed_point()) < 1e-6
+
+    def test_rejects_negative_eta(self, small_jacobi, rng):
+        with pytest.raises(ValueError):
+            AdditiveNoiseOperator(small_jacobi, -0.1, rng)
+
+
+class TestDampedOperator:
+    def test_preserves_fixed_point(self, small_jacobi):
+        op = DampedOperator(small_jacobi, 0.5)
+        fp = small_jacobi.fixed_point()
+        np.testing.assert_allclose(op(fp), fp, atol=1e-10)
+
+    def test_contraction_interpolates(self, small_jacobi):
+        q = small_jacobi.contraction_factor()
+        op = DampedOperator(small_jacobi, 0.25)
+        assert op.contraction_factor() == pytest.approx(0.75 + 0.25 * q)
+
+    def test_rejects_bad_theta(self, small_jacobi):
+        for bad in (0.0, 1.5):
+            with pytest.raises(ValueError):
+                DampedOperator(small_jacobi, bad)
+
+
+class TestModifiedNewton:
+    def test_one_full_newton_step_solves_quadratic_single_block(self):
+        prob = random_quadratic(6, condition=5.0, seed=2)
+        spec = BlockSpec((6,))
+        op = ModifiedNewtonOperator(prob, spec, alpha=1.0)
+        x = np.ones(6)
+        np.testing.assert_allclose(op(x), prob.solution(), atol=1e-9)
+
+    def test_block_newton_converges(self):
+        prob = random_quadratic(8, condition=4.0, coupling=0.5, seed=3)
+        spec = BlockSpec.uniform(8, 4)
+        op = ModifiedNewtonOperator(prob, spec, alpha=0.8)
+        x = np.zeros(8)
+        for _ in range(500):
+            x = op(x)
+        np.testing.assert_allclose(x, prob.solution(), atol=1e-7)
+
+    def test_apply_block_matches_full(self):
+        prob = random_quadratic(6, condition=3.0, seed=4)
+        spec = BlockSpec.uniform(6, 3)
+        op = ModifiedNewtonOperator(prob, spec)
+        x = np.ones(6) * 0.3
+        full = op.apply(x)
+        for i in range(3):
+            np.testing.assert_allclose(op.apply_block(x, i), full[spec.slice(i)])
+
+    def test_rejects_bad_alpha(self):
+        prob = random_quadratic(4, seed=5)
+        with pytest.raises(ValueError):
+            ModifiedNewtonOperator(prob, alpha=0.0)
+
+
+class TestMinPlusBellmanFord:
+    def _line_graph(self):
+        W = np.full((4, 4), np.inf)
+        for i in range(3):
+            W[i + 1, i] = 1.0  # arcs toward node 0
+        return W
+
+    def test_exact_distances_on_line(self):
+        op = MinPlusBellmanFordOperator(self._line_graph(), destination=0)
+        fp = op.fixed_point()
+        np.testing.assert_allclose(fp, [0, 1, 2, 3])
+
+    def test_isotone(self, rng):
+        W = self._line_graph()
+        op = MinPlusBellmanFordOperator(W, 0)
+        assert is_isotone_sample(op, rng, trials=16)
+
+    def test_destination_pinned(self):
+        op = MinPlusBellmanFordOperator(self._line_graph(), 0)
+        out = op(np.array([5.0, 5.0, 5.0, 5.0]))
+        assert out[0] == 0.0
+
+    def test_apply_block_matches_full(self):
+        op = MinPlusBellmanFordOperator(self._line_graph(), 0)
+        x = op.initial_vector()
+        full = op.apply(x)
+        for i in range(4):
+            np.testing.assert_allclose(op.apply_block(x, i), full[i : i + 1])
+
+    def test_rejects_negative_weights(self):
+        W = self._line_graph()
+        W[1, 0] = -1.0
+        with pytest.raises(ValueError):
+            MinPlusBellmanFordOperator(W, 0)
+
+    def test_unreachable_nodes_stay_large(self):
+        W = np.full((3, 3), np.inf)
+        W[1, 0] = 1.0  # node 2 cannot reach 0
+        op = MinPlusBellmanFordOperator(W, 0)
+        fp = op.fixed_point()
+        assert fp[1] == 1.0
+        assert fp[2] > 1.0  # stuck at the big sentinel
+
+
+class TestProjectedAffine:
+    def test_projection_enforced(self):
+        A = 0.4 * np.eye(3)
+        b = np.array([-5.0, 0.0, 5.0])
+        lower = np.zeros(3)
+        op = ProjectedAffineOperator(A, b, lower)
+        out = op(np.zeros(3))
+        assert np.all(out >= 0.0)
+
+    def test_isotone(self, rng):
+        A = np.abs(rng.standard_normal((4, 4)))
+        A = 0.8 * A / np.sum(A, axis=1, keepdims=True)
+        op = ProjectedAffineOperator(A, np.zeros(4), -np.ones(4))
+        assert is_isotone_sample(op, rng, trials=16)
+
+    def test_contraction_from_row_sums(self):
+        A = 0.25 * np.ones((2, 2))
+        op = ProjectedAffineOperator(A, np.zeros(2), np.zeros(2))
+        assert op.contraction_factor() == pytest.approx(0.5)
+
+    def test_fixed_point_satisfies_complementarity_form(self):
+        A = 0.3 * np.eye(3)
+        b = np.array([1.0, -2.0, 0.1])
+        lower = np.zeros(3)
+        op = ProjectedAffineOperator(A, b, lower)
+        fp = op.fixed_point()
+        np.testing.assert_allclose(op(fp), fp, atol=1e-10)
+        assert np.all(fp >= lower - 1e-12)

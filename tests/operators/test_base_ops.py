@@ -1,0 +1,96 @@
+"""Tests for the operator base classes (composition, damping, contracts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.operators.base import ComposedOperator, DampedOperator, FixedPointOperator
+from repro.operators.linear import AffineOperator
+from repro.utils.norms import BlockSpec
+
+
+@pytest.fixture
+def halver():
+    return AffineOperator(0.5 * np.eye(4), np.ones(4))
+
+
+@pytest.fixture
+def shifter():
+    return AffineOperator(np.zeros((4, 4)), 2.0 * np.ones(4))
+
+
+class TestOperatorContract:
+    def test_call_validates_dimension(self, halver):
+        with pytest.raises(ValueError):
+            halver(np.ones(3))
+
+    def test_call_equals_apply(self, halver, rng):
+        x = rng.standard_normal(4)
+        np.testing.assert_array_equal(halver(x), halver.apply(x))
+
+    def test_apply_blocks_concatenates(self, rng):
+        spec = BlockSpec((2, 2))
+        op = AffineOperator(0.3 * np.eye(4), np.arange(4.0), spec)
+        x = rng.standard_normal(4)
+        full = op.apply(x)
+        out = op.apply_blocks(x, [1, 0])
+        np.testing.assert_array_equal(out, np.concatenate([full[2:], full[:2]]))
+
+    def test_apply_blocks_empty(self, halver):
+        assert halver.apply_blocks(np.zeros(4), []).size == 0
+
+    def test_n_components(self):
+        op = AffineOperator(np.eye(4) * 0.1, np.zeros(4), BlockSpec((3, 1)))
+        assert op.n_components == 2
+        assert op.dim == 4
+
+    def test_block_spec_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="covers"):
+            AffineOperator(np.eye(4) * 0.1, np.zeros(4), BlockSpec((2, 1)))
+
+    def test_residual_in_operator_norm(self, halver):
+        fp = halver.fixed_point()
+        assert halver.residual(fp) < 1e-12
+        assert halver.residual(fp + 1.0) > 0
+
+
+class TestComposedOperator:
+    def test_composition_order(self, halver, shifter):
+        # outer(inner(x)): shift then halve vs halve then shift differ
+        a = ComposedOperator(halver, shifter)  # halver(shifter(x))
+        b = ComposedOperator(shifter, halver)  # shifter(halver(x))
+        x = np.zeros(4)
+        np.testing.assert_allclose(a(x), 0.5 * 2.0 + 1.0)
+        np.testing.assert_allclose(b(x), 2.0)
+
+    def test_dim_mismatch_rejected(self, halver):
+        other = AffineOperator(np.eye(3), np.zeros(3))
+        with pytest.raises(ValueError, match="mismatch"):
+            ComposedOperator(halver, other)
+
+    def test_block_default_consistent(self, halver, shifter, rng):
+        comp = ComposedOperator(halver, shifter)
+        x = rng.standard_normal(4)
+        full = comp.apply(x)
+        for i in range(4):
+            np.testing.assert_allclose(comp.apply_block(x, i), full[i : i + 1])
+
+
+class TestDampedOperatorExtra:
+    def test_block_path_matches_full(self, halver, rng):
+        op = DampedOperator(halver, 0.4)
+        x = rng.standard_normal(4)
+        full = op.apply(x)
+        for i in range(4):
+            np.testing.assert_allclose(op.apply_block(x, i), full[i : i + 1])
+
+    def test_norm_delegates_to_base(self, halver):
+        op = DampedOperator(halver, 0.5)
+        x = np.array([1.0, -2.0, 0.0, 0.5])
+        assert op.norm()(x) == halver.norm()(x)
+
+    def test_contraction_none_propagates(self):
+        expanding = AffineOperator(2.0 * np.eye(2), np.zeros(2))
+        op = DampedOperator(expanding, 0.5)
+        assert op.contraction_factor() is None

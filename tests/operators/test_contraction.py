@@ -1,0 +1,86 @@
+"""Tests for contraction certificates and estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.operators.contraction import (
+    diagonal_dominance_margin,
+    estimate_contraction_factor,
+    perron_weights,
+)
+from repro.problems import make_jacobi_instance, random_dominant_system
+from repro.operators.linear import jacobi_operator
+
+
+class TestEstimate:
+    def test_estimate_below_theoretical(self, small_jacobi):
+        report = estimate_contraction_factor(small_jacobi, samples=40, seed=1)
+        assert report.is_contraction
+        assert report.consistent()
+        assert report.samples > 0
+
+    def test_non_contraction_detected(self):
+        from repro.operators.linear import AffineOperator
+
+        op = AffineOperator(1.5 * np.eye(3), np.zeros(3))
+        report = estimate_contraction_factor(op, samples=20, seed=2)
+        assert not report.is_contraction
+        assert report.estimate >= 1.4
+
+    def test_estimate_uses_identity_center_without_fixed_point(self):
+        from repro.operators.monotone import MinPlusBellmanFordOperator
+
+        W = np.full((3, 3), np.inf)
+        W[1, 0] = W[2, 1] = 1.0
+        op = MinPlusBellmanFordOperator(W, 0)
+        # min-plus map is nonexpansive in sup norm
+        report = estimate_contraction_factor(op, samples=30, seed=3)
+        assert report.estimate <= 1.0 + 1e-9
+
+
+class TestDiagonalDominance:
+    def test_positive_margin_for_dominant(self):
+        M, _ = random_dominant_system(6, dominance=0.3, seed=4)
+        assert diagonal_dominance_margin(M) == pytest.approx(0.3, abs=1e-9)
+
+    def test_negative_for_non_dominant(self):
+        M = np.array([[1.0, 2.0], [0.0, 1.0]])
+        assert diagonal_dominance_margin(M) < 0
+
+    def test_zero_diag_is_minus_inf(self):
+        M = np.array([[0.0, 1.0], [1.0, 1.0]])
+        assert diagonal_dominance_margin(M) == -np.inf
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            diagonal_dominance_margin(np.zeros((2, 3)))
+
+
+class TestPerronWeights:
+    def test_weights_certify_spectral_radius(self):
+        rng = np.random.default_rng(5)
+        A = 0.8 * np.abs(rng.random((6, 6)))
+        A = A / np.max(np.abs(np.linalg.eigvals(A))) * 0.7
+        q, u = perron_weights(A)
+        assert np.all(u > 0)
+        assert q == pytest.approx(0.7, abs=1e-6)
+        assert np.all(np.abs(A) @ u <= q * u + 1e-9)
+
+    def test_zero_matrix(self):
+        q, u = perron_weights(np.zeros((3, 3)))
+        assert q == 0.0
+        assert np.all(u > 0)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            perron_weights(np.zeros((2, 3)))
+
+    def test_weighted_norm_beats_uniform_bound(self):
+        """Perron weights give a q no worse than the uniform row-sum bound."""
+        rng = np.random.default_rng(6)
+        A = np.abs(rng.random((5, 5))) * 0.3
+        q_perron, u = perron_weights(A)
+        q_uniform = float(np.max(np.sum(np.abs(A), axis=1)))
+        assert q_perron <= q_uniform + 1e-9

@@ -1,0 +1,162 @@
+"""Tests for gradient-step and prox-gradient (Definition 4) operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.operators.gradient import (
+    GradientStepOperator,
+    gradient_contraction_factor,
+    max_contraction_step,
+)
+from repro.operators.prox_gradient import ForwardBackwardOperator, ProxGradientOperator
+from repro.problems import make_lasso, make_regression, make_ridge, random_quadratic
+from repro.utils.norms import BlockSpec
+
+
+class TestStepTheory:
+    def test_max_step_formula(self):
+        assert max_contraction_step(1.0, 3.0) == pytest.approx(0.5)
+
+    def test_contraction_factor_is_one_minus_rho_on_admissible_range(self):
+        mu, L = 0.5, 4.0
+        for gamma in np.linspace(1e-3, 2 / (mu + L), 7):
+            q = gradient_contraction_factor(gamma, mu, L)
+            assert q == pytest.approx(1 - gamma * mu, abs=1e-12)
+
+    def test_contraction_factor_beyond_range_dominated_by_L(self):
+        q = gradient_contraction_factor(0.6, 0.5, 4.0)  # > 2/(mu+L)
+        assert q == pytest.approx(abs(1 - 0.6 * 4.0))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            max_contraction_step(0.0, 1.0)
+        with pytest.raises(ValueError):
+            max_contraction_step(2.0, 1.0)
+        with pytest.raises(ValueError):
+            gradient_contraction_factor(-0.1, 1.0, 2.0)
+
+
+class TestGradientStepOperator:
+    def test_fixed_point_is_minimizer(self, quadratic_problem):
+        op = GradientStepOperator(quadratic_problem, quadratic_problem.max_step())
+        xstar = quadratic_problem.solution()
+        np.testing.assert_allclose(op(xstar), xstar, atol=1e-9)
+
+    def test_contraction_verified_empirically(self, quadratic_problem, rng):
+        gamma = quadratic_problem.max_step()
+        op = GradientStepOperator(quadratic_problem, gamma)
+        q = op.contraction_factor()
+        for _ in range(20):
+            x, y = rng.standard_normal(op.dim), rng.standard_normal(op.dim)
+            lhs = np.linalg.norm(op(x) - op(y))
+            assert lhs <= q * np.linalg.norm(x - y) + 1e-10
+
+    def test_block_matches_full(self, quadratic_problem, rng):
+        spec = BlockSpec.uniform(quadratic_problem.dim, 3)
+        op = GradientStepOperator(quadratic_problem, 0.05, spec)
+        x = rng.standard_normal(op.dim)
+        full = op.apply(x)
+        for i in range(3):
+            np.testing.assert_allclose(op.apply_block(x, i), full[spec.slice(i)])
+
+    def test_strict_step_enforced(self, quadratic_problem):
+        gmax = quadratic_problem.max_step()
+        with pytest.raises(ValueError, match="admissible"):
+            GradientStepOperator(quadratic_problem, 2 * gmax)
+        GradientStepOperator(quadratic_problem, 2 * gmax, strict_step=False)
+
+    def test_rho_property(self, quadratic_problem):
+        op = GradientStepOperator(quadratic_problem, 0.01)
+        assert op.rho == pytest.approx(0.01 * quadratic_problem.mu)
+
+
+@pytest.fixture
+def lasso():
+    data = make_regression(60, 8, sparsity=0.5, seed=1)
+    return make_lasso(data, l1=0.08, l2=0.1)
+
+
+class TestProxGradientOperator:
+    """Definition 4: G(x) = prox(x) - gamma grad f(prox(x))."""
+
+    def test_fixed_point_relation(self, lasso):
+        gamma = lasso.smooth.max_step()
+        G = ProxGradientOperator(lasso, gamma)
+        ystar = G.fixed_point()
+        np.testing.assert_allclose(G(ystar), ystar, atol=1e-8)
+
+    def test_minimizer_recovered_from_fixed_point(self, lasso):
+        gamma = lasso.smooth.max_step()
+        G = ProxGradientOperator(lasso, gamma)
+        ystar = G.fixed_point()
+        xstar = lasso.solution()
+        np.testing.assert_allclose(G.minimizer_from_fixed_point(ystar), xstar, atol=1e-8)
+
+    def test_contraction_factor_one_minus_rho(self, lasso):
+        gamma = lasso.smooth.max_step()
+        G = ProxGradientOperator(lasso, gamma)
+        assert G.contraction_factor() == pytest.approx(1 - G.rho, abs=1e-12)
+
+    def test_empirical_contraction_in_l2(self, lasso, rng):
+        gamma = lasso.smooth.max_step()
+        G = ProxGradientOperator(lasso, gamma)
+        q = G.contraction_factor()
+        for _ in range(30):
+            x = rng.standard_normal(G.dim)
+            y = rng.standard_normal(G.dim)
+            lhs = np.linalg.norm(G(x) - G(y))
+            assert lhs <= q * np.linalg.norm(x - y) + 1e-9
+
+    def test_step_bound_enforced(self, lasso):
+        gmax = lasso.smooth.max_step()
+        with pytest.raises(ValueError):
+            ProxGradientOperator(lasso, 1.5 * gmax)
+
+    def test_iterating_g_converges_to_minimizer(self, lasso):
+        gamma = lasso.smooth.max_step()
+        G = ProxGradientOperator(lasso, gamma)
+        y = np.zeros(G.dim)
+        for _ in range(3000):
+            y = G(y)
+        xstar = lasso.solution()
+        np.testing.assert_allclose(G.minimizer_from_fixed_point(y), xstar, atol=1e-7)
+
+
+class TestForwardBackwardOperator:
+    def test_fixed_point_is_minimizer(self, lasso):
+        gamma = lasso.smooth.max_step()
+        op = ForwardBackwardOperator(lasso, gamma)
+        xstar = lasso.solution()
+        np.testing.assert_allclose(op(xstar), xstar, atol=1e-8)
+
+    def test_iteration_converges(self, lasso):
+        gamma = lasso.smooth.max_step()
+        op = ForwardBackwardOperator(lasso, gamma)
+        x = np.zeros(op.dim)
+        for _ in range(3000):
+            x = op(x)
+        np.testing.assert_allclose(x, lasso.solution(), atol=1e-7)
+
+    def test_smooth_block_path(self):
+        data = make_regression(40, 6, seed=2)
+        ridge = make_ridge(data, l2=0.3)
+        gamma = ridge.smooth.max_step()
+        spec = BlockSpec.uniform(6, 2)
+        op = ForwardBackwardOperator(ridge, gamma, spec)
+        x = np.ones(6)
+        full = op.apply(x)
+        for i in range(2):
+            np.testing.assert_allclose(op.apply_block(x, i), full[spec.slice(i)])
+
+    def test_two_orderings_share_minimizer(self, lasso):
+        gamma = lasso.smooth.max_step()
+        fb = ForwardBackwardOperator(lasso, gamma)
+        bf = ProxGradientOperator(lasso, gamma)
+        x = np.zeros(lasso.dim)
+        y = np.zeros(lasso.dim)
+        for _ in range(4000):
+            x = fb(x)
+            y = bf(y)
+        np.testing.assert_allclose(x, bf.minimizer_from_fixed_point(y), atol=1e-7)

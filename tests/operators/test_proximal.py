@@ -1,0 +1,174 @@
+"""Tests for proximal operators: closed forms and firm nonexpansiveness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.norms import BlockSpec
+from repro.operators.proximal import (
+    BoxConstraint,
+    ElasticNetRegularizer,
+    GroupLassoRegularizer,
+    L1Regularizer,
+    L2Regularizer,
+    NonNegativeConstraint,
+    SquaredL2Regularizer,
+    ZeroRegularizer,
+)
+
+vec = arrays(
+    np.float64,
+    5,
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+ALL_REGULARIZERS = [
+    ZeroRegularizer(),
+    L1Regularizer(0.7),
+    L2Regularizer(0.9),
+    SquaredL2Regularizer(1.3),
+    ElasticNetRegularizer(0.4, 0.6),
+    BoxConstraint(-1.0, 2.0),
+    NonNegativeConstraint(),
+    GroupLassoRegularizer(BlockSpec((2, 3)), 0.5),
+]
+
+
+class TestClosedForms:
+    def test_zero_prox_is_identity(self):
+        x = np.array([1.0, -2.0])
+        assert np.array_equal(ZeroRegularizer().prox(x, 0.5), x)
+
+    def test_l1_soft_threshold(self):
+        r = L1Regularizer(1.0)
+        np.testing.assert_allclose(
+            r.prox(np.array([3.0, -0.5, 1.0]), 1.0), [2.0, 0.0, 0.0]
+        )
+
+    def test_l1_value(self):
+        assert L1Regularizer(2.0).value(np.array([1.0, -3.0])) == 8.0
+
+    def test_l2_block_shrink_inside_ball_is_zero(self):
+        r = L2Regularizer(1.0)
+        x = np.array([0.3, 0.4])  # norm 0.5 <= 1*gamma
+        np.testing.assert_allclose(r.prox(x, 1.0), [0.0, 0.0])
+
+    def test_l2_shrinks_radially(self):
+        r = L2Regularizer(1.0)
+        x = np.array([3.0, 4.0])  # norm 5
+        out = r.prox(x, 1.0)
+        np.testing.assert_allclose(out, x * (1 - 1 / 5))
+
+    def test_squared_l2_linear_shrink(self):
+        r = SquaredL2Regularizer(3.0)
+        np.testing.assert_allclose(r.prox(np.array([4.0]), 1.0), [1.0])
+
+    def test_elastic_net_composes(self):
+        r = ElasticNetRegularizer(1.0, 1.0)
+        # soft-threshold by 1 then divide by 2
+        np.testing.assert_allclose(r.prox(np.array([3.0]), 1.0), [1.0])
+
+    def test_box_clips(self):
+        r = BoxConstraint(-1.0, 1.0)
+        np.testing.assert_allclose(r.prox(np.array([-5.0, 0.5, 7.0]), 2.0), [-1, 0.5, 1])
+
+    def test_box_value_indicator(self):
+        r = BoxConstraint(0.0, 1.0)
+        assert r.value(np.array([0.5])) == 0.0
+        assert r.value(np.array([2.0])) == np.inf
+        assert r.is_indicator()
+
+    def test_box_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoxConstraint(1.0, 0.0)
+
+    def test_nonnegative_projects(self):
+        np.testing.assert_allclose(
+            NonNegativeConstraint().prox(np.array([-2.0, 3.0]), 1.0), [0.0, 3.0]
+        )
+
+    def test_group_lasso_zeroes_small_groups(self):
+        spec = BlockSpec((2, 2))
+        r = GroupLassoRegularizer(spec, 1.0)
+        x = np.array([0.1, 0.1, 3.0, 4.0])
+        out = r.prox(x, 1.0)
+        np.testing.assert_allclose(out[:2], 0.0)
+        np.testing.assert_allclose(out[2:], x[2:] * (1 - 1 / 5))
+
+    def test_group_lasso_value(self):
+        spec = BlockSpec((2, 1))
+        r = GroupLassoRegularizer(spec, 2.0)
+        assert r.value(np.array([3.0, 4.0, 1.0])) == pytest.approx(2 * (5 + 1))
+
+    def test_group_lasso_custom_weights(self):
+        spec = BlockSpec((1, 1))
+        r = GroupLassoRegularizer(spec, 1.0, weights=np.array([0.0, 10.0]))
+        out = r.prox(np.array([1.0, 1.0]), 1.0)
+        assert out[0] == 1.0  # zero-weight group untouched
+        assert out[1] == 0.0  # heavy group killed
+
+
+class TestProxProperties:
+    """Hypothesis checks of universal prox properties."""
+
+    @pytest.mark.parametrize("reg", ALL_REGULARIZERS, ids=lambda r: type(r).__name__)
+    @given(x=vec, y=vec)
+    @settings(max_examples=25, deadline=None)
+    def test_firm_nonexpansiveness(self, reg, x, y):
+        """<px - py, x - y> >= ||px - py||^2 for every prox."""
+        gamma = 0.7
+        px, py = reg.prox(x, gamma), reg.prox(y, gamma)
+        lhs = float(np.dot(px - py, x - y))
+        rhs = float(np.dot(px - py, px - py))
+        assert lhs >= rhs - 1e-7 * (1 + abs(rhs))
+
+    @pytest.mark.parametrize("reg", ALL_REGULARIZERS, ids=lambda r: type(r).__name__)
+    @given(x=vec)
+    @settings(max_examples=25, deadline=None)
+    def test_prox_optimality_value(self, reg, x):
+        """g(p) + ||p-x||^2/(2g) <= g(v) + ||v-x||^2/(2g) for sampled v."""
+        gamma = 0.5
+        p = reg.prox(x, gamma)
+        obj_p = reg.value(p) + np.dot(p - x, p - x) / (2 * gamma)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            v = p + 0.1 * rng.standard_normal(x.shape)
+            obj_v = reg.value(v) + np.dot(v - x, v - x) / (2 * gamma)
+            assert obj_p <= obj_v + 1e-7 * (1 + abs(obj_v))
+
+    @pytest.mark.parametrize("reg", ALL_REGULARIZERS, ids=lambda r: type(r).__name__)
+    @given(x=vec)
+    @settings(max_examples=20, deadline=None)
+    def test_prox_does_not_mutate_input(self, reg, x):
+        x_orig = x.copy()
+        reg.prox(x, 1.0)
+        assert np.array_equal(x, x_orig)
+
+    @pytest.mark.parametrize(
+        "reg",
+        [r for r in ALL_REGULARIZERS if not r.is_indicator()],
+        ids=lambda r: type(r).__name__,
+    )
+    def test_prox_at_gamma_zero_is_identity(self, reg):
+        x = np.array([1.0, -2.0, 0.5, 3.0, -0.1])
+        np.testing.assert_allclose(reg.prox(x, 0.0), x)
+
+
+class TestValidation:
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            L1Regularizer(-1.0)
+        with pytest.raises(ValueError):
+            ElasticNetRegularizer(0.1, -0.1)
+
+    def test_group_lasso_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            GroupLassoRegularizer(BlockSpec((1, 1)), 1.0, weights=np.array([-1.0, 1.0]))
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            L1Regularizer(1.0).prox(np.zeros(2), -0.5)

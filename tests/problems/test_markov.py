@@ -1,0 +1,115 @@
+"""Tests for Markov-system fixed points (survey's third application)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.async_iteration import AsyncIterationEngine
+from repro.delays.unbounded import BaudetSqrtDelay
+from repro.problems.markov import (
+    absorption_cost_operator,
+    discounted_value_operator,
+    random_absorbing_chain,
+    random_markov_chain,
+)
+from repro.steering.policies import PermutationSweeps
+
+
+class TestGenerators:
+    def test_random_chain_row_stochastic(self):
+        P = random_markov_chain(8, seed=0)
+        np.testing.assert_allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0)
+
+    def test_random_chain_density(self):
+        sparse = random_markov_chain(20, density=0.1, seed=1)
+        dense = random_markov_chain(20, density=0.9, seed=1)
+        assert np.count_nonzero(sparse) < np.count_nonzero(dense)
+
+    def test_absorbing_chain_substochastic(self):
+        Q, R = random_absorbing_chain(10, 2, absorb_prob=0.15, seed=2)
+        total = Q.sum(axis=1) + R.sum(axis=1)
+        np.testing.assert_allclose(total, 1.0, atol=1e-9)
+        assert np.all(Q.sum(axis=1) <= 1.0 - 0.15 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_markov_chain(1)
+        with pytest.raises(ValueError):
+            random_absorbing_chain(0)
+        with pytest.raises(ValueError):
+            random_absorbing_chain(3, absorb_prob=0.0)
+
+
+class TestAbsorptionCost:
+    def test_matches_direct_solve(self):
+        Q, _ = random_absorbing_chain(8, seed=3)
+        r = np.ones(8)
+        op = absorption_cost_operator(Q, r)
+        fp = op.fixed_point()
+        np.testing.assert_allclose(fp, np.linalg.solve(np.eye(8) - Q, r), atol=1e-9)
+
+    def test_contraction_certificate_exists(self):
+        Q, _ = random_absorbing_chain(8, absorb_prob=0.2, seed=4)
+        op = absorption_cost_operator(Q, np.ones(8))
+        q = op.contraction_factor()
+        assert q is not None and q <= 1.0 - 0.2 + 1e-6
+
+    def test_expected_cost_positive_for_positive_costs(self):
+        Q, _ = random_absorbing_chain(6, seed=5)
+        op = absorption_cost_operator(Q, np.ones(6))
+        assert np.all(op.fixed_point() >= 1.0)  # at least one step's cost
+
+    def test_rejects_stochastic_rows(self):
+        Q = np.array([[0.5, 0.5], [0.1, 0.8]])
+        with pytest.raises(ValueError, match="substochastic"):
+            absorption_cost_operator(Q, np.ones(2))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            absorption_cost_operator(-0.1 * np.eye(2), np.ones(2))
+
+    def test_async_convergence_unbounded_delays(self):
+        Q, _ = random_absorbing_chain(10, seed=6)
+        op = absorption_cost_operator(Q, np.ones(10))
+        engine = AsyncIterationEngine(
+            op, PermutationSweeps(10, seed=7), BaudetSqrtDelay(10, [0, 5])
+        )
+        res = engine.run(np.zeros(10), max_iterations=200_000, tol=1e-11)
+        assert res.converged
+        np.testing.assert_allclose(res.x, op.fixed_point(), atol=1e-8)
+
+
+class TestDiscountedValue:
+    def test_contraction_factor_is_beta(self):
+        P = random_markov_chain(6, seed=8)
+        op = discounted_value_operator(P, np.ones(6), beta=0.9)
+        assert op.contraction_factor() == pytest.approx(0.9, abs=1e-6)
+
+    def test_constant_reward_closed_form(self):
+        """With r = c everywhere, the value is c / (1 - beta) everywhere."""
+        P = random_markov_chain(5, seed=9)
+        op = discounted_value_operator(P, 2.0 * np.ones(5), beta=0.5)
+        np.testing.assert_allclose(op.fixed_point(), 4.0, atol=1e-9)
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError, match="stochastic"):
+            discounted_value_operator(0.5 * np.eye(3), np.ones(3), 0.9)
+
+    def test_rejects_bad_beta(self):
+        P = random_markov_chain(3, seed=10)
+        for bad in (0.0, 1.0, 1.5):
+            with pytest.raises(ValueError):
+                discounted_value_operator(P, np.ones(3), bad)
+
+    def test_async_value_iteration(self):
+        P = random_markov_chain(8, seed=11)
+        rng = np.random.default_rng(12)
+        op = discounted_value_operator(P, rng.standard_normal(8), beta=0.8)
+        engine = AsyncIterationEngine(
+            op, PermutationSweeps(8, seed=13), BaudetSqrtDelay(8, [2])
+        )
+        res = engine.run(np.zeros(8), max_iterations=200_000, tol=1e-11)
+        assert res.converged
+        np.testing.assert_allclose(res.x, op.fixed_point(), atol=1e-8)

@@ -1,0 +1,168 @@
+"""Tests for network-flow duals and the obstacle problem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems.network_flow import (
+    FlowNetwork,
+    NetworkFlowDualProblem,
+    random_flow_network,
+)
+from repro.problems.obstacle import make_obstacle_problem
+
+
+class TestFlowNetwork:
+    def test_random_network_connected_and_balanced(self):
+        net = random_flow_network(15, 0.2, seed=0)
+        assert net.is_connected()
+        assert abs(np.sum(net.supplies)) < 1e-9
+
+    def test_incidence_columns_sum_to_zero(self):
+        net = random_flow_network(8, 0.3, seed=1)
+        A = net.incidence_matrix()
+        np.testing.assert_allclose(A.sum(axis=0), 0.0)
+        # each column has exactly one +1 and one -1
+        assert np.all(np.sum(A == 1.0, axis=0) == 1)
+        assert np.all(np.sum(A == -1.0, axis=0) == 1)
+
+    def test_rejects_unbalanced_supplies(self):
+        with pytest.raises(ValueError, match="sum to zero"):
+            FlowNetwork(
+                2,
+                np.array([[0, 1]]),
+                np.ones(1),
+                np.zeros(1),
+                np.array([1.0, 0.0]),
+            )
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            FlowNetwork(2, np.array([[0, 0]]), np.ones(1), np.zeros(1), np.zeros(2))
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError, match="positive"):
+            FlowNetwork(2, np.array([[0, 1]]), np.zeros(1), np.zeros(1), np.zeros(2))
+
+    def test_arc_cost(self):
+        net = FlowNetwork(
+            2, np.array([[0, 1]]), np.array([2.0]), np.array([1.0]), np.zeros(2)
+        )
+        assert net.arc_cost(np.array([3.0])) == pytest.approx(0.5 * 2 * 9 + 3)
+
+
+class TestNetworkFlowDual:
+    def test_solution_balances_flows(self, flow_network):
+        dual = NetworkFlowDualProblem(flow_network)
+        p = dual.solution()
+        assert dual.primal_infeasibility(p) < 1e-8
+
+    def test_gradient_is_surplus(self, flow_network, rng):
+        dual = NetworkFlowDualProblem(flow_network)
+        p = rng.standard_normal(dual.dim)
+        g = dual.gradient(p)
+        surplus = dual.surplus(p)
+        keep = [i for i in range(flow_network.n_nodes) if i != 0]
+        np.testing.assert_allclose(g, surplus[keep], atol=1e-10)
+
+    def test_gradient_finite_difference(self, flow_network, rng):
+        dual = NetworkFlowDualProblem(flow_network)
+        p = rng.standard_normal(dual.dim)
+        g = dual.gradient(p)
+        eps = 1e-6
+        for k in range(min(dual.dim, 5)):
+            e = np.zeros(dual.dim)
+            e[k] = eps
+            fd = (dual.objective(p + e) - dual.objective(p - e)) / (2 * eps)
+            assert g[k] == pytest.approx(fd, rel=1e-5, abs=1e-7)
+
+    def test_reference_price_fixed_at_zero(self, flow_network, rng):
+        dual = NetworkFlowDualProblem(flow_network, reference_node=2)
+        p = rng.standard_normal(dual.dim)
+        full = dual.full_prices(p)
+        assert full[2] == 0.0
+
+    def test_hessian_is_grounded_laplacian(self, flow_network):
+        dual = NetworkFlowDualProblem(flow_network)
+        H = dual.hessian(np.zeros(dual.dim))
+        assert np.allclose(H, H.T)
+        assert np.all(np.linalg.eigvalsh(H) > 0)
+
+    def test_strong_duality_gap_zero(self, flow_network):
+        """Optimal primal cost equals the dual optimum (quadratic LP duality)."""
+        dual = NetworkFlowDualProblem(flow_network)
+        p = dual.solution()
+        flows = dual.recover_flows(p)
+        primal = flow_network.arc_cost(flows)
+        dual_val = -dual.objective(p)  # dual.objective = -q(p)
+        assert primal == pytest.approx(dual_val, rel=1e-8, abs=1e-8)
+
+    def test_disconnected_network_rejected(self):
+        net = FlowNetwork(
+            4,
+            np.array([[0, 1], [2, 3]]),
+            np.ones(2),
+            np.zeros(2),
+            np.zeros(4),
+        )
+        with pytest.raises(ValueError, match="connected"):
+            NetworkFlowDualProblem(net)
+
+    def test_weight_range_validation(self):
+        with pytest.raises(ValueError):
+            random_flow_network(5, weight_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            random_flow_network(1)
+
+
+class TestObstacleProblem:
+    def test_dimensions(self):
+        prob = make_obstacle_problem(6, 5, seed=0)
+        assert prob.dim == 30
+        assert prob.M.shape == (30, 30)
+
+    def test_laplacian_symmetric_dominant(self):
+        prob = make_obstacle_problem(5, 5, seed=1)
+        assert np.allclose(prob.M, prob.M.T)
+        # weak diagonal dominance; strict on boundary-adjacent rows
+        d = np.diag(prob.M)
+        off = np.sum(np.abs(prob.M), axis=1) - d
+        assert np.all(off <= d + 1e-9)
+        assert np.any(off < d - 1e-9)
+
+    def test_projected_jacobi_contracts(self):
+        prob = make_obstacle_problem(5, 5, seed=2)
+        op = prob.projected_jacobi_operator()
+        q = op.contraction_factor()
+        assert q is not None and q < 1.0
+
+    def test_fixed_point_satisfies_lcp(self):
+        prob = make_obstacle_problem(6, 6, force=-1.0, seed=3)
+        op = prob.projected_jacobi_operator()
+        u = op.fixed_point()
+        assert prob.residual_complementarity(u) < 1e-8
+
+    def test_contact_set_nonempty_with_high_obstacle(self):
+        prob = make_obstacle_problem(10, 10, force=-5.0, obstacle_height=-0.01, seed=4)
+        op = prob.projected_jacobi_operator()
+        u = op.fixed_point()
+        contact = np.abs(u - prob.psi) < 1e-9
+        assert np.any(contact)
+
+    def test_strip_decomposition_covers_grid(self):
+        prob = make_obstacle_problem(6, 8, seed=5)
+        spec = prob.strip_decomposition(4)
+        assert spec.dim == prob.dim
+        assert spec.n_blocks == 4
+        # every strip is a multiple of nx
+        assert all(s % 6 == 0 for s in spec.sizes)
+
+    def test_strip_validation(self):
+        prob = make_obstacle_problem(4, 4, seed=6)
+        with pytest.raises(ValueError):
+            prob.strip_decomposition(5)
+
+    def test_residual_zero_only_at_solution(self):
+        prob = make_obstacle_problem(5, 5, seed=7)
+        assert prob.residual_complementarity(np.zeros(prob.dim)) > 0

@@ -1,0 +1,133 @@
+"""Tests for quadratic problems and linear-system generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems.linear_system import (
+    make_jacobi_instance,
+    random_dominant_system,
+    tridiagonal_system,
+)
+from repro.problems.quadratic import (
+    QuadraticProblem,
+    laplacian_quadratic,
+    random_quadratic,
+    separable_quadratic,
+)
+
+
+class TestQuadraticProblem:
+    def test_gradient_matches_finite_difference(self, rng):
+        prob = random_quadratic(6, condition=5.0, seed=1)
+        x = rng.standard_normal(6)
+        g = prob.gradient(x)
+        eps = 1e-6
+        for k in range(6):
+            e = np.zeros(6)
+            e[k] = eps
+            fd = (prob.objective(x + e) - prob.objective(x - e)) / (2 * eps)
+            assert g[k] == pytest.approx(fd, rel=1e-5, abs=1e-7)
+
+    def test_gradient_block_matches_full(self, rng):
+        prob = random_quadratic(8, seed=2)
+        x = rng.standard_normal(8)
+        full = prob.gradient(x)
+        np.testing.assert_allclose(prob.gradient_block(x, slice(2, 5)), full[2:5])
+
+    def test_solution_is_stationary(self):
+        prob = random_quadratic(7, seed=3)
+        np.testing.assert_allclose(prob.gradient(prob.solution()), 0.0, atol=1e-9)
+
+    def test_mu_L_are_eigenvalue_bounds(self, rng):
+        prob = random_quadratic(6, condition=10.0, seed=4)
+        eigs = np.linalg.eigvalsh(prob.Q)
+        assert prob.mu == pytest.approx(eigs[0])
+        assert prob.lipschitz == pytest.approx(eigs[-1])
+        assert prob.condition_number == pytest.approx(eigs[-1] / eigs[0])
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            QuadraticProblem(np.array([[1.0, 1.0], [0.0, 1.0]]), np.zeros(2))
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(ValueError, match="positive definite"):
+            QuadraticProblem(np.diag([1.0, -1.0]), np.zeros(2))
+
+    def test_hessian_constant(self, rng):
+        prob = random_quadratic(5, seed=5)
+        np.testing.assert_allclose(prob.hessian(rng.standard_normal(5)), prob.Q)
+
+    def test_max_step(self):
+        prob = separable_quadratic(4, mu=1.0, lipschitz=3.0)
+        assert prob.max_step() == pytest.approx(0.5)
+
+
+class TestGenerators:
+    def test_separable_is_diagonal(self):
+        prob = separable_quadratic(6, mu=0.5, lipschitz=2.0, seed=6)
+        assert np.count_nonzero(prob.Q - np.diag(np.diag(prob.Q))) == 0
+        assert prob.mu == pytest.approx(0.5)
+        assert prob.lipschitz == pytest.approx(2.0)
+
+    def test_random_quadratic_condition(self):
+        prob = random_quadratic(8, condition=25.0, coupling=1.0, seed=7)
+        assert prob.condition_number == pytest.approx(25.0, rel=1e-6)
+
+    def test_zero_coupling_is_diagonal(self):
+        prob = random_quadratic(5, condition=4.0, coupling=0.0, seed=8)
+        assert np.count_nonzero(prob.Q - np.diag(np.diag(prob.Q))) == 0
+
+    def test_laplacian_diagonally_dominant(self):
+        prob = laplacian_quadratic(10, regularization=0.2, seed=9)
+        from repro.operators.contraction import diagonal_dominance_margin
+
+        assert diagonal_dominance_margin(prob.Q) > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_quadratic(4, condition=0.5)
+        with pytest.raises(ValueError):
+            random_quadratic(4, coupling=1.5)
+        with pytest.raises(ValueError):
+            laplacian_quadratic(1)
+
+
+class TestLinearSystems:
+    def test_dominance_exact(self):
+        M, c = random_dominant_system(8, dominance=0.25, seed=10)
+        d = np.abs(np.diag(M))
+        off = np.sum(np.abs(M), axis=1) - d
+        np.testing.assert_allclose(off / d, 0.75, atol=1e-10)
+
+    def test_full_dominance_is_diagonal(self):
+        M, _ = random_dominant_system(5, dominance=1.0, seed=11)
+        assert np.count_nonzero(M - np.diag(np.diag(M))) == 0
+
+    def test_density_controls_sparsity(self):
+        M_dense, _ = random_dominant_system(20, density=1.0, seed=12)
+        M_sparse, _ = random_dominant_system(20, density=0.2, seed=12)
+        nz_dense = np.count_nonzero(M_dense - np.diag(np.diag(M_dense)))
+        nz_sparse = np.count_nonzero(M_sparse - np.diag(np.diag(M_sparse)))
+        assert nz_sparse < nz_dense
+
+    def test_tridiagonal_shape(self):
+        M, c = tridiagonal_system(6, off_diag=-1.0, diag=4.0)
+        assert np.count_nonzero(M) == 6 + 2 * 5
+        assert c.shape == (6,)
+
+    def test_make_jacobi_instance_contraction(self):
+        op = make_jacobi_instance(10, dominance=0.5, seed=13)
+        assert op.contraction_factor() is not None
+        assert op.contraction_factor() <= 0.5 + 1e-9
+
+    def test_make_jacobi_instance_blocks(self):
+        op = make_jacobi_instance(10, dominance=0.5, n_blocks=5, seed=14)
+        assert op.n_components == 5
+
+    def test_invalid_dominance(self):
+        with pytest.raises(ValueError):
+            random_dominant_system(4, dominance=0.0)
+        with pytest.raises(ValueError):
+            random_dominant_system(4, dominance=1.2)

@@ -1,0 +1,82 @@
+"""Tests for the real shared-memory (Hogwild-style) backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.operators.prox_gradient import ForwardBackwardOperator
+from repro.problems import make_jacobi_instance, make_logistic, make_classification
+from repro.runtime.shared_memory import SharedMemoryAsyncRunner
+
+
+class TestSharedMemoryRunner:
+    def test_single_worker_converges(self, small_jacobi):
+        runner = SharedMemoryAsyncRunner(small_jacobi, n_workers=1)
+        res = runner.run(np.zeros(small_jacobi.dim), max_updates=50_000, tol=1e-9)
+        assert res.converged
+        fp = small_jacobi.fixed_point()
+        assert np.max(np.abs(res.x - fp)) < 1e-7
+
+    def test_multi_worker_converges(self, small_jacobi):
+        runner = SharedMemoryAsyncRunner(small_jacobi, n_workers=4)
+        res = runner.run(np.zeros(small_jacobi.dim), max_updates=500_000, tol=1e-8, timeout=30.0)
+        assert res.converged
+        fp = small_jacobi.fixed_point()
+        assert np.max(np.abs(res.x - fp)) < 1e-7
+
+    def test_update_budget_respected(self, small_jacobi):
+        runner = SharedMemoryAsyncRunner(small_jacobi, n_workers=2)
+        res = runner.run(np.zeros(small_jacobi.dim), max_updates=500, tol=1e-300)
+        # workers race a little past the budget, but not by much
+        assert res.total_updates <= 500 + 2 * 16
+
+    def test_all_workers_contribute(self, small_jacobi):
+        runner = SharedMemoryAsyncRunner(small_jacobi, n_workers=3)
+        res = runner.run(np.zeros(small_jacobi.dim), max_updates=30_000, tol=1e-9)
+        assert len(res.updates_per_worker) == 3
+        assert all(c > 0 for c in res.updates_per_worker.values())
+
+    def test_heterogeneous_sleeps_create_imbalance(self, small_jacobi):
+        runner = SharedMemoryAsyncRunner(
+            small_jacobi, n_workers=2, worker_sleep=[0.0, 0.003]
+        )
+        res = runner.run(np.zeros(small_jacobi.dim), max_updates=4000, tol=1e-300)
+        # the sleeping worker must fall behind
+        assert res.updates_per_worker[0] > res.updates_per_worker[1]
+
+    def test_logistic_training(self):
+        data = make_classification(120, 6, seed=0)
+        prob = make_logistic(data, l2=0.3)
+        op = ForwardBackwardOperator(prob, prob.smooth.max_step())
+        runner = SharedMemoryAsyncRunner(op, n_workers=3)
+        res = runner.run(np.zeros(6), max_updates=200_000, tol=1e-7, timeout=30.0)
+        assert res.converged
+        xstar = prob.solution()
+        assert np.max(np.abs(res.x - xstar)) < 1e-4
+
+    def test_residual_history_recorded(self, small_jacobi):
+        runner = SharedMemoryAsyncRunner(small_jacobi, n_workers=2)
+        res = runner.run(np.zeros(small_jacobi.dim), max_updates=50_000, tol=1e-9)
+        assert len(res.residual_history) >= 1
+        times = [t for t, _ in res.residual_history]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_validation(self, small_jacobi):
+        with pytest.raises(ValueError):
+            SharedMemoryAsyncRunner(small_jacobi, n_workers=0)
+        with pytest.raises(ValueError):
+            SharedMemoryAsyncRunner(small_jacobi, n_workers=100)
+        with pytest.raises(ValueError):
+            SharedMemoryAsyncRunner(small_jacobi, n_workers=2, worker_sleep=[0.1])
+        with pytest.raises(ValueError):
+            SharedMemoryAsyncRunner(small_jacobi, n_workers=2, worker_sleep=-0.1)
+        with pytest.raises(ValueError):
+            SharedMemoryAsyncRunner(small_jacobi, n_workers=2, monitor_interval=0.0)
+
+    def test_timeout_stops(self, small_jacobi):
+        runner = SharedMemoryAsyncRunner(
+            small_jacobi, n_workers=1, worker_sleep=0.01, monitor_interval=0.01
+        )
+        res = runner.run(np.zeros(small_jacobi.dim), max_updates=10**9, tol=1e-300, timeout=0.3)
+        assert res.wall_time < 5.0

@@ -1,0 +1,204 @@
+"""Tests for ARock, DAve-PG, Bellman–Ford, relaxation and Newton solvers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.delays.bounded import UniformRandomDelay
+from repro.problems import (
+    make_classification,
+    make_lasso,
+    make_logistic,
+    make_network_flow_dual,
+    make_regression,
+    random_flow_network,
+)
+from repro.solvers import (
+    ARockSolver,
+    AsyncNewtonSolver,
+    DAvePGSolver,
+    NetworkFlowRelaxationSolver,
+    async_bellman_ford,
+    shard_gradients,
+    sync_bellman_ford,
+    weights_from_graph,
+)
+from repro.solvers.dave_pg import DAvePGSolver as _D
+
+
+@pytest.fixture
+def lasso():
+    data = make_regression(80, 10, sparsity=0.3, seed=0)
+    return make_lasso(data, l1=0.05, l2=0.1)
+
+
+class TestARock:
+    def test_converges_serial(self, lasso):
+        res = ARockSolver(max_delay=0, seed=1).solve(lasso, tol=1e-8)
+        assert res.converged
+        assert res.error_to(lasso.solution()) < 1e-5
+
+    def test_converges_with_delays(self, lasso):
+        res = ARockSolver(max_delay=10, eta=0.6, seed=2).solve(
+            lasso, tol=1e-8, max_iterations=500_000
+        )
+        assert res.converged
+        assert res.error_to(lasso.solution()) < 1e-5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ARockSolver(eta=0.0)
+        with pytest.raises(ValueError):
+            ARockSolver(eta=1.5)
+        with pytest.raises(ValueError):
+            ARockSolver(max_delay=-1)
+
+
+class TestDAvePG:
+    def test_converges_uniform_workers(self, lasso):
+        res = DAvePGSolver(4, seed=3).solve(lasso, tol=1e-9)
+        assert res.converged
+        assert res.error_to(lasso.solution()) < 1e-6
+
+    def test_converges_heterogeneous_rates(self, lasso):
+        res = DAvePGSolver(
+            4, worker_rates=np.array([8.0, 4.0, 2.0, 1.0]), seed=4
+        ).solve(lasso, tol=1e-9, max_iterations=500_000)
+        assert res.converged
+        assert res.error_to(lasso.solution()) < 1e-6
+
+    def test_sharded_gradients_average_to_full(self, lasso, rng):
+        oracles = shard_gradients(lasso, 4)
+        x = rng.standard_normal(lasso.dim)
+        avg = np.mean([o(x) for o in oracles], axis=0)
+        np.testing.assert_allclose(avg, lasso.smooth.gradient(x), atol=1e-10)
+
+    def test_sharded_logistic_average_to_full(self, rng):
+        data = make_classification(60, 6, seed=5)
+        prob = make_logistic(data, l2=0.2)
+        oracles = shard_gradients(prob, 3)
+        x = rng.standard_normal(6)
+        avg = np.mean([o(x) for o in oracles], axis=0)
+        np.testing.assert_allclose(avg, prob.smooth.gradient(x), atol=1e-8)
+
+    def test_trace_owners_are_workers(self, lasso):
+        res = DAvePGSolver(3, seed=6).solve(lasso, tol=1e-8)
+        assert res.trace is not None
+        assert res.trace.n_components == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DAvePGSolver(0)
+        with pytest.raises(ValueError):
+            DAvePGSolver(2, worker_rates=np.array([1.0]))
+        with pytest.raises(ValueError):
+            DAvePGSolver(2, worker_rates=np.array([1.0, -1.0]))
+
+
+class TestBellmanFord:
+    @pytest.fixture
+    def graph(self):
+        g = nx.gnp_random_graph(25, 0.2, seed=1, directed=True)
+        for u, v in g.edges:
+            g[u][v]["weight"] = 1.0 + ((u * 7 + v) % 10) / 3.0
+        return g
+
+    def test_sync_matches_networkx(self, graph):
+        W = weights_from_graph(graph)
+        res = sync_bellman_ford(W, destination=0)
+        # networkx: shortest path TO node 0 = reverse graph from 0
+        rev = graph.reverse()
+        dist = nx.single_source_dijkstra_path_length(rev, 0, weight="weight")
+        for node, d in dist.items():
+            assert res.x[node] == pytest.approx(d, abs=1e-9)
+
+    def test_async_matches_sync(self, graph):
+        W = weights_from_graph(graph)
+        rs = sync_bellman_ford(W, 0)
+        ra = async_bellman_ford(W, 0, seed=2)
+        np.testing.assert_allclose(ra.x, rs.x, atol=1e-9)
+
+    def test_async_with_heavy_delays(self, graph):
+        W = weights_from_graph(graph)
+        n = W.shape[0]
+        ra = async_bellman_ford(
+            W, 0, delays=UniformRandomDelay(n, 20, seed=3), seed=4
+        )
+        rs = sync_bellman_ford(W, 0)
+        np.testing.assert_allclose(ra.x, rs.x, atol=1e-9)
+
+    def test_negative_weight_rejected(self):
+        g = nx.DiGraph()
+        g.add_nodes_from([0, 1])
+        g.add_edge(1, 0, weight=-1.0)
+        with pytest.raises(ValueError):
+            weights_from_graph(g)
+
+    def test_bad_node_labels_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            weights_from_graph(g)
+
+
+class TestNetworkFlowRelaxation:
+    def test_all_modes_agree(self, flow_network):
+        results = {}
+        for mode in ("sync_jacobi", "sync_gauss_seidel", "async"):
+            r = NetworkFlowRelaxationSolver("relaxation", mode, seed=5).solve(
+                flow_network, tol=1e-11
+            )
+            assert r.converged, mode
+            results[mode] = r
+        p_ref = results["sync_jacobi"].x
+        for mode, r in results.items():
+            np.testing.assert_allclose(r.x, p_ref, atol=1e-7)
+            assert r.info["primal_infeasibility"] < 1e-7
+
+    def test_gradient_method_agrees_with_relaxation(self, flow_network):
+        r1 = NetworkFlowRelaxationSolver("relaxation", "async", seed=6).solve(
+            flow_network, tol=1e-11
+        )
+        r2 = NetworkFlowRelaxationSolver("gradient", "async", seed=7).solve(
+            flow_network, tol=1e-11
+        )
+        np.testing.assert_allclose(r1.x, r2.x, atol=1e-6)
+
+    def test_recovered_flows_conserve(self, flow_network):
+        r = NetworkFlowRelaxationSolver("relaxation", "async", seed=8).solve(
+            flow_network, tol=1e-12
+        )
+        A = flow_network.incidence_matrix()
+        np.testing.assert_allclose(
+            A @ r.info["flows"], flow_network.supplies, atol=1e-7
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkFlowRelaxationSolver("bogus")
+        with pytest.raises(ValueError):
+            NetworkFlowRelaxationSolver("relaxation", "bogus")
+
+
+class TestAsyncNewton:
+    def test_converges_on_flow_dual(self):
+        prob = make_network_flow_dual(14, 0.3, seed=9)
+        res = AsyncNewtonSolver(4, seed=10).solve(prob, tol=1e-10)
+        assert res.converged
+        assert res.error_to(prob.solution()) < 1e-7
+
+    def test_newton_beats_gradient_per_iteration(self):
+        """Block Newton needs far fewer updates than scalar relaxation."""
+        from repro.solvers import AsyncSolver
+
+        prob = make_network_flow_dual(14, 0.3, seed=11)
+        rn = AsyncNewtonSolver(4, seed=12).solve(prob, tol=1e-9)
+        rg = AsyncSolver(seed=13).solve(prob, tol=1e-9, max_iterations=500_000)
+        assert rn.converged and rg.converged
+        assert rn.iterations < rg.iterations
+
+    def test_rejects_nonsmooth(self, lasso):
+        with pytest.raises(ValueError, match="smooth"):
+            AsyncNewtonSolver().solve(lasso)

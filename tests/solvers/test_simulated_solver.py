@@ -1,0 +1,61 @@
+"""Tests for the simulated-machine solver front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.macro import macro_sequence
+from repro.problems import make_lasso, make_regression
+from repro.solvers import SimulatedMachineSolver
+
+
+@pytest.fixture
+def lasso():
+    data = make_regression(60, 12, sparsity=0.3, seed=0)
+    return make_lasso(data, l1=0.05, l2=0.1)
+
+
+class TestSimulatedMachineSolver:
+    @pytest.mark.parametrize("machine", ["cluster", "wan", "grid", "shared_memory"])
+    def test_all_presets_converge(self, lasso, machine):
+        res = SimulatedMachineSolver(4, machine=machine, seed=1).solve(lasso, tol=1e-8)
+        assert res.converged
+        assert res.error_to(lasso.solution()) < 1e-5
+        assert np.isfinite(res.simulated_time)
+        assert res.info["machine"] == machine
+
+    def test_trace_supports_macro_analysis(self, lasso):
+        res = SimulatedMachineSolver(4, seed=2).solve(lasso, tol=1e-8)
+        ms = macro_sequence(res.trace)
+        assert ms.count > 0
+
+    def test_flexible_off(self, lasso):
+        res = SimulatedMachineSolver(4, flexible=False, seed=3).solve(lasso, tol=1e-8)
+        assert res.converged
+        assert res.info["message_stats"]["partial"] == 0
+
+    def test_flexible_on_sends_partials(self, lasso):
+        res = SimulatedMachineSolver(4, flexible=True, seed=4).solve(lasso, tol=1e-8)
+        assert res.info["message_stats"]["partial"] > 0
+
+    def test_heterogeneity_skews_updates(self, lasso):
+        res = SimulatedMachineSolver(4, heterogeneity=6.0, seed=5).solve(lasso, tol=1e-7)
+        counts = res.info["updates_per_processor"]
+        assert counts[0] > counts[3]  # fast processor did more phases
+
+    def test_deterministic(self, lasso):
+        a = SimulatedMachineSolver(3, seed=6).solve(lasso, tol=1e-8)
+        b = SimulatedMachineSolver(3, seed=6).solve(lasso, tol=1e-8)
+        np.testing.assert_array_equal(a.x, b.x)
+        assert a.simulated_time == b.simulated_time
+
+    def test_validation(self, lasso):
+        with pytest.raises(ValueError):
+            SimulatedMachineSolver(0)
+        with pytest.raises(ValueError):
+            SimulatedMachineSolver(2, machine="bogus")
+        with pytest.raises(ValueError):
+            SimulatedMachineSolver(2, heterogeneity=0.5)
+        with pytest.raises(ValueError):
+            SimulatedMachineSolver(100).solve(lasso)

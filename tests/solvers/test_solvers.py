@@ -1,0 +1,158 @@
+"""Tests for synchronous, asynchronous and flexible solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.delays.bounded import UniformRandomDelay
+from repro.delays.unbounded import BaudetSqrtDelay
+from repro.delays.outoforder import ShuffledWindowDelay
+from repro.problems import (
+    make_classification,
+    make_lasso,
+    make_logistic,
+    make_regression,
+    make_ridge,
+)
+from repro.solvers import (
+    AsyncSolver,
+    FISTASolver,
+    FlexibleAsyncSolver,
+    GradientDescentSolver,
+    ISTASolver,
+    gauss_seidel_solve,
+    jacobi_solve,
+)
+from repro.steering.policies import RandomSubset
+
+
+@pytest.fixture
+def lasso():
+    data = make_regression(90, 14, sparsity=0.4, seed=0)
+    return make_lasso(data, l1=0.06, l2=0.1)
+
+
+ALL_SOLVERS = [
+    ("gd", lambda: GradientDescentSolver()),
+    ("ista", lambda: ISTASolver()),
+    ("fista", lambda: FISTASolver()),
+    ("async", lambda: AsyncSolver(seed=1)),
+    ("flex", lambda: FlexibleAsyncSolver(seed=2)),
+]
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("name,factory", ALL_SOLVERS, ids=[n for n, _ in ALL_SOLVERS])
+    def test_reaches_minimizer(self, lasso, name, factory):
+        res = factory().solve(lasso, tol=1e-9, max_iterations=400_000)
+        assert res.converged, name
+        xstar = lasso.solution()
+        assert res.error_to(xstar) < 1e-6, name
+        assert res.objective == pytest.approx(lasso.objective(xstar), abs=1e-9)
+
+    def test_all_objectives_agree(self, lasso):
+        objs = [
+            factory().solve(lasso, tol=1e-10, max_iterations=500_000).objective
+            for _, factory in ALL_SOLVERS
+        ]
+        assert max(objs) - min(objs) < 1e-8
+
+
+class TestSynchronous:
+    def test_fista_fewer_iterations_than_ista(self, lasso):
+        r_ista = ISTASolver().solve(lasso, tol=1e-10)
+        r_fista = FISTASolver().solve(lasso, tol=1e-10)
+        assert r_fista.iterations < r_ista.iterations
+
+    def test_gd_custom_gamma(self, lasso):
+        gmax = lasso.smooth.max_step()
+        res = GradientDescentSolver(gamma=gmax / 2).solve(lasso, tol=1e-8)
+        assert res.converged
+        assert res.info["gamma"] == pytest.approx(gmax / 2)
+
+    def test_jacobi_gs_solve(self, small_jacobi):
+        rj = jacobi_solve(small_jacobi, np.zeros(small_jacobi.dim), tol=1e-11)
+        rg = gauss_seidel_solve(small_jacobi, np.zeros(small_jacobi.dim), tol=1e-11)
+        assert rj.converged and rg.converged
+        np.testing.assert_allclose(rj.x, rg.x, atol=1e-8)
+        # GS converges in fewer sweeps than Jacobi on dominant systems
+        assert rg.iterations <= rj.iterations
+
+    def test_budget_exhaustion(self, lasso):
+        res = ISTASolver().solve(lasso, tol=1e-16, max_iterations=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+
+class TestAsyncSolver:
+    def test_unbounded_delays_converge(self, lasso):
+        solver = AsyncSolver(delays=BaudetSqrtDelay(lasso.dim, [0, 3]), seed=3)
+        res = solver.solve(lasso, tol=1e-8, max_iterations=500_000)
+        assert res.converged
+        assert res.error_to(lasso.solution()) < 1e-5
+
+    def test_out_of_order_converges(self, lasso):
+        solver = AsyncSolver(delays=ShuffledWindowDelay(lasso.dim, 10, seed=4), seed=5)
+        res = solver.solve(lasso, tol=1e-8, max_iterations=500_000)
+        assert res.converged
+        assert not res.trace.admissibility().monotone
+
+    def test_trace_attached(self, lasso):
+        res = AsyncSolver(seed=6).solve(lasso, tol=1e-7)
+        assert res.trace is not None
+        assert res.trace.n_iterations == res.iterations
+
+    def test_block_mode(self, lasso):
+        res = AsyncSolver(n_blocks=4, seed=7).solve(lasso, tol=1e-8)
+        assert res.converged
+        assert res.trace.n_components == 4
+
+    def test_custom_steering(self, lasso):
+        solver = AsyncSolver(steering=RandomSubset(lasso.dim, 0.4, seed=8), seed=9)
+        res = solver.solve(lasso, tol=1e-8)
+        assert res.converged
+
+    def test_x0_respected(self, lasso):
+        xstar = lasso.solution()
+        res = AsyncSolver(seed=10).solve(lasso, x0=xstar, tol=1e-8, max_iterations=2000)
+        assert res.converged
+        assert res.iterations < 1000  # warm start is nearly instant
+
+
+class TestFlexibleSolver:
+    def test_constraint_audit_in_info(self, lasso):
+        res = FlexibleAsyncSolver(seed=11).solve(lasso, tol=1e-8)
+        assert res.info["constraint_checks"] > 0
+        assert 0 <= res.info["constraint_violations"] <= res.info["constraint_checks"]
+        assert res.info["rho"] == pytest.approx(
+            lasso.smooth.max_step() * lasso.smooth.mu
+        )
+
+    def test_returns_minimizer_space_iterate(self, lasso):
+        """x must be the post-prox minimizer estimate, not the G-space point."""
+        res = FlexibleAsyncSolver(seed=12).solve(lasso, tol=1e-9, max_iterations=400_000)
+        xstar = lasso.solution()
+        assert res.error_to(xstar) < 1e-6
+        # lasso solutions are sparse; the G-space iterate would not be
+        assert np.sum(np.abs(res.x) < 1e-12) == np.sum(np.abs(xstar) < 1e-12)
+
+    def test_gamma_override(self, lasso):
+        gmax = lasso.smooth.max_step()
+        res = FlexibleAsyncSolver(gamma=gmax / 3, seed=13).solve(lasso, tol=1e-8)
+        assert res.converged
+        assert res.info["gamma"] == pytest.approx(gmax / 3)
+
+    def test_logistic_problem(self):
+        data = make_classification(100, 8, seed=14)
+        prob = make_logistic(data, l2=0.2)
+        res = FlexibleAsyncSolver(seed=15).solve(prob, tol=1e-8)
+        assert res.converged
+        assert res.error_to(prob.solution()) < 1e-5
+
+    def test_ridge_problem(self):
+        data = make_regression(60, 10, seed=16)
+        prob = make_ridge(data, l2=0.3)
+        res = FlexibleAsyncSolver(seed=17).solve(prob, tol=1e-9)
+        assert res.converged
+        assert res.error_to(prob.solution()) < 1e-6

@@ -1,0 +1,146 @@
+"""Tests for steering policies (condition (c) is their responsibility)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.steering.policies import (
+    AllComponents,
+    BlockCyclic,
+    CyclicSingle,
+    PermutationSweeps,
+    RandomSubset,
+    WeightedRandom,
+)
+
+ALL_POLICIES = [
+    AllComponents(6),
+    CyclicSingle(6),
+    BlockCyclic(6, 2),
+    RandomSubset(6, 0.3, seed=0),
+    WeightedRandom(np.array([1.0, 1, 1, 1, 1, 0.05]), seed=1),
+    PermutationSweeps(6, seed=2),
+]
+
+
+class TestUniversalContracts:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+    def test_nonempty_and_in_range(self, policy):
+        policy.reset()
+        for j in range(1, 500):
+            S = policy.active_set(j)
+            assert len(S) >= 1
+            assert all(0 <= i < 6 for i in S)
+            assert len(set(S)) == len(S)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+    def test_condition_c_every_component_recurs(self, policy):
+        """Every component appears in every window of 2000 iterations."""
+        policy.reset()
+        seen_last = {i: 0 for i in range(6)}
+        for j in range(1, 2001):
+            for i in policy.active_set(j):
+                seen_last[i] = j
+        assert all(v > 0 for v in seen_last.values()), "component never updated"
+
+
+class TestSpecificPolicies:
+    def test_all_components(self):
+        assert AllComponents(4).active_set(7) == (0, 1, 2, 3)
+
+    def test_cyclic_single_order(self):
+        p = CyclicSingle(3)
+        assert [p.active_set(j) for j in range(1, 7)] == [
+            (0,), (1,), (2,), (0,), (1,), (2,),
+        ]
+
+    def test_block_cyclic_groups(self):
+        p = BlockCyclic(5, 2)
+        assert p.active_set(1) == (0, 1)
+        assert p.active_set(2) == (2, 3)
+        assert p.active_set(3) == (4,)
+        assert p.active_set(4) == (0, 1)
+
+    def test_block_cyclic_validation(self):
+        with pytest.raises(ValueError):
+            BlockCyclic(3, 4)
+        with pytest.raises(ValueError):
+            BlockCyclic(3, 0)
+
+    def test_random_subset_probability_scales_size(self):
+        small = RandomSubset(20, 0.1, seed=3)
+        large = RandomSubset(20, 0.9, seed=3)
+        mean_small = np.mean([len(small.active_set(j)) for j in range(1, 300)])
+        mean_large = np.mean([len(large.active_set(j)) for j in range(1, 300)])
+        assert mean_large > mean_small
+
+    def test_random_subset_rejects_zero_p(self):
+        with pytest.raises(ValueError):
+            RandomSubset(4, 0.0)
+
+    def test_random_subset_starvation_guard_enforces_gap(self):
+        p = RandomSubset(10, 0.05, max_gap=20, seed=4)
+        last = {i: 0 for i in range(10)}
+        for j in range(1, 2000):
+            for i in p.active_set(j):
+                gap = j - last[i]
+                last[i] = j
+        # after warmup, no gap may exceed max_gap + 1
+        p.reset()
+        last = {i: 0 for i in range(10)}
+        max_gap_seen = 0
+        for j in range(1, 2000):
+            for i in p.active_set(j):
+                max_gap_seen = max(max_gap_seen, j - last[i])
+                last[i] = j
+        assert max_gap_seen <= 21
+
+    def test_weighted_random_respects_weights(self):
+        p = WeightedRandom(np.array([10.0, 1.0]), max_gap=10_000, seed=5)
+        counts = np.zeros(2)
+        for j in range(1, 3000):
+            for i in p.active_set(j):
+                counts[i] += 1
+        assert counts[0] > 5 * counts[1]
+
+    def test_weighted_random_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            WeightedRandom(np.array([1.0, 0.0]))
+
+    def test_permutation_sweeps_visit_each_once_per_sweep(self):
+        p = PermutationSweeps(5, seed=6)
+        for sweep in range(10):
+            seen = set()
+            for _ in range(5):
+                S = p.active_set(0)  # j unused by this policy
+                seen.update(S)
+            assert seen == set(range(5))
+
+    def test_reset_restarts_state(self):
+        p = CyclicSingle(3)
+        p.active_set(1)
+        p.reset()  # stateless: no crash
+        q = PermutationSweeps(4, seed=7)
+        q.active_set(1)
+        q.reset()
+        # after reset, next sweep completes within 4 draws
+        seen = set()
+        for _ in range(4):
+            seen.update(q.active_set(1))
+        assert len(seen) <= 4
+
+    @given(n=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_cyclic_single_full_coverage_in_n(self, n):
+        p = CyclicSingle(n)
+        seen = set()
+        for j in range(1, n + 1):
+            seen.update(p.active_set(j))
+        assert seen == set(range(n))
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ValueError):
+            AllComponents(0)

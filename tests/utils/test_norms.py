@@ -1,0 +1,180 @@
+"""Tests for block decompositions and weighted max norms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.norms import (
+    BlockSpec,
+    WeightedMaxNorm,
+    block_abs_max,
+    block_euclidean_norms,
+    weighted_max_norm,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBlockSpec:
+    def test_scalar_spec_has_one_block_per_coordinate(self):
+        spec = BlockSpec.scalar(5)
+        assert spec.n_blocks == 5
+        assert spec.dim == 5
+        assert spec.is_scalar
+
+    def test_uniform_split_sizes_sum_to_dim(self):
+        spec = BlockSpec.uniform(10, 3)
+        assert sum(spec.sizes) == 10
+        assert spec.n_blocks == 3
+        assert max(spec.sizes) - min(spec.sizes) <= 1
+
+    def test_uniform_split_exact_division(self):
+        spec = BlockSpec.uniform(12, 4)
+        assert spec.sizes == (3, 3, 3, 3)
+
+    def test_slices_cover_all_coordinates_disjointly(self):
+        spec = BlockSpec((2, 3, 1, 4))
+        seen = []
+        for sl in spec.slices():
+            seen.extend(range(sl.start, sl.stop))
+        assert seen == list(range(10))
+
+    def test_block_of_coordinate(self):
+        spec = BlockSpec((2, 3, 5))
+        assert spec.block_of_coordinate(0) == 0
+        assert spec.block_of_coordinate(1) == 0
+        assert spec.block_of_coordinate(2) == 1
+        assert spec.block_of_coordinate(4) == 1
+        assert spec.block_of_coordinate(5) == 2
+        assert spec.block_of_coordinate(9) == 2
+
+    def test_block_of_coordinate_out_of_range(self):
+        spec = BlockSpec((2, 2))
+        with pytest.raises(IndexError):
+            spec.block_of_coordinate(4)
+        with pytest.raises(IndexError):
+            spec.block_of_coordinate(-1)
+
+    def test_coordinate_owner_matches_block_of_coordinate(self):
+        spec = BlockSpec((1, 4, 2))
+        owner = spec.coordinate_owner()
+        for k in range(spec.dim):
+            assert owner[k] == spec.block_of_coordinate(k)
+
+    def test_get_set_block_roundtrip(self):
+        spec = BlockSpec((2, 3))
+        x = np.zeros(5)
+        spec.set_block(x, 1, np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(spec.get_block(x, 1), [1.0, 2.0, 3.0])
+        assert np.array_equal(spec.get_block(x, 0), [0.0, 0.0])
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSpec(())
+        with pytest.raises(ValueError):
+            BlockSpec((0, 2))
+        with pytest.raises(ValueError):
+            BlockSpec.scalar(0)
+        with pytest.raises(ValueError):
+            BlockSpec.uniform(3, 4)
+
+    def test_slice_out_of_range(self):
+        spec = BlockSpec((2, 2))
+        with pytest.raises(IndexError):
+            spec.slice(2)
+
+
+class TestBlockNorms:
+    def test_block_euclidean_scalar_is_abs(self):
+        x = np.array([3.0, -4.0, 0.0])
+        assert np.array_equal(block_euclidean_norms(x, BlockSpec.scalar(3)), [3, 4, 0])
+
+    def test_block_euclidean_grouped(self):
+        spec = BlockSpec((2, 2))
+        x = np.array([3.0, 4.0, 0.0, -2.0])
+        np.testing.assert_allclose(block_euclidean_norms(x, spec), [5.0, 2.0])
+
+    def test_block_abs_max_grouped(self):
+        spec = BlockSpec((3, 1))
+        x = np.array([1.0, -7.0, 2.0, 3.0])
+        np.testing.assert_allclose(block_abs_max(x, spec), [7.0, 3.0])
+
+    def test_weighted_max_norm_default_weights(self):
+        assert weighted_max_norm(np.array([1.0, -2.0, 0.5])) == 2.0
+
+    def test_weighted_max_norm_weights_divide(self):
+        x = np.array([2.0, 2.0])
+        assert weighted_max_norm(x, weights=np.array([1.0, 4.0])) == 2.0
+        assert weighted_max_norm(x, weights=np.array([4.0, 4.0])) == 0.5
+
+    def test_weighted_max_norm_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            weighted_max_norm(np.ones(2), weights=np.array([1.0, 0.0]))
+
+
+class TestWeightedMaxNormObject:
+    def test_scalar_factory(self):
+        norm = WeightedMaxNorm.scalar(3)
+        assert norm(np.array([1.0, -2.0, 0.5])) == 2.0
+
+    def test_distance(self):
+        norm = WeightedMaxNorm.scalar(2)
+        assert norm.distance(np.array([1.0, 1.0]), np.array([0.0, 3.0])) == 2.0
+
+    def test_block_values_max_equals_norm(self):
+        spec = BlockSpec((2, 3))
+        norm = WeightedMaxNorm(spec, np.array([1.0, 2.0]))
+        x = np.array([1.0, 1.0, 2.0, 2.0, 2.0])
+        vals = norm.block_values(x)
+        assert np.max(vals) == pytest.approx(norm(x))
+
+    def test_weights_are_frozen(self):
+        norm = WeightedMaxNorm.scalar(2)
+        with pytest.raises(ValueError):
+            norm.weights[0] = 5.0
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            WeightedMaxNorm(BlockSpec.scalar(2), np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            WeightedMaxNorm(BlockSpec.scalar(2), np.array([1.0]))
+
+
+class TestNormAxioms:
+    """Hypothesis: ||.||_u satisfies the norm axioms on random vectors."""
+
+    @given(x=arrays(np.float64, 6, elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_and_zero_iff_zero(self, x):
+        spec = BlockSpec((2, 1, 3))
+        norm = WeightedMaxNorm(spec, np.array([1.0, 2.0, 0.5]))
+        v = norm(x)
+        assert v >= 0.0
+        if np.all(x == 0):
+            assert v == 0.0
+        elif v == 0.0:
+            assert np.allclose(x, 0.0)
+
+    @given(
+        x=arrays(np.float64, 6, elements=finite_floats),
+        y=arrays(np.float64, 6, elements=finite_floats),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, x, y):
+        norm = WeightedMaxNorm(BlockSpec((3, 3)), np.array([1.0, 3.0]))
+        assert norm(x + y) <= norm(x) + norm(y) + 1e-9 * (norm(x) + norm(y) + 1)
+
+    @given(
+        x=arrays(np.float64, 4, elements=finite_floats),
+        a=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_absolute_homogeneity(self, x, a):
+        norm = WeightedMaxNorm.scalar(4, np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_allclose(norm(a * x), abs(a) * norm(x), rtol=1e-9, atol=1e-12)

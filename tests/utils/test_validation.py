@@ -1,0 +1,96 @@
+"""Tests for argument-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite_array,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_positive_integer,
+    check_probability,
+    check_vector,
+)
+
+
+class TestCheckVector:
+    def test_accepts_list(self):
+        v = check_vector([1, 2, 3])
+        assert v.dtype == np.float64
+        assert v.shape == (3,)
+
+    def test_scalar_promoted_to_length_one(self):
+        assert check_vector(5.0).shape == (1,)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError, match="length 4"):
+            check_vector([1, 2, 3], "foo", dim=4)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_vector(np.zeros((2, 2)))
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="myparam"):
+            check_vector(np.zeros((2, 2)), "myparam")
+
+
+class TestCheckFiniteArray:
+    def test_passes_finite(self):
+        check_finite_array([1.0, 2.0])
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite_array([1.0, bad])
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad)
+
+    def test_nonnegative_accepts_zero(self):
+        assert check_nonnegative(0.0) == 0.0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1)
+
+    def test_positive_integer_accepts_numpy_int(self):
+        assert check_positive_integer(np.int64(3)) == 3
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_positive_integer_rejects_small(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_integer(bad)
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True])
+    def test_positive_integer_rejects_nonint(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_integer(bad)
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.01)
+        with pytest.raises(ValueError):
+            check_probability(-0.01)
+
+    def test_in_range_closed(self):
+        assert check_in_range(0.0, 0.0, 1.0) == 0.0
+
+    def test_in_range_open_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, 0.0, 1.0, lo_open=True)
+        with pytest.raises(ValueError):
+            check_in_range(1.0, 0.0, 1.0, hi_open=True)
+        assert check_in_range(0.5, 0.0, 1.0, lo_open=True, hi_open=True) == 0.5
