@@ -1,0 +1,31 @@
+# Developer entry points. PYTHONPATH is injected per target so the
+# editable layout (src/ + benchmarks/ at the repo root) just works.
+
+PY ?= python
+PP := PYTHONPATH=src:.$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-slow test-all bench-fleet sweep example-fleet
+
+## tier-1: the fast suite (slow-marked fleet stress tests are skipped)
+test:
+	$(PP) $(PY) -m pytest -x -q
+
+## only the @pytest.mark.slow tests (fleet stress, 2x throughput bar)
+test-slow:
+	$(PP) $(PY) -m pytest -q -m slow
+
+## everything, slow tests included
+test-all:
+	$(PP) $(PY) -m pytest -q --runslow
+
+## regenerate BENCH_fleet.json (scenarios/sec vs sequential baseline)
+bench-fleet:
+	$(PP) $(PY) -m pytest benchmarks/bench_fleet_throughput.py --benchmark-only -q -s
+
+## the acceptance-criteria grid: 2 problems x 2 delays x 2 policies x 3 seeds
+sweep:
+	$(PP) $(PY) -m repro sweep --seeds 3 --max-iterations 3000
+
+## runnable fleet-API walkthrough
+example-fleet:
+	$(PP) $(PY) examples/fleet_sweep.py

@@ -5,11 +5,19 @@ DESIGN.md.  Measurements are printed *and* persisted under
 ``benchmarks/results/`` so the paper-vs-measured comparison in
 EXPERIMENTS.md can be refreshed from the artifacts regardless of
 pytest's output capture.
+
+The multi-seed helpers route through the fleet runner
+(:mod:`repro.runtime.fleet`): any benchmark can hand a
+:class:`~repro.scenarios.spec.ScenarioGrid` (or a spec list) to
+:func:`fleet_run` and report per-group medians instead of single-seed
+point estimates — the statistically honest form of every claim in the
+paper.
 """
 
 from __future__ import annotations
 
 import pathlib
+from typing import Any, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -25,3 +33,36 @@ def emit(name: str, text: str) -> None:
 def once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def fleet_run(grid_or_specs: Any, *, executor: str = "auto", max_workers: int | None = None):
+    """Run a scenario grid (or spec list) through the fleet runner.
+
+    Accepts a :class:`~repro.scenarios.spec.ScenarioGrid` or any
+    iterable of :class:`~repro.scenarios.spec.ScenarioSpec`; returns
+    the :class:`~repro.runtime.fleet.FleetResult`.
+    """
+    from repro.runtime.fleet import run_fleet
+    from repro.scenarios.spec import ScenarioGrid
+
+    specs = grid_or_specs.expand() if isinstance(grid_or_specs, ScenarioGrid) else grid_or_specs
+    return run_fleet(specs, executor=executor, max_workers=max_workers)
+
+
+def fleet_median_table(
+    grid_or_specs: Any,
+    *,
+    group_by: Sequence[str],
+    metrics: Sequence[str] = ("iterations", "converged", "final_residual"),
+    executor: str = "auto",
+    title: str | None = None,
+) -> tuple[Any, str]:
+    """Run a grid and render its per-group multi-seed median table.
+
+    Returns ``(fleet_result, table_text)`` so benchmarks can both
+    report the text via :func:`emit` and inspect the numbers.
+    """
+    from repro.analysis.fleet import render_fleet_table
+
+    fleet = fleet_run(grid_or_specs, executor=executor)
+    return fleet, render_fleet_table(fleet, group_by=group_by, metrics=metrics, title=title)

@@ -6,13 +6,17 @@ Baudet-style unbounded growth and out-of-order shuffles.  Measured:
 iterations and macro-iterations to tolerance.  Convergence must hold
 for *every* admissible regime (the theory's point), with a graceful
 degradation of iteration counts as staleness grows.
+
+A second table re-runs the staleness story as a fleet grid — every
+registered delay model × 5 seeds, medians over seeds — so the claim no
+longer rests on one lucky stream.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._common import emit, once
+from benchmarks._common import emit, fleet_median_table, once
 from repro.analysis.reporting import render_table
 from repro.core.async_iteration import AsyncIterationEngine
 from repro.core.macro import macro_sequence
@@ -95,3 +99,34 @@ def test_delay_regimes(benchmark):
     )
     # out-of-order regimes really were non-monotone
     assert by_name["shuffled window 16 (out-of-order)"][5] == "no"
+
+
+def test_delay_regimes_multiseed(benchmark):
+    """Medians over 5 seeds of every registered delay model (fleet-run)."""
+    from repro.scenarios import ScenarioGrid, available
+
+    grid = ScenarioGrid(
+        problems=(("jacobi", {"n": N, "dominance": 0.3}),),
+        delays=available("delays"),
+        steerings=("permutation-sweeps",),
+        n_seeds=5,
+        master_seed=11,
+        max_iterations=40_000,
+        tol=1e-8,
+    )
+    fleet, table = once(
+        benchmark,
+        lambda: fleet_median_table(
+            grid,
+            group_by=("delays",),
+            metrics=("iterations", "converged", "final_residual"),
+            title="median over 5 seeds per delay regime (fleet runner)",
+        ),
+    )
+    emit("delay_regimes_multiseed", table)
+    assert not fleet.failures(), [r.error for r in fleet.failures()]
+    med = fleet.group_medians(by=("delays",), metrics=("iterations", "converged"))
+    # every regime converges on every seed
+    assert all(m["converged"] == 1.0 for m in med.values()), med
+    # staleness costs iterations in the median too
+    assert med[("zero",)]["iterations"] <= med[("uniform",)]["iterations"]

@@ -1,0 +1,102 @@
+"""FLEET — scenarios/sec of the fleet runner vs the sequential baseline.
+
+The seed repository ran every scenario one at a time through the
+original pure-Python event loop (kept frozen as
+:class:`~repro.runtime.simulator.reference.ReferenceSimulator`).  This
+experiment measures what the fleet subsystem buys on a fixed simulator
+workload — problems × machine archetypes × seeds, heavy on the
+flexible-communication regime whose per-inner-step remote refreshes
+were the old loop's worst case:
+
+* **baseline** — sequential execution, reference engine (the seed's
+  modus operandi);
+* **fleet** — the fleet runner with the vectorized engine, default
+  executor (process pool when the host has cores, serial otherwise).
+
+Both run the *same* scenario specs with the same per-scenario seeds,
+and the vectorized engine is bit-identical to the reference
+(tests/runtime/test_determinism.py), so the throughput ratio is pure
+implementation speedup, not workload drift.  The numbers land in
+``BENCH_fleet.json`` at the repo root — the perf trajectory file —
+and the acceptance bar is >= 2x scenarios/sec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import platform
+
+from benchmarks._common import emit, fleet_run, once
+from repro.analysis.fleet import compare_throughput
+from repro.analysis.reporting import render_table
+from repro.scenarios import ScenarioGrid
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+TRAJECTORY_FILE = REPO_ROOT / "BENCH_fleet.json"
+
+#: The fixed workload: 2 problems x 2 machines x 3 seeds = 12 scenarios.
+WORKLOAD = ScenarioGrid(
+    problems=(("jacobi", {"n": 48}), ("tridiagonal", {"n": 48})),
+    kind="simulator",
+    machines=(("flexible", {"n_processors": 8}), ("heterogeneous", {"n_processors": 8})),
+    n_seeds=3,
+    master_seed=2022,
+    max_iterations=600,
+    tol=0.0,  # run out the budget: identical work per scenario
+)
+
+
+def run_throughput():
+    baseline_grid = dataclasses.replace(WORKLOAD, backend="reference")
+    baseline = fleet_run(baseline_grid, executor="serial")
+    fleet = fleet_run(WORKLOAD, executor="auto")
+    fleet_serial = fleet_run(WORKLOAD, executor="serial")
+    return baseline, fleet, fleet_serial
+
+
+def test_fleet_throughput(benchmark):
+    baseline, fleet, fleet_serial = once(benchmark, run_throughput)
+    assert not baseline.failures() and not fleet.failures()
+
+    cmp_total = compare_throughput(baseline, fleet)
+    cmp_engine = compare_throughput(baseline, fleet_serial)
+    rows = [
+        ["sequential + reference engine (seed baseline)", baseline.executor,
+         baseline.wall_time, baseline.scenarios_per_sec, 1.0],
+        ["fleet + vectorized engine, serial", fleet_serial.executor,
+         fleet_serial.wall_time, fleet_serial.scenarios_per_sec, cmp_engine.speedup],
+        ["fleet + vectorized engine, default executor", fleet.executor,
+         fleet.wall_time, fleet.scenarios_per_sec, cmp_total.speedup],
+    ]
+    table = render_table(
+        ["configuration", "executor", "wall s", "scenarios/s", "speedup"],
+        rows,
+        title=f"{baseline.scenario_count}-scenario simulator workload (48 components, 8 processors)",
+    )
+    emit("fleet_throughput", table)
+
+    payload = {
+        "workload": {
+            "scenarios": baseline.scenario_count,
+            "max_iterations": WORKLOAD.max_iterations,
+            "master_seed": WORKLOAD.master_seed,
+        },
+        "baseline_scenarios_per_sec": baseline.scenarios_per_sec,
+        "fleet_serial_scenarios_per_sec": fleet_serial.scenarios_per_sec,
+        "fleet_scenarios_per_sec": fleet.scenarios_per_sec,
+        "speedup_engine_only": cmp_engine.speedup,
+        "speedup_total": cmp_total.speedup,
+        "fleet_executor": fleet.executor,
+        "cpu_count": fleet.max_workers,
+        "platform": platform.platform(),
+    }
+    TRAJECTORY_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Same work, same seeds: the runs must agree scenario by scenario.
+    for rb, rf in zip(baseline.results, fleet.results):
+        assert rb.iterations == rf.iterations, (rb.key, rf.key)
+        assert rb.final_residual == rf.final_residual, (rb.key, rf.key)
+    # The acceptance bar: the fleet at least doubles scenarios/sec.
+    assert cmp_total.speedup >= 2.0, f"fleet speedup {cmp_total.speedup:.2f}x < 2x"

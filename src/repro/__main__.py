@@ -1,8 +1,9 @@
-"""Command-line interface: ``python -m repro {info,list,run <exp-id>}``."""
+"""Command-line interface: ``python -m repro {info,list,run <exp-id>,sweep}``."""
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import subprocess
 import sys
 
@@ -39,6 +40,70 @@ def _cmd_run(exp_id: str) -> int:
     return subprocess.call(cmd)
 
 
+def _csv(value: str) -> tuple[str, ...]:
+    items = tuple(s.strip() for s in value.split(",") if s.strip())
+    if not items:
+        raise argparse.ArgumentTypeError(f"empty list: {value!r}")
+    return items
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Imported here so `repro info` stays instant.
+    from repro.analysis.fleet import render_fleet_table
+    from repro.runtime.fleet import run_fleet
+    from repro.scenarios import ScenarioGrid, available
+
+    if args.list_axes:
+        for axis in ("problem", "steering", "delays", "machine"):
+            print(f"{axis}: {', '.join(available(axis))}")
+        return 0
+
+    try:
+        grid = ScenarioGrid(
+            problems=args.problems,
+            kind=args.kind,
+            steerings=args.steering,
+            delays=args.delays,
+            machines=args.machines,
+            n_seeds=args.seeds,
+            master_seed=args.master_seed,
+            backend=args.backend,
+            max_iterations=args.max_iterations,
+            tol=args.tol,
+        )
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"sweep: {msg}", file=sys.stderr)
+        return 2
+    specs = grid.expand()
+    print(
+        f"sweep: {len(specs)} scenarios "
+        f"({len(grid.problems)} problems x "
+        + (
+            f"{len(grid.delays)} delay models x {len(grid.steerings)} policies"
+            if args.kind == "engine"
+            else f"{len(grid.machines)} machines"
+        )
+        + f" x {args.seeds} seeds), executor={args.executor}"
+    )
+    fleet = run_fleet(specs, executor=args.executor, max_workers=args.workers)
+
+    group_by = args.group_by
+    if group_by is None:
+        group_by = ("problem", "delays") if args.kind == "engine" else ("problem", "machine")
+    metrics = ("iterations", "converged", "final_residual")
+    if args.kind == "simulator":
+        metrics = metrics + ("sim_time",)
+    print(render_fleet_table(fleet, group_by=group_by, metrics=metrics, title=None))
+
+    for r in fleet.failures():
+        print(f"FAILED {r.key}: {r.error}", file=sys.stderr)
+    if args.json is not None:
+        pathlib.Path(args.json).write_text(fleet.to_json())
+        print(f"wrote {args.json}")
+    return 1 if fleet.failures() else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="asynchronous-iterations reproduction toolkit"
@@ -48,6 +113,40 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list registered experiments")
     run = sub.add_parser("run", help="run one experiment's benchmark")
     run.add_argument("exp_id", help="experiment id from `list` (e.g. THM1)")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario grid through the fleet runner",
+        description=(
+            "Expand a declarative scenario grid (problem x delay model x "
+            "steering policy x seeds, or problem x machine x seeds) and "
+            "execute it concurrently, printing per-group medians."
+        ),
+    )
+    sweep.add_argument("--kind", choices=("engine", "simulator"), default="engine")
+    sweep.add_argument("--problems", type=_csv, default=("jacobi", "tridiagonal"),
+                       help="comma-separated problem names (see --list-axes)")
+    sweep.add_argument("--delays", type=_csv, default=("uniform", "baudet-sqrt"),
+                       help="delay model names (engine kind)")
+    sweep.add_argument("--steering", type=_csv, default=("cyclic", "random-subset"),
+                       help="steering policy names (engine kind)")
+    sweep.add_argument("--machines", type=_csv, default=("uniform", "flexible"),
+                       help="machine archetype names (simulator kind)")
+    sweep.add_argument("--seeds", type=int, default=3, help="seed replicates per combo")
+    sweep.add_argument("--master-seed", type=int, default=0)
+    sweep.add_argument("--backend", choices=("vectorized", "reference"), default="vectorized")
+    sweep.add_argument("--max-iterations", type=int, default=2000)
+    sweep.add_argument("--tol", type=float, default=1e-8)
+    sweep.add_argument("--executor", choices=("auto", "serial", "thread", "process"),
+                       default="auto")
+    sweep.add_argument("--workers", type=int, default=None, help="pool width cap")
+    sweep.add_argument("--group-by", type=_csv, default=None,
+                       help="spec fields for the median table (default: problem,delays)")
+    sweep.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the full FleetResult as JSON")
+    sweep.add_argument("--list-axes", action="store_true",
+                       help="print registered axis names and exit")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "info" or args.command is None:
@@ -56,6 +155,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(args.exp_id)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
         return 0

@@ -6,6 +6,12 @@ from repro.analysis.comparison import (
     compare_macro_epoch,
     speedup,
 )
+from repro.analysis.fleet import (
+    ThroughputComparison,
+    compare_throughput,
+    fleet_summary_rows,
+    render_fleet_table,
+)
 from repro.analysis.rates import (
     RateFit,
     fit_geometric_rate,
@@ -18,9 +24,13 @@ __all__ = [
     "MacroEpochComparison",
     "RateFit",
     "SpeedupReport",
+    "ThroughputComparison",
     "compare_macro_epoch",
+    "compare_throughput",
     "fit_geometric_rate",
+    "fleet_summary_rows",
     "iterations_to_tolerance",
+    "render_fleet_table",
     "render_schedule",
     "render_series",
     "render_table",

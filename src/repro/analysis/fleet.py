@@ -1,0 +1,92 @@
+"""Analysis of fleet results: grouped medians, tables, comparisons.
+
+Consumes the typed :class:`~repro.runtime.fleet.FleetResult` that the
+fleet runner produces and renders the aggregate views the benchmarks
+and the ``python -m repro sweep`` CLI print: per-group medians over
+seeds (the statistically honest summary of a grid) and head-to-head
+throughput comparisons between fleet configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.analysis.reporting import render_table
+from repro.runtime.fleet import FleetResult
+
+__all__ = ["fleet_summary_rows", "render_fleet_table", "ThroughputComparison", "compare_throughput"]
+
+
+def fleet_summary_rows(
+    fleet: FleetResult,
+    *,
+    group_by: Sequence[str] = ("problem",),
+    metrics: Sequence[str] = ("iterations", "converged", "final_residual"),
+) -> tuple[list[str], list[list[Any]]]:
+    """Headers and rows of per-group medians, ready for ``render_table``.
+
+    Groups are tuples of :class:`~repro.scenarios.spec.ScenarioSpec`
+    field values; each metric column is the median over the group's
+    non-failed scenarios (``converged`` is a fraction).
+    """
+    medians = fleet.group_medians(by=tuple(group_by), metrics=tuple(metrics))
+    headers = [*group_by, "n", *metrics]
+    rows: list[list[Any]] = []
+    for gkey, agg in medians.items():
+        rows.append([*gkey, int(agg["count"]), *(agg[m] for m in metrics)])
+    return headers, rows
+
+
+def render_fleet_table(
+    fleet: FleetResult,
+    *,
+    group_by: Sequence[str] = ("problem",),
+    metrics: Sequence[str] = ("iterations", "converged", "final_residual"),
+    title: str | None = None,
+) -> str:
+    """Monospace per-group median table plus a fleet footer line."""
+    headers, rows = fleet_summary_rows(fleet, group_by=group_by, metrics=metrics)
+    table = render_table(headers, rows, title=title)
+    footer = (
+        f"{fleet.scenario_count} scenarios in {fleet.wall_time:.2f}s "
+        f"({fleet.scenarios_per_sec:.2f}/s, executor={fleet.executor}, "
+        f"workers={fleet.max_workers}, failures={len(fleet.failures())})"
+    )
+    return f"{table}\n{footer}"
+
+
+@dataclass(frozen=True)
+class ThroughputComparison:
+    """Scenarios/sec of a candidate fleet against a baseline fleet."""
+
+    baseline_per_sec: float
+    candidate_per_sec: float
+    baseline_wall: float
+    candidate_wall: float
+    scenario_count: int
+
+    @property
+    def speedup(self) -> float:
+        if self.candidate_per_sec <= 0:
+            return float("nan")
+        return self.candidate_per_sec / self.baseline_per_sec
+
+
+def compare_throughput(baseline: FleetResult, candidate: FleetResult) -> ThroughputComparison:
+    """Compare two fleets over the same scenario population.
+
+    Raises when the fleets ran different numbers of scenarios — the
+    throughput ratio is only meaningful over identical work.
+    """
+    if baseline.scenario_count != candidate.scenario_count:
+        raise ValueError(
+            f"fleet sizes differ: {baseline.scenario_count} vs {candidate.scenario_count}"
+        )
+    return ThroughputComparison(
+        baseline_per_sec=baseline.scenarios_per_sec,
+        candidate_per_sec=candidate.scenarios_per_sec,
+        baseline_wall=baseline.wall_time,
+        candidate_wall=candidate.wall_time,
+        scenario_count=baseline.scenario_count,
+    )

@@ -136,28 +136,53 @@ class TraceBuilder:
     Engines call :meth:`record` once per global iteration and
     :meth:`build` at the end; series that were never supplied stay
     ``None`` in the built trace.
+
+    Storage is amortized: labels and the numeric series live in
+    preallocated arrays that double on overflow, so recording an
+    iteration is a row assignment instead of a per-event list of
+    freshly allocated arrays (the hot path of the simulator runs
+    through here once per completed phase).
     """
+
+    _INITIAL_CAPACITY = 64
 
     def __init__(self, n_components: int, owners: np.ndarray | None = None) -> None:
         if n_components < 1:
             raise ValueError(f"n_components must be >= 1, got {n_components}")
         self.n_components = int(n_components)
         self._active: list[tuple[int, ...]] = []
-        self._labels: list[np.ndarray] = []
-        self._errors: list[float] = []
-        self._residuals: list[float] = []
-        self._times: list[float] = []
+        cap = self._INITIAL_CAPACITY
+        self._labels = np.zeros((cap, self.n_components), dtype=np.int64)
+        self._errors = np.zeros(cap + 1, dtype=np.float64)
+        self._residuals = np.zeros(cap + 1, dtype=np.float64)
+        self._times = np.zeros(cap, dtype=np.float64)
+        self._n_errors = 0
+        self._n_residuals = 0
+        self._n_times = 0
         self._owners = owners
         self.meta: dict[str, Any] = {}
+
+    def _grow(self) -> None:
+        cap = 2 * self._labels.shape[0]
+        self._labels = np.concatenate(
+            [self._labels, np.zeros_like(self._labels)], axis=0
+        )
+        self._errors = np.concatenate([self._errors, np.zeros(cap + 1 - self._errors.size)])
+        self._residuals = np.concatenate(
+            [self._residuals, np.zeros(cap + 1 - self._residuals.size)]
+        )
+        self._times = np.concatenate([self._times, np.zeros(cap - self._times.size)])
 
     def record_initial(self, error: float | None = None, residual: float | None = None) -> None:
         """Record the label-0 (initial point) series values."""
         if self._active:
             raise RuntimeError("record_initial must be called before any record()")
         if error is not None:
-            self._errors.append(float(error))
+            self._errors[self._n_errors] = float(error)
+            self._n_errors += 1
         if residual is not None:
-            self._residuals.append(float(residual))
+            self._residuals[self._n_residuals] = float(residual)
+            self._n_residuals += 1
 
     def record(
         self,
@@ -171,41 +196,43 @@ class TraceBuilder:
         """Append one global iteration to the trace."""
         if len(active_set) == 0:
             raise ValueError("active_set must be nonempty (Definition 1)")
+        J = len(self._active)
+        if J >= self._labels.shape[0]:
+            self._grow()
         self._active.append(tuple(int(i) for i in active_set))
-        self._labels.append(np.asarray(labels, dtype=np.int64).copy())
+        self._labels[J, :] = labels
         if error is not None:
-            self._errors.append(float(error))
+            self._errors[self._n_errors] = float(error)
+            self._n_errors += 1
         if residual is not None:
-            self._residuals.append(float(residual))
+            self._residuals[self._n_residuals] = float(residual)
+            self._n_residuals += 1
         if time is not None:
-            self._times.append(float(time))
+            self._times[self._n_times] = float(time)
+            self._n_times += 1
 
     def build(self) -> IterationTrace:
         """Finalize into an immutable :class:`IterationTrace`."""
         J = len(self._active)
-        labels = (
-            np.stack(self._labels, axis=0)
-            if J
-            else np.zeros((0, self.n_components), dtype=np.int64)
-        )
+        labels = self._labels[:J].copy()
 
-        def _series(values: list[float]) -> np.ndarray | None:
-            if not values:
+        def _series(buf: np.ndarray, count: int) -> np.ndarray | None:
+            if count == 0:
                 return None
-            if len(values) != J + 1:
+            if count != J + 1:
                 raise RuntimeError(
-                    f"series has {len(values)} entries, expected {J + 1} "
+                    f"series has {count} entries, expected {J + 1} "
                     "(record_initial + one per iteration)"
                 )
-            return np.asarray(values)
+            return buf[:count].copy()
 
-        times = np.asarray(self._times) if len(self._times) == J and J > 0 else None
+        times = self._times[:J].copy() if self._n_times == J and J > 0 else None
         return IterationTrace(
             n_components=self.n_components,
             active_sets=tuple(self._active),
             labels=labels,
-            errors=_series(self._errors),
-            residuals=_series(self._residuals),
+            errors=_series(self._errors, self._n_errors),
+            residuals=_series(self._residuals, self._n_residuals),
             times=times,
             owners=self._owners,
             meta=dict(self.meta),

@@ -58,6 +58,7 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("ABL-STEP", "Ablation: step-size range", "bench_ablation_step_size.py"),
     Experiment("ABL-PARTIAL", "Ablation: partial freshness", "bench_ablation_partial_freshness.py"),
     Experiment("ABL-STEER", "Ablation: steering policies", "bench_ablation_steering.py"),
+    Experiment("FLEET", "Fleet runner: scenarios/sec vs sequential baseline", "bench_fleet_throughput.py"),
 )
 
 

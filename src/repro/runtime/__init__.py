@@ -1,11 +1,14 @@
-"""Runtime substrates: the simulated machine and the real threads.
+"""Runtime substrates: the simulated machine, the real threads, the fleet.
 
 * :mod:`repro.runtime.simulator` — deterministic discrete-event
   simulation of processors + channels (the hardware substitute);
 * :mod:`repro.runtime.shared_memory` — lock-free Hogwild-style
-  threading backend on a shared NumPy iterate.
+  threading backend on a shared NumPy iterate;
+* :mod:`repro.runtime.fleet` — concurrent execution of declarative
+  scenario grids (multi-seed, multi-regime experiment populations).
 """
 
+from repro.runtime.fleet import FleetResult, ScenarioResult, run_fleet, run_scenario
 from repro.runtime.shared_memory import SharedMemoryAsyncRunner, SharedMemoryResult
 from repro.runtime.simulator import (
     ChannelSpec,
@@ -15,6 +18,7 @@ from repro.runtime.simulator import (
     LinearGrowthTime,
     ParetoTime,
     ProcessorSpec,
+    ReferenceSimulator,
     SimulationResult,
     UniformTime,
     shared_memory_network,
@@ -28,13 +32,18 @@ __all__ = [
     "ConstantTime",
     "DistributedSimulator",
     "ExponentialTime",
+    "FleetResult",
     "LinearGrowthTime",
     "ParetoTime",
     "ProcessorSpec",
+    "ReferenceSimulator",
+    "ScenarioResult",
     "SharedMemoryAsyncRunner",
     "SharedMemoryResult",
     "SimulationResult",
     "UniformTime",
+    "run_fleet",
+    "run_scenario",
     "shared_memory_network",
     "two_cluster_grid",
     "uniform_cluster",

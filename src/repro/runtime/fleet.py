@@ -1,0 +1,309 @@
+"""The scenario fleet: concurrent execution of declarative scenario grids.
+
+The paper's claims (async vs sync efficiency, flexible-communication
+gain, robustness across delay regimes) are statistical — they hold
+across many seeds, regimes and problem instances, never on a single
+run.  The fleet runner is the machinery that makes such populations
+cheap: hand it the :class:`~repro.scenarios.spec.ScenarioSpec` list of
+a :class:`~repro.scenarios.spec.ScenarioGrid` and it executes every
+scenario (concurrently when the hardware allows), collects one typed
+:class:`ScenarioResult` each, and aggregates them into a
+:class:`FleetResult` that the analysis layer, the benchmark harness and
+``python -m repro sweep`` all consume.
+
+Determinism: every spec carries its own integer seed (spawned
+independently by the grid), and results are returned in submission
+order — so the ``FleetResult`` is bit-identical whether scenarios ran
+serially, on a thread pool, or on a process pool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ScenarioResult", "FleetResult", "run_scenario", "run_fleet"]
+
+_EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: Metrics exposed by :meth:`FleetResult.group_medians` / ``to_rows``.
+METRIC_FIELDS = ("iterations", "final_residual", "final_error", "sim_time",
+                 "time_to_tol", "wall_time")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario (plain data, picklable).
+
+    ``error`` holds the exception ``repr`` when the scenario crashed;
+    every numeric field is then zero/None and ``converged`` is False.
+    """
+
+    key: str
+    spec: ScenarioSpec
+    iterations: int = 0
+    converged: bool = False
+    final_residual: float = float("nan")
+    final_error: float | None = None
+    sim_time: float | None = None
+    time_to_tol: float | None = None
+    wall_time: float = 0.0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Aggregate outcome of one fleet execution.
+
+    Results appear in submission order.  ``wall_time`` is the whole
+    fleet's wall-clock duration, which with ``scenario_count`` yields
+    the scenarios/sec throughput the perf harness tracks.
+    """
+
+    results: tuple[ScenarioResult, ...]
+    wall_time: float
+    executor: str
+    max_workers: int
+
+    # -- basic accessors ----------------------------------------------
+    @property
+    def scenario_count(self) -> int:
+        return len(self.results)
+
+    @property
+    def scenarios_per_sec(self) -> float:
+        if self.wall_time <= 0:
+            return float("inf")
+        return self.scenario_count / self.wall_time
+
+    def ok(self) -> tuple[ScenarioResult, ...]:
+        """Results that completed without raising."""
+        return tuple(r for r in self.results if r.error is None)
+
+    def failures(self) -> tuple[ScenarioResult, ...]:
+        """Results whose scenario crashed (``error`` is the repr)."""
+        return tuple(r for r in self.results if r.error is not None)
+
+    def converged_fraction(self) -> float:
+        """Fraction of non-failed scenarios that reached tolerance."""
+        good = self.ok()
+        if not good:
+            return 0.0
+        return sum(1 for r in good if r.converged) / len(good)
+
+    # -- aggregation --------------------------------------------------
+    def group_medians(
+        self,
+        by: Callable[[ScenarioResult], tuple[Any, ...]] | Sequence[str] = ("problem",),
+        metrics: Sequence[str] = ("iterations", "final_residual"),
+    ) -> dict[tuple[Any, ...], dict[str, float]]:
+        """Median of each metric over groups of non-failed scenarios.
+
+        ``by`` is either a key function on results or a sequence of
+        :class:`~repro.scenarios.spec.ScenarioSpec` field names
+        (e.g. ``("problem", "delays")``); metrics are drawn from
+        ``METRIC_FIELDS`` plus ``converged`` (reported as a fraction).
+        ``None``/non-finite metric values are skipped; a group whose
+        values all vanish reports ``nan``.
+        """
+        if not callable(by):
+            fields = tuple(by)
+            by = lambda r: tuple(getattr(r.spec, f) for f in fields)  # noqa: E731
+        groups: dict[tuple[Any, ...], list[ScenarioResult]] = {}
+        for r in self.ok():
+            groups.setdefault(by(r), []).append(r)
+        out: dict[tuple[Any, ...], dict[str, float]] = {}
+        for gkey in sorted(groups, key=repr):
+            rows = groups[gkey]
+            agg: dict[str, float] = {"count": float(len(rows))}
+            for m in metrics:
+                if m == "converged":
+                    agg[m] = sum(1 for r in rows if r.converged) / len(rows)
+                    continue
+                if m not in METRIC_FIELDS:
+                    raise KeyError(f"unknown metric {m!r}; choose from {METRIC_FIELDS}")
+                vals = [
+                    float(getattr(r, m))
+                    for r in rows
+                    if getattr(r, m) is not None and np.isfinite(getattr(r, m))
+                ]
+                agg[m] = statistics.median(vals) if vals else float("nan")
+            out[gkey] = agg
+        return out
+
+    def to_rows(
+        self, metrics: Sequence[str] = ("iterations", "converged", "final_residual")
+    ) -> list[list[Any]]:
+        """One row per scenario: ``[key, *metrics]`` (for render_table)."""
+        rows: list[list[Any]] = []
+        for r in self.results:
+            row: list[Any] = [r.key]
+            for m in metrics:
+                row.append("ERROR" if r.error is not None else getattr(r, m))
+            rows.append(row)
+        return rows
+
+    # -- persistence --------------------------------------------------
+    def to_json(self) -> str:
+        """JSON document with per-scenario records and fleet stats."""
+        doc = {
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "wall_time": self.wall_time,
+            "scenario_count": self.scenario_count,
+            "scenarios_per_sec": self.scenarios_per_sec,
+            "results": [asdict(r) for r in self.results],
+        }
+
+        def _default(o: Any) -> Any:
+            if isinstance(o, (np.floating, np.integer)):
+                return o.item()
+            raise TypeError(f"not JSON serializable: {type(o)}")
+
+        return json.dumps(doc, indent=2, default=_default)
+
+
+# ----------------------------------------------------------------------
+# Scenario execution (top-level so process pools can pickle it)
+# ----------------------------------------------------------------------
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario spec and summarize it as a :class:`ScenarioResult`.
+
+    Never raises for scenario-level errors: crashes are captured in
+    ``result.error`` so one bad grid point cannot sink a fleet.
+    """
+    t0 = time.perf_counter()
+    try:
+        result = _run_scenario_inner(spec)
+    except Exception as exc:  # noqa: BLE001 - captured per scenario by design
+        return ScenarioResult(
+            key=spec.key, spec=spec, error=repr(exc),
+            wall_time=time.perf_counter() - t0,
+        )
+    return result
+
+
+def _run_scenario_inner(spec: ScenarioSpec) -> ScenarioResult:
+    # Imported lazily: keeps fleet importable without dragging the
+    # whole library into every worker before it is needed.
+    from repro.analysis.rates import time_to_tolerance
+    from repro.core.async_iteration import AsyncIterationEngine
+    from repro.scenarios import registry
+
+    t0 = time.perf_counter()
+    seeds = spec.spawn_seeds()
+    op = registry.make_problem(spec.problem, seeds[0], **spec.problem_params)
+    n = op.n_components
+    x0 = np.zeros(op.dim)
+
+    if spec.kind == "engine":
+        steering = registry.make_steering(spec.steering, n, seeds[1], **spec.steering_params)
+        delays = registry.make_delays(spec.delays, n, seeds[2], **spec.delay_params)
+        engine = AsyncIterationEngine(op, steering, delays)
+        res = engine.run(x0, max_iterations=spec.max_iterations, tol=spec.tol)
+        final_error = (
+            float(res.trace.errors[-1]) if res.trace.errors is not None else None
+        )
+        return ScenarioResult(
+            key=spec.key,
+            spec=spec,
+            iterations=res.iterations,
+            converged=res.converged,
+            final_residual=float(res.final_residual),
+            final_error=final_error,
+            wall_time=time.perf_counter() - t0,
+        )
+
+    from repro.runtime.simulator import DistributedSimulator
+    from repro.runtime.simulator.reference import ReferenceSimulator
+
+    processors, channels = registry.make_machine(
+        spec.machine, n, seeds[3], **spec.machine_params
+    )
+    sim_cls = DistributedSimulator if spec.backend == "vectorized" else ReferenceSimulator
+    sim = sim_cls(op, processors, channels=channels, seed=seeds[1])
+    res = sim.run(
+        x0, max_iterations=spec.max_iterations, tol=spec.tol, record_messages=False
+    )
+    trace = res.trace
+    final_error = float(trace.errors[-1]) if trace.errors is not None else None
+    ttt = None
+    if spec.tol > 0 and trace.residuals is not None and trace.times is not None:
+        ttt = time_to_tolerance(trace.residuals, trace.times, spec.tol)
+    return ScenarioResult(
+        key=spec.key,
+        spec=spec,
+        iterations=trace.n_iterations,
+        converged=res.converged,
+        final_residual=float(res.final_residual),
+        final_error=final_error,
+        sim_time=float(res.final_time),
+        time_to_tol=ttt,
+        wall_time=time.perf_counter() - t0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fleet execution
+# ----------------------------------------------------------------------
+
+def _resolve_executor(executor: str, max_workers: int | None) -> tuple[str, int]:
+    if executor not in _EXECUTORS:
+        raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+    cpus = os.cpu_count() or 1
+    if executor == "auto":
+        executor = "process" if cpus > 1 else "serial"
+    # An explicit max_workers is honored as given; the default pool
+    # width is the core count.
+    workers = cpus if max_workers is None else max(1, max_workers)
+    return executor, workers
+
+
+def run_fleet(
+    scenarios: Iterable[ScenarioSpec],
+    *,
+    executor: str = "auto",
+    max_workers: int | None = None,
+) -> FleetResult:
+    """Execute a batch of scenarios and aggregate into a :class:`FleetResult`.
+
+    Parameters
+    ----------
+    scenarios:
+        Specs to run (typically ``grid.expand()``).
+    executor:
+        ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``
+        (process pool on multi-core hosts, serial otherwise).  Results
+        are identical across executors; only wall time changes.
+    max_workers:
+        Pool width cap (defaults to ``os.cpu_count()``).
+
+    The per-scenario results keep submission order regardless of
+    completion order.
+    """
+    specs = list(scenarios)
+    chosen, workers = _resolve_executor(executor, max_workers)
+    t0 = time.perf_counter()
+    if chosen == "serial" or len(specs) <= 1:
+        results = [run_scenario(s) for s in specs]
+        chosen = "serial"
+    else:
+        pool_cls = ThreadPoolExecutor if chosen == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=workers) as pool:
+            results = list(pool.map(run_scenario, specs))
+    return FleetResult(
+        results=tuple(results),
+        wall_time=time.perf_counter() - t0,
+        executor=chosen,
+        max_workers=workers,
+    )

@@ -17,6 +17,7 @@ from repro.runtime.simulator.network import (
 )
 from repro.runtime.simulator.processor import ProcessorSpec
 from repro.runtime.simulator.records import MessageRecord, PhaseRecord, SimulationResult
+from repro.runtime.simulator.reference import ReferenceSimulator
 from repro.runtime.simulator.timing import (
     ConstantTime,
     DurationModel,
@@ -38,6 +39,7 @@ __all__ = [
     "ParetoTime",
     "PhaseRecord",
     "ProcessorSpec",
+    "ReferenceSimulator",
     "SimulationResult",
     "UniformTime",
     "shared_memory_network",

@@ -113,3 +113,49 @@ class ChannelState:
             t = max(t, self._last_delivery_time)
             self._last_delivery_time = t
         return t
+
+    def delivery_times(self, send_time: float, count: int) -> "float | np.ndarray":
+        """Arrival times for ``count`` messages sent together at ``send_time``.
+
+        Bit-identical to ``count`` sequential :meth:`delivery_time`
+        calls (dropped messages are ``nan``); lossless channels whose
+        latency model supports stream-equivalent batch sampling take a
+        vectorized fast path, everything else falls back to the loop.
+        A scalar float return means every message arrives at exactly
+        that time (the constant-latency case, returned without any
+        array work).  The simulator sends one burst per (phase event,
+        destination) through this, which is the channel-layer half of
+        its hot-path batching.
+        """
+        if self.spec.drop_prob == 0.0 and type(self.spec.latency) is ConstantTime:
+            # Sequential FIFO monotonization of equal raw arrivals
+            # yields one shared arrival: max(send + value, last).
+            self._sent += count
+            # Coerced so callers can rely on a builtin float (send_time
+            # may arrive as a numpy scalar from a DurationModel).
+            t = float(send_time + self.spec.latency.value)
+            if self.spec.fifo:
+                if t < self._last_delivery_time:
+                    t = self._last_delivery_time
+                self._last_delivery_time = t
+            return t
+        if count == 1:
+            t = self.delivery_time(send_time)
+            return np.array([np.nan if t is None else t])
+        if self.spec.drop_prob == 0.0:
+            # No per-message drop draws interleave with latency draws,
+            # so a batched latency sample consumes the rng identically.
+            lat = self.spec.latency.sample_batch(self._sent + 1, count, self.rng)
+            if lat is not None:
+                self._sent += count
+                t = send_time + lat
+                if self.spec.fifo:
+                    np.maximum(t, self._last_delivery_time, out=t)
+                    np.maximum.accumulate(t, out=t)
+                    self._last_delivery_time = float(t[-1])
+                return t
+        out = np.empty(count, dtype=np.float64)
+        for i in range(count):
+            a = self.delivery_time(send_time)
+            out[i] = np.nan if a is None else a
+        return out

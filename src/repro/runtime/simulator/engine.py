@@ -25,6 +25,16 @@ Semantics (matching Figure 1/2 of the paper):
   label of the *oldest* version consumed by the phase (conservative,
   so condition (a) and the macro-iteration construction stay sound
   even when inner steps refreshed their reads).
+
+The event loop is the *vectorized* implementation: component slices,
+per-processor owned/remote element indices and destination channel
+lists are precomputed once, remote refreshes and phase commits are
+single fancy-indexed scatters, and each sent value is copied once and
+shared (read-only) across all destination payloads.  Event order and
+every per-channel/per-processor RNG draw are identical to the frozen
+:class:`~repro.runtime.simulator.reference.ReferenceSimulator`, so
+results are bit-for-bit reproducible against the seed implementation
+(``tests/runtime/test_determinism.py`` enforces this).
 """
 
 from __future__ import annotations
@@ -146,6 +156,42 @@ class DistributedSimulator:
                     self._channels[(s, d)] = ChannelState(chan_map[(s, d)], chan_rngs[k])
                 k += 1
 
+        # -- precomputed hot-path indices (the vectorization) ----------
+        block = operator.block_spec
+        self._slices: list[slice] = [block.slice(c) for c in range(n)]
+        elem_idx = [np.arange(s.start, s.stop, dtype=np.intp) for s in self._slices]
+        self._own_comps: list[np.ndarray] = []
+        self._own_elems: list[np.ndarray] = []
+        self._own_sizes: list[np.ndarray] = []
+        self._remote_comps: list[np.ndarray] = []
+        self._remote_elems: list[np.ndarray] = []
+        self._dsts: list[list[tuple[int, ChannelState, str]]] = []
+        for pid, spec in enumerate(self.processors):
+            oc = np.asarray(spec.components, dtype=np.intp)
+            rc = np.asarray(
+                [c for c in range(n) if c not in set(spec.components)], dtype=np.intp
+            )
+            self._own_comps.append(oc)
+            self._remote_comps.append(rc)
+            self._own_elems.append(
+                np.concatenate([elem_idx[c] for c in oc])
+                if oc.size
+                else np.empty(0, dtype=np.intp)
+            )
+            self._own_sizes.append(np.asarray([elem_idx[c].size for c in oc], dtype=np.intp))
+            self._remote_elems.append(
+                np.concatenate([elem_idx[c] for c in rc])
+                if rc.size
+                else np.empty(0, dtype=np.intp)
+            )
+            self._dsts.append(
+                [
+                    (d, self._channels[(pid, d)], self._channels[(pid, d)].spec.apply)
+                    for d in range(P)
+                    if d != pid
+                ]
+            )
+
         if reference is None:
             reference = operator.fixed_point()
         self.reference = (
@@ -176,10 +222,11 @@ class DistributedSimulator:
             raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
         if residual_every < 1:
             raise ValueError(f"residual_every must be >= 1, got {residual_every}")
-        spec = self.operator.block_spec
         norm = self.operator.norm()
         P = len(self.processors)
-        n = spec.n_blocks
+        n = self.operator.n_components
+        slices = self._slices
+        apply_block = self.operator.apply_block
 
         # Per-processor local state.
         views = [x0.copy() for _ in range(P)]
@@ -201,9 +248,8 @@ class DistributedSimulator:
         messages: list[MessageRecord] = []
         heap: list[tuple[float, int, str, tuple]] = []
         seq = itertools.count()
-
-        def schedule(t: float, kind: str, payload: tuple) -> None:
-            heapq.heappush(heap, (t, next(seq), kind, payload))
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         def start_phase(pid: int, t: float) -> None:
             ps = self.processors[pid]
@@ -218,26 +264,81 @@ class DistributedSimulator:
             )
             phase_states[pid] = state
             step_dt = dur / ps.inner_steps
-            schedule(t + step_dt, "step", (pid,))
+            heappush(heap, (t + step_dt, next(seq), "step", (pid,)))
 
-        def send_component(
-            pid: int, comp: int, value: np.ndarray, label: int, t: float, partial: bool
+        def send_burst(
+            pid: int, snapshot: np.ndarray, labels_arr: np.ndarray, t: float, partial: bool
         ) -> None:
-            for dst in range(P):
-                if dst == pid:
-                    continue
-                chan = self._channels[(pid, dst)]
-                arrival = chan.delivery_time(t)
-                if record_messages:
-                    messages.append(
-                        MessageRecord(pid, dst, comp, label, t, arrival, partial)
-                    )
-                if arrival is not None:
-                    schedule(
+            """Send every owned component of ``pid`` to all peers at once.
+
+            One channel batch per destination computes all arrival
+            times; destinations whose messages all arrive together get
+            a single batched heap event carrying one shared payload
+            copy, the rest fall back to per-component events.  Channel
+            draw order, message-log order and heap ordering semantics
+            are identical to per-component sends (bursts occupy a
+            contiguous sequence-number window, batches to different
+            destinations commute, and the per-destination component
+            order is preserved inside each batch).
+            """
+            comps = self.processors[pid].components
+            m = len(comps)
+            dsts = self._dsts[pid]
+            # A float entry means "all m messages arrive at exactly
+            # this time" (constant-latency fast path, no array work).
+            arrs = [chan.delivery_times(t, m) for _, chan, _ in dsts]
+            if record_messages:
+                for i, c in enumerate(comps):
+                    label_i = int(labels_arr[i])
+                    for di, (dst, _, _) in enumerate(dsts):
+                        arr = arrs[di]
+                        a = arr if isinstance(arr, float) else arr[i]
+                        messages.append(
+                            MessageRecord(
+                                pid, dst, c, label_i, t,
+                                None if a != a else float(a), partial,
+                            )
+                        )
+            payload: np.ndarray | None = None
+            percomp: dict[int, np.ndarray] = {}
+            for di, (dst, _, apply_policy) in enumerate(dsts):
+                arr = arrs[di]
+                if isinstance(arr, float):
+                    arrival = arr
+                else:
+                    first = arr[0]
+                    if first != first or not (arr == first).all():
+                        for i, c in enumerate(comps):
+                            a = arr[i]
+                            if a != a:  # dropped (nan)
+                                continue
+                            value = percomp.get(c)
+                            if value is None:
+                                value = snapshot[slices[c]].copy()
+                                percomp[c] = value
+                            heappush(
+                                heap,
+                                (
+                                    float(a),
+                                    next(seq),
+                                    "msg",
+                                    (dst, c, value, int(labels_arr[i]), partial, apply_policy),
+                                ),
+                            )
+                        continue
+                    arrival = float(first)
+                if payload is None:
+                    # Fancy indexing already materializes a fresh array.
+                    payload = snapshot[self._own_elems[pid]]
+                heappush(
+                    heap,
+                    (
                         arrival,
-                        "msg",
-                        (dst, comp, value.copy(), label, partial, chan.spec.apply),
-                    )
+                        next(seq),
+                        "bmsg",
+                        (dst, pid, payload, labels_arr, partial, apply_policy),
+                    ),
+                )
 
         # Prime all processors at t = 0.
         for pid in range(P):
@@ -249,7 +350,7 @@ class DistributedSimulator:
         final_time = 0.0
 
         while heap:
-            t, _, kind, payload = heapq.heappop(heap)
+            t, _, kind, payload = heappop(heap)
             if t > max_time:
                 final_time = max_time
                 break
@@ -260,14 +361,38 @@ class DistributedSimulator:
                 if apply_policy == "overwrite":
                     # Last-arrival-wins: an old message can replace newer
                     # data — the genuinely out-of-order regime.
-                    views[dst][spec.slice(comp)] = value
+                    views[dst][slices[comp]] = value
                     vl[comp] = label
                 else:
                     # Tag-checked application; partials tie-break in
                     # favour of the (fresher-than-its-label) partial.
                     if (partial and label >= vl[comp]) or (not partial and label > vl[comp]):
-                        views[dst][spec.slice(comp)] = value
+                        views[dst][slices[comp]] = value
                         vl[comp] = label
+                continue
+            if kind == "bmsg":
+                # A whole burst (all components of one sender, equal
+                # arrival) applied in one vectorized scatter.  The
+                # components are distinct, so the per-message apply
+                # rules commute and batching preserves semantics.
+                dst, src, bpayload, labels_arr, partial, apply_policy = payload
+                vl = view_labels[dst]
+                ocomps = self._own_comps[src]
+                oelems = self._own_elems[src]
+                if apply_policy == "overwrite":
+                    views[dst][oelems] = bpayload
+                    vl[ocomps] = labels_arr
+                else:
+                    cur = vl[ocomps]
+                    mask = (labels_arr >= cur) if partial else (labels_arr > cur)
+                    if mask.all():
+                        views[dst][oelems] = bpayload
+                        vl[ocomps] = labels_arr
+                    elif mask.any():
+                        emask = np.repeat(mask, self._own_sizes[src])
+                        idx = oelems[emask]
+                        views[dst][idx] = bpayload[emask]
+                        vl[ocomps[mask]] = labels_arr[mask]
                 continue
 
             (pid,) = payload
@@ -278,35 +403,36 @@ class DistributedSimulator:
             k = state.steps_done
 
             if ps.refresh_reads and k > 1:
-                # Pull fresher remote data into the working snapshot.
-                own = set(ps.components)
-                for c in range(n):
-                    if c in own:
-                        continue
-                    state.snapshot[spec.slice(c)] = views[pid][spec.slice(c)]
-                    state.min_labels[c] = min(state.min_labels[c], view_labels[pid][c])
+                # Pull fresher remote data into the working snapshot:
+                # one gather/scatter over the precomputed remote-element
+                # index instead of a per-component Python loop.
+                relems = self._remote_elems[pid]
+                rcomps = self._remote_comps[pid]
+                state.snapshot[relems] = views[pid][relems]
+                state.min_labels[rcomps] = np.minimum(
+                    state.min_labels[rcomps], view_labels[pid][rcomps]
+                )
 
             # One inner iteration on the owned components (Gauss-Seidel
             # within the phase: later components see earlier updates).
+            snap = state.snapshot
             for c in ps.components:
-                new_block = self.operator.apply_block(state.snapshot, c)
-                state.snapshot[spec.slice(c)] = new_block
+                snap[slices[c]] = apply_block(snap, c)
 
             if k < ps.inner_steps:
                 if ps.publish_partials:
-                    for c in ps.components:
-                        send_component(
-                            pid,
-                            c,
-                            state.snapshot[spec.slice(c)],
-                            int(view_labels[pid][c]),
-                            state.start + k * state.duration / ps.inner_steps,
-                            True,
-                        )
-                schedule(
-                    state.start + (k + 1) * state.duration / ps.inner_steps,
-                    "step",
-                    (pid,),
+                    t_pub = state.start + k * state.duration / ps.inner_steps
+                    # Fancy indexing copies, so the labels the burst
+                    # carries are frozen at publish time.
+                    send_burst(pid, snap, view_labels[pid][self._own_comps[pid]], t_pub, True)
+                heappush(
+                    heap,
+                    (
+                        state.start + (k + 1) * state.duration / ps.inner_steps,
+                        next(seq),
+                        "step",
+                        (pid,),
+                    ),
                 )
                 continue
 
@@ -314,15 +440,14 @@ class DistributedSimulator:
             iteration += 1
             j = iteration
             end = state.start + state.duration
-            used_labels = state.min_labels.copy()
-            for c in ps.components:
-                sl = spec.slice(c)
-                val = state.snapshot[sl]
-                views[pid][sl] = val
-                view_labels[pid][c] = j
-                global_x[sl] = val
-                global_labels[c] = j
-                send_component(pid, c, val, j, end, False)
+            oelems = self._own_elems[pid]
+            ocomps = self._own_comps[pid]
+            committed = snap[oelems]
+            views[pid][oelems] = committed
+            view_labels[pid][ocomps] = j
+            global_x[oelems] = committed
+            global_labels[ocomps] = j
+            send_burst(pid, snap, np.full(len(ps.components), j, dtype=np.int64), end, False)
             phases.append(
                 PhaseRecord(
                     processor=pid,
@@ -338,7 +463,7 @@ class DistributedSimulator:
             if j % residual_every == 0 or j >= max_iterations:
                 last_residual = self.operator.residual(global_x)
             builder.record(
-                ps.components, used_labels, error=err, residual=last_residual, time=end
+                ps.components, state.min_labels, error=err, residual=last_residual, time=end
             )
 
             if tol > 0.0 and last_residual < tol:

@@ -35,6 +35,20 @@ class DurationModel(abc.ABC):
     def sample(self, k: int, rng: np.random.Generator) -> float:
         """Duration of the ``k``-th occurrence (``k = 1, 2, ...``)."""
 
+    def sample_batch(
+        self, first: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """Durations of occurrences ``first .. first + count - 1``, or ``None``.
+
+        A non-``None`` return MUST be bit-identical to ``count``
+        sequential :meth:`sample` calls (same values, same ``rng``
+        stream consumption) — the simulator batches channel draws
+        through this and its determinism guarantee depends on it.
+        Models without a provably stream-equivalent batch form return
+        ``None`` (the default) and the caller falls back to the loop.
+        """
+        return None
+
     def mean(self) -> float:
         """Long-run mean duration (``inf`` when it grows without bound)."""
         raise NotImplementedError
@@ -48,6 +62,11 @@ class ConstantTime(DurationModel):
 
     def sample(self, k: int, rng: np.random.Generator) -> float:
         return self.value
+
+    def sample_batch(
+        self, first: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.full(count, self.value)
 
     def mean(self) -> float:
         return self.value
@@ -65,6 +84,13 @@ class UniformTime(DurationModel):
 
     def sample(self, k: int, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.lo, self.hi))
+
+    def sample_batch(
+        self, first: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        # ``Generator.uniform(size=n)`` consumes the stream exactly like
+        # n scalar draws (verified by tests/runtime/test_determinism.py).
+        return rng.uniform(self.lo, self.hi, size=count)
 
     def mean(self) -> float:
         return 0.5 * (self.lo + self.hi)
@@ -121,6 +147,13 @@ class LinearGrowthTime(DurationModel):
         if k < 1:
             raise ValueError(f"occurrence index must be >= 1, got {k}")
         return self.unit * k
+
+    def sample_batch(
+        self, first: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if first < 1:
+            raise ValueError(f"occurrence index must be >= 1, got {first}")
+        return self.unit * np.arange(first, first + count, dtype=np.float64)
 
     def mean(self) -> float:
         return float("inf")

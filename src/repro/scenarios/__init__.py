@@ -1,0 +1,46 @@
+"""Declarative scenario descriptions for the fleet runner.
+
+A *scenario* is one complete asynchronous-iteration experiment —
+problem × operator × (delay model × steering policy | simulated
+machine) × seed — described entirely by registry names and plain
+parameter dicts, so it can be pickled to worker processes, serialized
+into sweep manifests, and reproduced bit-for-bit from its spec alone.
+
+* :mod:`repro.scenarios.registry` — the name -> factory tables for
+  problems, steering policies, delay models and machine archetypes;
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` (one runnable
+  scenario) and :class:`ScenarioGrid` (a declarative cartesian grid
+  expanded into specs with independently spawned per-scenario seeds).
+
+The executor that turns specs into results lives in
+:mod:`repro.runtime.fleet`; aggregation lives in
+:mod:`repro.analysis.fleet`; the CLI front end is
+``python -m repro sweep``.
+"""
+
+from repro.scenarios.registry import (
+    DELAY_FACTORIES,
+    MACHINE_FACTORIES,
+    PROBLEM_FACTORIES,
+    STEERING_FACTORIES,
+    available,
+    make_delays,
+    make_machine,
+    make_problem,
+    make_steering,
+)
+from repro.scenarios.spec import ScenarioGrid, ScenarioSpec
+
+__all__ = [
+    "DELAY_FACTORIES",
+    "MACHINE_FACTORIES",
+    "PROBLEM_FACTORIES",
+    "STEERING_FACTORIES",
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "available",
+    "make_delays",
+    "make_machine",
+    "make_problem",
+    "make_steering",
+]

@@ -1,0 +1,324 @@
+"""Name -> factory registries backing declarative scenario specs.
+
+Every entry is a plain function of ``(seed, **params)`` (problems) or
+``(n, seed, **params)`` (steering, delays, machines) returning fully
+constructed library objects.  Scenario specs refer to entries by
+string name, which keeps them picklable across process boundaries and
+stable across library refactors; ``python -m repro sweep --list-axes``
+prints the tables.
+
+Seeds arrive as :class:`numpy.random.SeedSequence` children spawned
+per scenario by :meth:`repro.scenarios.spec.ScenarioGrid.expand`, so
+two scenarios never share a stream no matter how the fleet schedules
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.delays.bounded import (
+    ChaoticRelaxationDelay,
+    ConstantDelay,
+    UniformRandomDelay,
+    ZeroDelay,
+)
+from repro.delays.outoforder import OutOfOrderDelay, ShuffledWindowDelay
+from repro.delays.unbounded import BaudetSqrtDelay, LogGrowthDelay, PowerGrowthDelay
+from repro.operators.gradient import GradientStepOperator
+from repro.operators.linear import jacobi_operator
+from repro.problems.linear_system import make_jacobi_instance, tridiagonal_system
+from repro.problems.markov import discounted_value_operator, random_markov_chain
+from repro.problems.quadratic import random_quadratic
+from repro.runtime.simulator import (
+    ChannelSpec,
+    ConstantTime,
+    ProcessorSpec,
+    UniformTime,
+    uniform_cluster,
+    wide_area_network,
+)
+from repro.steering.policies import (
+    AllComponents,
+    BlockCyclic,
+    CyclicSingle,
+    PermutationSweeps,
+    RandomSubset,
+    WeightedRandom,
+)
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "PROBLEM_FACTORIES",
+    "STEERING_FACTORIES",
+    "DELAY_FACTORIES",
+    "MACHINE_FACTORIES",
+    "available",
+    "make_problem",
+    "make_steering",
+    "make_delays",
+    "make_machine",
+]
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+# ----------------------------------------------------------------------
+# Problems: (seed, **params) -> FixedPointOperator
+# ----------------------------------------------------------------------
+
+def _problem_jacobi(seed: Any, *, n: int = 24, dominance: float = 0.4) -> Any:
+    return make_jacobi_instance(n, dominance, seed=seed)
+
+
+def _problem_tridiagonal(seed: Any, *, n: int = 24, off_diag: float = -1.0,
+                         diag: float = 2.3) -> Any:
+    M, c = tridiagonal_system(n, off_diag=off_diag, diag=diag, seed=seed)
+    return jacobi_operator(M, c)
+
+
+def _problem_quadratic(seed: Any, *, n: int = 24, condition: float = 8.0,
+                       coupling: float = 0.6) -> Any:
+    problem = random_quadratic(n, condition, coupling=coupling, seed=seed)
+    gamma = 1.8 / (problem.mu + problem.lipschitz)
+    return GradientStepOperator(problem, gamma)
+
+
+def _problem_markov(seed: Any, *, n: int = 24, beta: float = 0.85,
+                    density: float = 0.4) -> Any:
+    rng = as_generator(seed)
+    P = random_markov_chain(n, density=density, seed=rng)
+    rewards = rng.uniform(0.0, 1.0, size=n)
+    return discounted_value_operator(P, rewards, beta)
+
+
+PROBLEM_FACTORIES: dict[str, Callable[..., Any]] = {
+    "jacobi": _problem_jacobi,
+    "tridiagonal": _problem_tridiagonal,
+    "quadratic": _problem_quadratic,
+    "markov": _problem_markov,
+}
+
+
+# ----------------------------------------------------------------------
+# Steering policies: (n, seed, **params) -> SteeringPolicy
+# ----------------------------------------------------------------------
+
+def _steer_all(n: int, seed: Any) -> Any:
+    return AllComponents(n)
+
+
+def _steer_cyclic(n: int, seed: Any) -> Any:
+    return CyclicSingle(n)
+
+
+def _steer_block_cyclic(n: int, seed: Any, *, group_size: int = 4) -> Any:
+    return BlockCyclic(n, min(group_size, n))
+
+
+def _steer_random_subset(n: int, seed: Any, *, p: float = 0.3) -> Any:
+    return RandomSubset(n, p, seed=as_generator(seed))
+
+
+def _steer_weighted(n: int, seed: Any, *, spread: float = 4.0) -> Any:
+    weights = np.geomspace(1.0, spread, n)
+    return WeightedRandom(weights, seed=as_generator(seed))
+
+
+def _steer_sweeps(n: int, seed: Any) -> Any:
+    return PermutationSweeps(n, seed=as_generator(seed))
+
+
+STEERING_FACTORIES: dict[str, Callable[..., Any]] = {
+    "all": _steer_all,
+    "cyclic": _steer_cyclic,
+    "block-cyclic": _steer_block_cyclic,
+    "random-subset": _steer_random_subset,
+    "weighted": _steer_weighted,
+    "permutation-sweeps": _steer_sweeps,
+}
+
+
+# ----------------------------------------------------------------------
+# Delay models: (n, seed, **params) -> DelayModel
+# ----------------------------------------------------------------------
+
+def _delay_zero(n: int, seed: Any) -> Any:
+    return ZeroDelay(n)
+
+
+def _delay_constant(n: int, seed: Any, *, delay: int = 3) -> Any:
+    return ConstantDelay(n, delay)
+
+
+def _delay_uniform(n: int, seed: Any, *, bound: int = 6) -> Any:
+    return UniformRandomDelay(n, bound, seed=as_generator(seed))
+
+
+def _delay_chaotic(n: int, seed: Any, *, bound: int = 8) -> Any:
+    return ChaoticRelaxationDelay(n, bound, seed=as_generator(seed))
+
+
+def _delay_baudet(n: int, seed: Any) -> Any:
+    rng = as_generator(seed)
+    slow = sorted(int(i) for i in rng.choice(n, size=max(1, n // 4), replace=False))
+    return BaudetSqrtDelay(n, slow)
+
+
+def _delay_log_growth(n: int, seed: Any, *, scale: float = 2.0) -> Any:
+    return LogGrowthDelay(n, scale=scale)
+
+
+def _delay_power(n: int, seed: Any, *, alpha: float = 0.7) -> Any:
+    return PowerGrowthDelay(n, alpha=alpha)
+
+
+def _delay_out_of_order(n: int, seed: Any, *, bound: int = 6) -> Any:
+    rng = as_generator(seed)
+    return OutOfOrderDelay(UniformRandomDelay(n, bound, seed=rng), seed=rng)
+
+
+def _delay_shuffled(n: int, seed: Any, *, window: int = 12) -> Any:
+    return ShuffledWindowDelay(n, window, seed=as_generator(seed))
+
+
+DELAY_FACTORIES: dict[str, Callable[..., Any]] = {
+    "zero": _delay_zero,
+    "constant": _delay_constant,
+    "uniform": _delay_uniform,
+    "chaotic": _delay_chaotic,
+    "baudet-sqrt": _delay_baudet,
+    "log-growth": _delay_log_growth,
+    "power": _delay_power,
+    "out-of-order": _delay_out_of_order,
+    "shuffled-window": _delay_shuffled,
+}
+
+
+# ----------------------------------------------------------------------
+# Machines: (n, seed, **params) -> (processors, channels)
+# ----------------------------------------------------------------------
+
+def _partition(n: int, n_processors: int) -> list[tuple[int, ...]]:
+    """Contiguous near-even split of components over processors."""
+    if not 1 <= n_processors <= n:
+        raise ValueError(f"need 1 <= n_processors <= {n}, got {n_processors}")
+    bounds = np.linspace(0, n, n_processors + 1).astype(int)
+    return [tuple(range(bounds[p], bounds[p + 1])) for p in range(n_processors)]
+
+
+def _machine_uniform(n: int, seed: Any, *, n_processors: int = 4,
+                     latency: float = 0.05) -> Any:
+    procs = [
+        ProcessorSpec(components=comps, compute_time=UniformTime(0.8, 1.2))
+        for comps in _partition(n, n_processors)
+    ]
+    return procs, uniform_cluster(n_processors, latency=latency)
+
+
+def _machine_heterogeneous(n: int, seed: Any, *, n_processors: int = 4,
+                           imbalance: float = 4.0, latency: float = 0.05) -> Any:
+    scales = np.geomspace(1.0, imbalance, n_processors)
+    procs = [
+        ProcessorSpec(components=comps, compute_time=UniformTime(0.8 * s, 1.2 * s))
+        for s, comps in zip(scales, _partition(n, n_processors))
+    ]
+    return procs, uniform_cluster(n_processors, latency=latency)
+
+
+def _machine_flexible(n: int, seed: Any, *, n_processors: int = 4,
+                      inner_steps: int = 3, latency: float = 0.2) -> Any:
+    procs = [
+        ProcessorSpec(
+            components=comps,
+            compute_time=UniformTime(0.5, 1.5),
+            inner_steps=inner_steps,
+            publish_partials=True,
+            refresh_reads=True,
+        )
+        for comps in _partition(n, n_processors)
+    ]
+    return procs, ChannelSpec(latency=ConstantTime(latency))
+
+
+def _machine_wan(n: int, seed: Any, *, n_processors: int = 4,
+                 base_latency: float = 0.3, drop_prob: float = 0.02) -> Any:
+    procs = [
+        ProcessorSpec(components=comps, compute_time=UniformTime(0.8, 1.2))
+        for comps in _partition(n, n_processors)
+    ]
+    channels = wide_area_network(
+        n_processors, base_latency=base_latency, drop_prob=drop_prob,
+        seed=as_generator(seed),
+    )
+    return procs, channels
+
+
+def _machine_lossy(n: int, seed: Any, *, n_processors: int = 4,
+                   drop_prob: float = 0.05) -> Any:
+    procs = [
+        ProcessorSpec(components=comps, compute_time=UniformTime(0.8, 1.2))
+        for comps in _partition(n, n_processors)
+    ]
+    spec = ChannelSpec.lossy_reordering(UniformTime(0.01, 0.4), drop_prob=drop_prob)
+    return procs, spec
+
+
+MACHINE_FACTORIES: dict[str, Callable[..., Any]] = {
+    "uniform": _machine_uniform,
+    "heterogeneous": _machine_heterogeneous,
+    "flexible": _machine_flexible,
+    "wan": _machine_wan,
+    "lossy": _machine_lossy,
+}
+
+
+# ----------------------------------------------------------------------
+# Lookup helpers
+# ----------------------------------------------------------------------
+
+_TABLES: dict[str, Mapping[str, Callable[..., Any]]] = {
+    "problem": PROBLEM_FACTORIES,
+    "steering": STEERING_FACTORIES,
+    "delays": DELAY_FACTORIES,
+    "machine": MACHINE_FACTORIES,
+}
+
+
+def available(axis: str) -> tuple[str, ...]:
+    """Registered names for one axis (``problem``/``steering``/``delays``/``machine``)."""
+    try:
+        return tuple(sorted(_TABLES[axis]))
+    except KeyError:
+        raise KeyError(f"unknown axis {axis!r}; choose from {sorted(_TABLES)}") from None
+
+
+def _lookup(axis: str, name: str) -> Callable[..., Any]:
+    table = _TABLES[axis]
+    if name not in table:
+        raise KeyError(
+            f"unknown {axis} {name!r}; registered: {', '.join(sorted(table))}"
+        )
+    return table[name]
+
+
+def make_problem(name: str, seed: SeedLike = 0, **params: Any) -> Any:
+    """Instantiate a registered problem operator."""
+    return _lookup("problem", name)(seed, **params)
+
+
+def make_steering(name: str, n: int, seed: SeedLike = 0, **params: Any) -> Any:
+    """Instantiate a registered steering policy for ``n`` components."""
+    return _lookup("steering", name)(n, seed, **params)
+
+
+def make_delays(name: str, n: int, seed: SeedLike = 0, **params: Any) -> Any:
+    """Instantiate a registered delay model for ``n`` components."""
+    return _lookup("delays", name)(n, seed, **params)
+
+
+def make_machine(name: str, n: int, seed: SeedLike = 0, **params: Any) -> Any:
+    """Instantiate a registered machine: ``(processors, channels)``."""
+    return _lookup("machine", name)(n, seed, **params)

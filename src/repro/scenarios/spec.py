@@ -1,0 +1,218 @@
+"""Scenario specs and declarative scenario grids.
+
+A :class:`ScenarioSpec` pins down one experiment completely: the
+registry names and parameters of its ingredients, the execution kind
+(pure-math engine vs. hardware simulator), the engine backend, the
+iteration budget, and a concrete integer seed.  Specs contain only
+plain data, so they pickle across process pools and serialize into
+sweep manifests; running one is the fleet's job
+(:func:`repro.runtime.fleet.run_scenario`).
+
+A :class:`ScenarioGrid` is the cartesian product the paper's
+statistical claims need — problem × (delay model × steering policy |
+machine) × seed replicates — expanded into specs whose seeds are
+independently spawned from one master :class:`numpy.random.SeedSequence`,
+so results do not depend on executor scheduling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.scenarios import registry
+
+__all__ = ["ScenarioSpec", "ScenarioGrid"]
+
+_KINDS = ("engine", "simulator")
+_BACKENDS = ("vectorized", "reference")
+
+AxisItem = "str | tuple[str, Mapping[str, Any]]"
+
+
+def _normalize_axis(items: Iterable[Any], axis: str) -> tuple[tuple[str, dict[str, Any]], ...]:
+    """Accept ``"name"`` or ``("name", {params})`` items, validated."""
+    out: list[tuple[str, dict[str, Any]]] = []
+    for item in items:
+        if isinstance(item, str):
+            name, params = item, {}
+        else:
+            name, params = item
+            params = dict(params)
+        if name not in registry.available(axis):
+            raise KeyError(
+                f"unknown {axis} {name!r}; registered: {', '.join(registry.available(axis))}"
+            )
+        out.append((name, params))
+    if not out:
+        raise ValueError(f"grid axis {axis!r} must not be empty")
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully determined scenario (plain data, picklable).
+
+    Attributes
+    ----------
+    kind:
+        ``"engine"`` runs the mathematical
+        :class:`~repro.core.async_iteration.AsyncIterationEngine` with
+        a delay model and steering policy; ``"simulator"`` runs the
+        discrete-event machine with a machine archetype.
+    problem, problem_params:
+        Registry name and overrides for the operator factory.
+    steering, steering_params / delays, delay_params:
+        Engine-kind ingredients (ignored for simulators).
+    machine, machine_params:
+        Simulator-kind ingredient (ignored for engines).
+    backend:
+        ``"vectorized"`` (the production engine) or ``"reference"``
+        (the frozen seed implementation — the baseline oracle).
+    seed:
+        Integer entropy for this scenario; :meth:`spawn_seeds` derives
+        the independent per-ingredient streams from it.
+    max_iterations, tol:
+        Budget and stopping tolerance shared by both kinds.
+    """
+
+    problem: str
+    kind: str = "engine"
+    problem_params: dict[str, Any] = field(default_factory=dict)
+    steering: str = "cyclic"
+    steering_params: dict[str, Any] = field(default_factory=dict)
+    delays: str = "zero"
+    delay_params: dict[str, Any] = field(default_factory=dict)
+    machine: str = "uniform"
+    machine_params: dict[str, Any] = field(default_factory=dict)
+    backend: str = "vectorized"
+    seed: int = 0
+    max_iterations: int = 2000
+    tol: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
+        if self.max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.tol < 0:
+            raise ValueError(f"tol must be >= 0, got {self.tol}")
+
+    @property
+    def key(self) -> str:
+        """Human-readable identity, e.g. ``jacobi/uniform×cyclic/seed=7``."""
+        if self.kind == "engine":
+            mid = f"{self.delays}×{self.steering}"
+        else:
+            mid = f"{self.machine}[{self.backend}]"
+        return f"{self.problem}/{mid}/seed={self.seed}"
+
+    def spawn_seeds(self) -> list[np.random.SeedSequence]:
+        """Four independent child streams: problem, steering, delays, machine."""
+        return np.random.SeedSequence(self.seed).spawn(4)
+
+    def build_problem(self) -> Any:
+        return registry.make_problem(
+            self.problem, self.spawn_seeds()[0], **self.problem_params
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """Declarative cartesian grid of scenarios.
+
+    ``problems``/``steerings``/``delays``/``machines`` accept registry
+    names or ``(name, params)`` pairs; ``n_seeds`` replicates every
+    combination with independent seeds spawned from ``master_seed``.
+    Engine grids sweep problems × delays × steerings; simulator grids
+    sweep problems × machines.
+    """
+
+    problems: tuple[Any, ...]
+    kind: str = "engine"
+    steerings: tuple[Any, ...] = ("cyclic",)
+    delays: tuple[Any, ...] = ("zero",)
+    machines: tuple[Any, ...] = ("uniform",)
+    n_seeds: int = 1
+    master_seed: int = 0
+    backend: str = "vectorized"
+    max_iterations: int = 2000
+    tol: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.n_seeds < 1:
+            raise ValueError(f"n_seeds must be >= 1, got {self.n_seeds}")
+        object.__setattr__(self, "problems", _normalize_axis(self.problems, "problem"))
+        if self.kind == "engine":
+            object.__setattr__(self, "steerings", _normalize_axis(self.steerings, "steering"))
+            object.__setattr__(self, "delays", _normalize_axis(self.delays, "delays"))
+        else:
+            object.__setattr__(self, "machines", _normalize_axis(self.machines, "machine"))
+
+    @property
+    def size(self) -> int:
+        """Number of scenarios :meth:`expand` produces."""
+        if self.kind == "engine":
+            return len(self.problems) * len(self.delays) * len(self.steerings) * self.n_seeds
+        return len(self.problems) * len(self.machines) * self.n_seeds
+
+    def expand(self) -> tuple[ScenarioSpec, ...]:
+        """Materialize the grid, spawning one independent seed per scenario.
+
+        Seeds derive from ``SeedSequence(master_seed).spawn(size)`` in
+        grid-enumeration order, so the expansion is deterministic and
+        the fleet's results cannot depend on executor scheduling.
+        """
+        children = np.random.SeedSequence(self.master_seed).spawn(self.size)
+        # Keep each child's full 128-bit entropy (a single 32-bit word
+        # would birthday-collide in large sweeps); stays a plain int.
+        seeds = [
+            int.from_bytes(c.generate_state(4, np.uint32).tobytes(), "little")
+            for c in children
+        ]
+        specs: list[ScenarioSpec] = []
+        if self.kind == "engine":
+            combos: Iterable[tuple[Any, ...]] = itertools.product(
+                self.problems, self.delays, self.steerings, range(self.n_seeds)
+            )
+            for i, ((prob, pp), (dl, dp), (st, sp), _) in enumerate(combos):
+                specs.append(
+                    ScenarioSpec(
+                        problem=prob,
+                        problem_params=pp,
+                        kind="engine",
+                        steering=st,
+                        steering_params=sp,
+                        delays=dl,
+                        delay_params=dp,
+                        backend=self.backend,
+                        seed=seeds[i],
+                        max_iterations=self.max_iterations,
+                        tol=self.tol,
+                    )
+                )
+        else:
+            for i, ((prob, pp), (mach, mp), _) in enumerate(
+                itertools.product(self.problems, self.machines, range(self.n_seeds))
+            ):
+                specs.append(
+                    ScenarioSpec(
+                        problem=prob,
+                        problem_params=pp,
+                        kind="simulator",
+                        machine=mach,
+                        machine_params=mp,
+                        backend=self.backend,
+                        seed=seeds[i],
+                        max_iterations=self.max_iterations,
+                        tol=self.tol,
+                    )
+                )
+        return tuple(specs)

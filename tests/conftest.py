@@ -1,4 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the ``slow`` marker for the test suite.
+
+Tier-1 (`pytest -q`) must stay fast, so fleet stress tests and other
+long-running checks carry ``@pytest.mark.slow`` and are skipped unless
+explicitly requested with ``--runslow`` or ``-m slow`` (see the
+Makefile's ``test-slow`` target).
+"""
 
 from __future__ import annotations
 
@@ -15,6 +21,30 @@ from repro.problems import (
     random_flow_network,
     random_quadratic,
 )
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked @pytest.mark.slow (fleet stress tests etc.)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: long-running test, excluded from tier-1 (`--runslow` to include)"
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items: list[pytest.Item]) -> None:
+    if config.getoption("--runslow") or "slow" in (config.getoption("-m") or ""):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow or -m slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

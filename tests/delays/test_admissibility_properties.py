@@ -1,0 +1,206 @@
+"""Property-based tests: the admissibility checker vs. ground truth.
+
+Hypothesis generates random finite traces (and perturbations of them)
+and asserts that :func:`repro.delays.admissibility.check_admissibility`
+reports conditions (a), (d) and monotonicity *exactly* when a
+brute-force recomputation says they hold — not just on the happy
+paths the unit tests cover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delays import (
+    ChaoticRelaxationDelay,
+    ConstantDelay,
+    UniformRandomDelay,
+    ZeroDelay,
+    check_admissibility,
+    delays_to_labels,
+)
+
+settings.register_profile("repro", deadline=None, max_examples=60)
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Trace generators
+# ----------------------------------------------------------------------
+
+@st.composite
+def traces(draw, max_n: int = 6, max_J: int = 40):
+    """A random admissible-by-construction (active_sets, labels, n) trace."""
+    n = draw(st.integers(1, max_n))
+    J = draw(st.integers(1, max_J))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    labels = np.empty((J, n), dtype=np.int64)
+    for j in range(1, J + 1):
+        # arbitrary nonnegative delays, clipped into [0, j-1] — (a) by
+        # construction, mirroring DelayModel.labels
+        delays = rng.integers(0, 2 * J, size=n)
+        labels[j - 1] = delays_to_labels(j, delays)
+    active = []
+    for j in range(J):
+        k = int(rng.integers(1, n + 1))
+        active.append(tuple(sorted(rng.choice(n, size=k, replace=False).tolist())))
+    return active, labels, n
+
+
+# ----------------------------------------------------------------------
+# Condition (a)
+# ----------------------------------------------------------------------
+
+class TestConditionA:
+    @given(traces())
+    def test_holds_for_clipped_labels(self, trace):
+        active, labels, n = trace
+        report = check_admissibility(active, labels, n)
+        assert report.condition_a
+
+    @given(traces(), st.data())
+    def test_detected_exactly_when_violated(self, trace, data):
+        active, labels, n = trace
+        J = labels.shape[0]
+        j = data.draw(st.integers(1, J))
+        i = data.draw(st.integers(0, n - 1))
+        # push one label into the future (l_i(j) > j - 1): must flip (a)
+        labels = labels.copy()
+        labels[j - 1, i] = j + data.draw(st.integers(0, 5))
+        report = check_admissibility(active, labels, n)
+        assert not report.condition_a
+
+    @given(traces(), st.data())
+    def test_negative_labels_rejected(self, trace, data):
+        active, labels, n = trace
+        J = labels.shape[0]
+        labels = labels.copy()
+        labels[data.draw(st.integers(0, J - 1)), data.draw(st.integers(0, n - 1))] = -1
+        assert not check_admissibility(active, labels, n).condition_a
+
+
+# ----------------------------------------------------------------------
+# Condition (d): realized delay bound
+# ----------------------------------------------------------------------
+
+class TestConditionD:
+    @given(traces())
+    def test_max_delay_is_exact(self, trace):
+        active, labels, n = trace
+        J = labels.shape[0]
+        brute = max(
+            (j - 1) - int(labels[j - 1, i]) for j in range(1, J + 1) for i in range(n)
+        )
+        assert check_admissibility(active, labels, n).max_delay == brute
+
+    @given(
+        st.integers(1, 5),
+        st.integers(5, 40),
+        st.integers(0, 12),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_bounded_models_respect_their_bound(self, n, J, bound, seed):
+        model = UniformRandomDelay(n, bound, seed=seed) if bound else ZeroDelay(n)
+        labels = np.stack([model.labels(j) for j in range(1, J + 1)])
+        active = [tuple(range(n))] * J
+        report = check_admissibility(active, labels, n)
+        assert model.is_bounded()
+        assert report.condition_a
+        assert report.max_delay <= bound
+
+    @given(st.integers(1, 5), st.integers(2, 30), st.integers(1, 8))
+    def test_constant_delay_exact_after_warmup(self, n, J, d):
+        model = ConstantDelay(n, d)
+        labels = np.stack([model.labels(j) for j in range(1, J + 1)])
+        report = check_admissibility([tuple(range(n))] * J, labels, n)
+        # after j > d the clip is inactive, so the realized max is d
+        assert report.max_delay == min(d, J - 1)
+
+    @given(st.integers(1, 4), st.integers(4, 40), st.integers(2, 10),
+           st.integers(0, 2**32 - 1))
+    def test_chaotic_window_is_condition_d(self, n, J, b, seed):
+        model = ChaoticRelaxationDelay(n, b, seed=seed)
+        labels = np.stack([model.labels(j) for j in range(1, J + 1)])
+        report = check_admissibility([tuple(range(n))] * J, labels, n)
+        assert report.max_delay <= b
+
+
+# ----------------------------------------------------------------------
+# Monotonicity (the [30] assumption) and condition (c) surrogate
+# ----------------------------------------------------------------------
+
+class TestMonotoneAndGaps:
+    @given(traces())
+    def test_monotone_flag_is_exact(self, trace):
+        active, labels, n = trace
+        brute = bool(np.all(np.diff(labels, axis=0) >= 0)) if labels.shape[0] > 1 else True
+        assert check_admissibility(active, labels, n).monotone == brute
+
+    @given(traces())
+    def test_update_gaps_are_exact(self, trace):
+        active, labels, n = trace
+        J = labels.shape[0]
+        brute = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            seen = [j for j in range(1, J + 1) if i in active[j - 1]]
+            edges = [0] + seen + [J + 1]
+            # the checker measures both the leading and trailing gap;
+            # its trailing edge is (J + 1) - last_seen
+            gaps = [b - a for a, b in zip(edges, edges[1:])]
+            brute[i] = max(gaps) if seen else J + 1
+        report = check_admissibility(active, labels, n)
+        assert np.array_equal(report.max_update_gap, brute)
+
+    @given(traces())
+    def test_all_components_every_iteration_is_admissible(self, trace):
+        _, labels, n = trace
+        J = labels.shape[0]
+        report = check_admissibility([tuple(range(n))] * J, labels, n)
+        assert report.updated_in_final_window
+        assert np.all(report.max_update_gap == 1)
+        assert report.plausibly_admissible
+
+    @given(traces())
+    def test_abandoned_component_detected(self, trace):
+        active, labels, n = trace
+        if n == 1:
+            return  # cannot abandon the only component
+        # strip component 0 from every S_j (S_j stays nonempty: fall
+        # back to component 1 when stripping empties it)
+        stripped = [tuple(i for i in S if i != 0) or (1,) for S in active]
+        report = check_admissibility(stripped, labels, n)
+        assert not report.updated_in_final_window
+        assert not report.plausibly_admissible
+
+    def test_empty_active_set_rejected(self):
+        labels = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="nonempty"):
+            check_admissibility([(0,), ()], labels, 2)
+
+    def test_out_of_range_component_rejected(self):
+        labels = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(IndexError):
+            check_admissibility([(5,)], labels, 2)
+
+
+# ----------------------------------------------------------------------
+# delays_to_labels clipping
+# ----------------------------------------------------------------------
+
+class TestDelaysToLabels:
+    @given(st.integers(1, 100), st.lists(st.integers(0, 200), min_size=1, max_size=8))
+    def test_labels_always_satisfy_condition_a(self, j, delays):
+        labels = delays_to_labels(j, np.asarray(delays))
+        assert np.all(labels >= 0)
+        assert np.all(labels <= j - 1)
+
+    @given(st.integers(1, 100), st.data())
+    def test_exact_when_unclipped(self, j, data):
+        delays = np.asarray(
+            data.draw(st.lists(st.integers(0, max(0, j - 1)), min_size=1, max_size=8))
+        )
+        labels = delays_to_labels(j, delays)
+        assert np.array_equal(labels, (j - 1) - delays)

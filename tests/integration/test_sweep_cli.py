@@ -1,0 +1,74 @@
+"""End-to-end tests of the ``python -m repro sweep`` CLI verb."""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import main
+
+
+def _sweep(*extra: str) -> list[str]:
+    return [
+        "sweep",
+        "--problems", "jacobi",
+        "--delays", "zero,uniform",
+        "--steering", "cyclic",
+        "--seeds", "2",
+        "--max-iterations", "400",
+        "--executor", "serial",
+        *extra,
+    ]
+
+
+class TestSweepCLI:
+    def test_list_axes(self, capsys):
+        assert main(["sweep", "--list-axes"]) == 0
+        out = capsys.readouterr().out
+        for axis in ("problem:", "steering:", "delays:", "machine:"):
+            assert axis in out
+        assert "jacobi" in out and "baudet-sqrt" in out
+
+    def test_engine_sweep_runs_and_reports(self, capsys):
+        assert main(_sweep("--problems", "jacobi,tridiagonal",
+                           "--steering", "cyclic,random-subset",
+                           "--seeds", "3")) == 0
+        out = capsys.readouterr().out
+        # 2 problems x 2 delays x 2 policies x 3 seeds
+        assert "24 scenarios" in out
+        assert "failures=0" in out
+        assert "iterations" in out and "converged" in out
+
+    def test_simulator_sweep(self, capsys):
+        assert main([
+            "sweep", "--kind", "simulator",
+            "--problems", "jacobi",
+            "--machines", "uniform,flexible",
+            "--seeds", "1",
+            "--max-iterations", "200",
+            "--executor", "serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sim_time" in out
+        assert "failures=0" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        assert main(_sweep("--json", str(path))) == 0
+        doc = json.loads(path.read_text())
+        assert doc["scenario_count"] == 4
+        assert all(r["error"] is None for r in doc["results"])
+        assert "wrote" in capsys.readouterr().out
+
+    def test_custom_group_by(self, capsys):
+        assert main(_sweep("--group-by", "delays,steering")) == 0
+        header = capsys.readouterr().out
+        assert "delays" in header and "steering" in header
+
+    def test_unknown_axis_value_errors(self, capsys):
+        assert main(_sweep("--delays", "warp-speed")) == 2
+        err = capsys.readouterr().err
+        assert "unknown delays" in err and "baudet-sqrt" in err
+
+    def test_bad_seeds_errors(self, capsys):
+        assert main(_sweep("--seeds", "0")) == 2
+        assert "n_seeds" in capsys.readouterr().err

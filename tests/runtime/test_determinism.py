@@ -1,0 +1,288 @@
+"""Determinism regression: the vectorized simulator is bit-identical to the seed.
+
+The golden SHA-256 digests below were captured from the ORIGINAL
+(pre-vectorization) ``DistributedSimulator`` event loop — the
+implementation now frozen as
+:class:`~repro.runtime.simulator.reference.ReferenceSimulator`.  Three
+layers of protection:
+
+1. golden digests: the vectorized engine must reproduce the seed's
+   exact traces on four channel/delay regimes (FIFO constant latency,
+   lossy reordering, overwrite out-of-order, flexible communication);
+2. engine equivalence: vectorized and reference runs are compared
+   field by field (labels, active sets, iterates, series, times,
+   messages) on the same regimes;
+3. stream equivalence: the batched channel/timing draws the vectorized
+   engine relies on consume the RNG exactly like sequential draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.operators.linear import jacobi_operator
+from repro.problems.linear_system import tridiagonal_system
+from repro.runtime.simulator import (
+    ChannelSpec,
+    ConstantTime,
+    DistributedSimulator,
+    ExponentialTime,
+    ParetoTime,
+    ProcessorSpec,
+    ReferenceSimulator,
+    UniformTime,
+)
+from repro.runtime.simulator.channel import ChannelState
+from repro.runtime.simulator.timing import LinearGrowthTime
+
+# Captured 2026-07-26 from the seed implementation (commit f53ece5),
+# BEFORE any engine change: python minor 3.11, numpy 2.4, linux x86-64.
+GOLDEN = {
+    "fifo_constant": {
+        "sha256": "44c57bede87a5dced66084fefbacf1f5d8af1d9e9fa3e3954a7f1d6ae5d97968",
+        "n_iterations": 400,
+        "final_time": 50.653217849793876,
+        "final_residual": 7.276121121488982e-05,
+        "x0": 0.47266850718361497,
+        "messages": 5600,
+        "converged": False,
+    },
+    "lossy_reordering": {
+        "sha256": "6929644d5bb5e29d702c41ca76aca7b5ff6333db3fa5c2a6ad955f3a561905ea",
+        "n_iterations": 400,
+        "final_time": 50.99822650148797,
+        "final_residual": 0.0006681002761438348,
+        "x0": 0.4721792675547255,
+        "messages": 5600,
+        "converged": False,
+    },
+    "overwrite_pareto": {
+        "sha256": "51842910ab828d23855d6c569a55173609d84913cf80560fe1e5fc673f5f8eb4",
+        "n_iterations": 400,
+        "final_time": 42.44343522021029,
+        "final_residual": 0.0003076872069394239,
+        "x0": 0.47249326540088943,
+        "messages": 5600,
+        "converged": False,
+    },
+    "flexible": {
+        "sha256": "403d83cd0ab3683133a221bad2bd3489460e9ab021bb7ac33aaa8d3b2d7efd7c",
+        "n_iterations": 145,
+        "final_time": 37.337137653804845,
+        "final_residual": 5.896468375261031e-11,
+        "x0": 0.47273150265750763,
+        "messages": 5244,
+        "converged": True,
+    },
+}
+
+REGIMES = tuple(GOLDEN)
+
+
+def _make_operator(n: int = 16):
+    M, c = tridiagonal_system(n, off_diag=-1.0, diag=2.3, seed=1)
+    return jacobi_operator(M, c)
+
+
+def _build(regime: str, cls):
+    op = _make_operator()
+    if regime == "fifo_constant":
+        procs = [
+            ProcessorSpec(components=(2 * i, 2 * i + 1), compute_time=UniformTime(0.8, 1.2))
+            for i in range(8)
+        ]
+        chan = ChannelSpec(latency=ConstantTime(0.05))
+    elif regime == "lossy_reordering":
+        procs = [
+            ProcessorSpec(components=(2 * i, 2 * i + 1), compute_time=ExponentialTime(1.0))
+            for i in range(8)
+        ]
+        chan = ChannelSpec(latency=UniformTime(0.01, 0.5), fifo=False, drop_prob=0.1)
+    elif regime == "overwrite_pareto":
+        procs = [
+            ProcessorSpec(
+                components=(2 * i, 2 * i + 1), compute_time=ParetoTime(alpha=2.5, scale=0.5)
+            )
+            for i in range(8)
+        ]
+        chan = ChannelSpec(latency=UniformTime(0.01, 0.3), fifo=False, apply="overwrite")
+    elif regime == "flexible":
+        procs = [
+            ProcessorSpec(
+                components=(4 * i, 4 * i + 1, 4 * i + 2, 4 * i + 3),
+                compute_time=UniformTime(0.5, 1.5),
+                inner_steps=3,
+                publish_partials=True,
+                refresh_reads=True,
+            )
+            for i in range(4)
+        ]
+        chan = ChannelSpec(latency=ConstantTime(0.2))
+    else:  # pragma: no cover - parametrization guards this
+        raise ValueError(regime)
+    return cls(op, procs, channels=chan, seed=42)
+
+
+def _run(regime: str, cls):
+    sim = _build(regime, cls)
+    return sim.run(
+        np.zeros(sim.operator.dim), max_iterations=400, tol=1e-10, residual_every=5
+    )
+
+
+def _digest(res) -> str:
+    h = hashlib.sha256()
+    t = res.trace
+    h.update(t.labels.tobytes())
+    h.update(repr(t.active_sets).encode())
+    h.update(res.x.tobytes())
+    if t.residuals is not None:
+        h.update(t.residuals.tobytes())
+    if t.errors is not None:
+        h.update(t.errors.tobytes())
+    if t.times is not None:
+        h.update(t.times.tobytes())
+    return h.hexdigest()
+
+
+class TestGoldenTraces:
+    """The vectorized engine reproduces the seed implementation exactly."""
+
+    @pytest.mark.parametrize("regime", REGIMES)
+    def test_vectorized_matches_seed_golden(self, regime):
+        res = _run(regime, DistributedSimulator)
+        g = GOLDEN[regime]
+        assert res.trace.n_iterations == g["n_iterations"]
+        assert res.converged == g["converged"]
+        assert res.final_time == g["final_time"]
+        assert res.final_residual == g["final_residual"]
+        assert float(res.x[0]) == g["x0"]
+        assert len(res.messages) == g["messages"]
+        assert _digest(res) == g["sha256"]
+
+    @pytest.mark.parametrize("regime", REGIMES)
+    def test_reference_still_matches_golden(self, regime):
+        """The frozen oracle itself must never drift."""
+        res = _run(regime, ReferenceSimulator)
+        assert _digest(res) == GOLDEN[regime]["sha256"]
+
+
+class TestEngineEquivalence:
+    """Field-by-field equality of vectorized and reference runs."""
+
+    @pytest.mark.parametrize("regime", REGIMES)
+    def test_bit_identical_results(self, regime):
+        a = _run(regime, DistributedSimulator)
+        b = _run(regime, ReferenceSimulator)
+        assert np.array_equal(a.x, b.x)
+        assert a.trace.active_sets == b.trace.active_sets
+        assert np.array_equal(a.trace.labels, b.trace.labels)
+        for name in ("errors", "residuals", "times"):
+            xa, xb = getattr(a.trace, name), getattr(b.trace, name)
+            assert (xa is None) == (xb is None), name
+            if xa is not None:
+                assert np.array_equal(xa, xb), name
+        assert a.final_time == b.final_time
+        assert a.converged == b.converged
+        assert a.final_residual == b.final_residual
+        assert a.stats == b.stats
+        assert a.phases == b.phases
+        # Same messages as multisets and same per-channel-pair order
+        # (global interleaving across independent channels is free).
+        key = lambda m: (m.src, m.dst)  # noqa: E731
+        by_pair_a: dict = {}
+        by_pair_b: dict = {}
+        for m in a.messages:
+            by_pair_a.setdefault(key(m), []).append(m)
+        for m in b.messages:
+            by_pair_b.setdefault(key(m), []).append(m)
+        assert by_pair_a == by_pair_b
+
+    @pytest.mark.parametrize("regime", ("fifo_constant", "flexible"))
+    def test_same_seed_same_result(self, regime):
+        a = _run(regime, DistributedSimulator)
+        b = _run(regime, DistributedSimulator)
+        assert np.array_equal(a.x, b.x)
+        assert a.final_time == b.final_time
+        assert _digest(a) == _digest(b)
+
+    def test_numpy_scalar_durations(self):
+        """Duration models may return numpy scalars; both engines must agree.
+
+        Regression: the burst send path once special-cased builtin
+        ``float`` and crashed when phase times were ``np.float64``.
+        """
+        from repro.runtime.simulator.timing import DurationModel
+
+        class TableTime(DurationModel):
+            def __init__(self, table):
+                self.table = np.asarray(table, dtype=np.float64)
+
+            def sample(self, k, rng):
+                return self.table[(k - 1) % self.table.size]  # np.float64
+
+        op = _make_operator(8)
+        procs = [
+            ProcessorSpec(components=(2 * i, 2 * i + 1), compute_time=TableTime([1.0, 1.3, 0.9]))
+            for i in range(4)
+        ]
+        chan = ChannelSpec(latency=ConstantTime(0.05))
+        a = DistributedSimulator(op, procs, channels=chan, seed=3).run(
+            np.zeros(8), max_iterations=100
+        )
+        b = ReferenceSimulator(op, procs, channels=chan, seed=3).run(
+            np.zeros(8), max_iterations=100
+        )
+        assert np.array_equal(a.x, b.x)
+        assert a.final_time == b.final_time
+
+
+class TestStreamEquivalence:
+    """Batched draws consume the RNG exactly like sequential draws."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [ConstantTime(0.7), UniformTime(0.3, 1.9), LinearGrowthTime(0.5)],
+        ids=["constant", "uniform", "linear-growth"],
+    )
+    def test_sample_batch_equals_sequential(self, model):
+        rng_a = np.random.default_rng(123)
+        rng_b = np.random.default_rng(123)
+        batch = model.sample_batch(1, 32, rng_a)
+        assert batch is not None
+        seq = np.array([model.sample(k, rng_b) for k in range(1, 33)])
+        assert np.array_equal(batch, seq)
+        # streams advanced identically
+        assert rng_a.random() == rng_b.random()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ChannelSpec(latency=ConstantTime(0.05)),
+            ChannelSpec(latency=ConstantTime(0.05), fifo=False),
+            ChannelSpec(latency=UniformTime(0.01, 0.5), fifo=True),
+            ChannelSpec(latency=UniformTime(0.01, 0.5), fifo=False),
+            ChannelSpec(latency=UniformTime(0.01, 0.5), fifo=False, drop_prob=0.3),
+            ChannelSpec(latency=ExponentialTime(0.2), fifo=True),
+        ],
+        ids=["const-fifo", "const-raw", "unif-fifo", "unif-raw", "unif-lossy", "exp-fifo"],
+    )
+    def test_delivery_times_equals_sequential(self, spec):
+        a = ChannelState(spec, np.random.default_rng(7))
+        b = ChannelState(spec, np.random.default_rng(7))
+        for send_time in (0.0, 1.5, 1.5, 4.0):
+            batched = a.delivery_times(send_time, 5)
+            singles = [b.delivery_time(send_time) for _ in range(5)]
+            if isinstance(batched, float):
+                batched = np.full(5, batched)
+            for got, want in zip(batched, singles):
+                if want is None:
+                    assert got != got  # nan encodes a dropped message
+                else:
+                    assert got == want
+        assert a.messages_sent == b.messages_sent
+        assert a.messages_dropped == b.messages_dropped
+        assert a.rng.random() == b.rng.random()

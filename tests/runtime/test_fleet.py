@@ -1,0 +1,264 @@
+"""Tests of the scenario registry, grid expansion and fleet runner."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.fleet import compare_throughput, fleet_summary_rows, render_fleet_table
+from repro.runtime.fleet import FleetResult, run_fleet, run_scenario
+from repro.scenarios import ScenarioGrid, ScenarioSpec, available, make_problem
+
+
+SMALL_ENGINE_GRID = ScenarioGrid(
+    problems=(("jacobi", {"n": 8}),),
+    delays=("zero", "uniform"),
+    steerings=("cyclic",),
+    n_seeds=2,
+    master_seed=5,
+    max_iterations=500,
+    tol=1e-8,
+)
+
+
+class TestRegistry:
+    def test_axes_nonempty(self):
+        for axis in ("problem", "steering", "delays", "machine"):
+            assert len(available(axis)) >= 4, axis
+
+    def test_unknown_axis(self):
+        with pytest.raises(KeyError, match="unknown axis"):
+            available("nope")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown problem"):
+            make_problem("definitely-not-registered")
+
+    def test_problem_factories_build_operators(self):
+        for name in available("problem"):
+            op = make_problem(name, seed=3, n=10)
+            assert op.dim >= 10 and op.n_components >= 1, name
+
+
+class TestScenarioSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ScenarioSpec(problem="jacobi", kind="warp")
+        with pytest.raises(ValueError, match="backend"):
+            ScenarioSpec(problem="jacobi", backend="gpu")
+        with pytest.raises(ValueError, match="max_iterations"):
+            ScenarioSpec(problem="jacobi", max_iterations=0)
+
+    def test_key_shapes(self):
+        e = ScenarioSpec(problem="jacobi", delays="uniform", steering="cyclic", seed=7)
+        assert e.key == "jacobi/uniform×cyclic/seed=7"
+        s = ScenarioSpec(problem="jacobi", kind="simulator", machine="wan", seed=7)
+        assert s.key == "jacobi/wan[vectorized]/seed=7"
+
+    def test_spawn_seeds_independent_and_stable(self):
+        a = ScenarioSpec(problem="jacobi", seed=1).spawn_seeds()
+        b = ScenarioSpec(problem="jacobi", seed=1).spawn_seeds()
+        assert [s.generate_state(1)[0] for s in a] == [s.generate_state(1)[0] for s in b]
+        assert len({int(s.generate_state(1)[0]) for s in a}) == 4
+
+
+class TestScenarioGrid:
+    def test_expand_size_and_determinism(self):
+        g = ScenarioGrid(
+            problems=("jacobi", "tridiagonal"),
+            delays=("uniform", "baudet-sqrt"),
+            steerings=("cyclic", "random-subset"),
+            n_seeds=3,
+        )
+        specs = g.expand()
+        assert g.size == len(specs) == 24
+        assert specs == g.expand()  # deterministic expansion
+        assert len({s.key for s in specs}) == 24  # all distinct
+        assert len({s.seed for s in specs}) == 24  # independent seeds
+
+    def test_unknown_axis_entry(self):
+        with pytest.raises(KeyError, match="unknown delays"):
+            ScenarioGrid(problems=("jacobi",), delays=("warp-speed",))
+
+    def test_simulator_grid(self):
+        g = ScenarioGrid(problems=("jacobi",), kind="simulator",
+                         machines=("uniform", "flexible"), n_seeds=2)
+        specs = g.expand()
+        assert len(specs) == 4
+        assert all(s.kind == "simulator" for s in specs)
+
+    def test_specs_picklable(self):
+        specs = SMALL_ENGINE_GRID.expand()
+        assert pickle.loads(pickle.dumps(specs)) == specs
+
+
+class TestRunScenario:
+    def test_engine_kind(self):
+        spec = SMALL_ENGINE_GRID.expand()[0]
+        r = run_scenario(spec)
+        assert r.error is None
+        assert r.converged and r.iterations > 0
+        assert r.final_residual < 1e-8
+        assert r.sim_time is None
+
+    def test_simulator_kind(self):
+        spec = ScenarioSpec(
+            problem="jacobi", problem_params={"n": 8}, kind="simulator",
+            machine="uniform", seed=3, max_iterations=300, tol=1e-8,
+        )
+        r = run_scenario(spec)
+        assert r.error is None
+        assert r.converged
+        assert r.sim_time is not None and r.sim_time > 0
+        assert r.time_to_tol is not None and r.time_to_tol <= r.sim_time
+
+    def test_reference_backend_agrees_with_vectorized(self):
+        base = dict(problem="tridiagonal", problem_params={"n": 12}, kind="simulator",
+                    machine="flexible", seed=9, max_iterations=200, tol=0.0)
+        rv = run_scenario(ScenarioSpec(backend="vectorized", **base))
+        rr = run_scenario(ScenarioSpec(backend="reference", **base))
+        assert rv.error is None and rr.error is None
+        assert rv.iterations == rr.iterations
+        assert rv.final_residual == rr.final_residual
+        assert rv.sim_time == rr.sim_time
+
+    def test_crash_is_captured_not_raised(self):
+        bad = ScenarioSpec(problem="jacobi", problem_params={"n": -3})
+        r = run_scenario(bad)
+        assert r.error is not None and "Error" in r.error
+        assert not r.converged
+
+
+class TestRunFleet:
+    def test_submission_order_and_keys(self):
+        specs = SMALL_ENGINE_GRID.expand()
+        fleet = run_fleet(specs, executor="serial")
+        assert [r.key for r in fleet.results] == [s.key for s in specs]
+        assert fleet.scenario_count == len(specs)
+        assert fleet.scenarios_per_sec > 0
+
+    def test_executors_agree(self):
+        specs = SMALL_ENGINE_GRID.expand()
+        serial = run_fleet(specs, executor="serial")
+        threaded = run_fleet(specs, executor="thread", max_workers=4)
+        for a, b in zip(serial.results, threaded.results):
+            assert a.iterations == b.iterations
+            assert a.final_residual == b.final_residual
+            assert a.converged == b.converged
+
+    def test_bad_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_fleet(SMALL_ENGINE_GRID.expand(), executor="quantum")
+
+    def test_failures_partitioned(self):
+        specs = [
+            ScenarioSpec(problem="jacobi", problem_params={"n": 8}, seed=1,
+                         max_iterations=200),
+            ScenarioSpec(problem="jacobi", problem_params={"n": -1}, seed=2),
+        ]
+        fleet = run_fleet(specs, executor="serial")
+        assert len(fleet.ok()) == 1 and len(fleet.failures()) == 1
+        assert fleet.converged_fraction() in (0.0, 1.0)
+
+    def test_group_medians_and_rows(self):
+        fleet = run_fleet(SMALL_ENGINE_GRID.expand(), executor="serial")
+        med = fleet.group_medians(by=("delays",), metrics=("iterations", "converged"))
+        assert set(med) == {("zero",), ("uniform",)}
+        for agg in med.values():
+            assert agg["count"] == 2.0
+            assert agg["converged"] == 1.0
+        with pytest.raises(KeyError, match="unknown metric"):
+            fleet.group_medians(metrics=("warp",))
+        rows = fleet.to_rows()
+        assert len(rows) == fleet.scenario_count
+        headers, srows = fleet_summary_rows(fleet, group_by=("delays",))
+        assert headers[0] == "delays" and len(srows) == 2
+        assert "scenarios in" in render_fleet_table(fleet, group_by=("delays",))
+
+    def test_to_json_roundtrips(self):
+        fleet = run_fleet(SMALL_ENGINE_GRID.expand()[:2], executor="serial")
+        doc = json.loads(fleet.to_json())
+        assert doc["scenario_count"] == 2
+        assert len(doc["results"]) == 2
+        assert doc["results"][0]["spec"]["problem"] == "jacobi"
+
+    def test_compare_throughput_requires_same_size(self):
+        fleet = run_fleet(SMALL_ENGINE_GRID.expand()[:2], executor="serial")
+        other = run_fleet(SMALL_ENGINE_GRID.expand()[:1], executor="serial")
+        with pytest.raises(ValueError, match="sizes differ"):
+            compare_throughput(fleet, other)
+        cmp = compare_throughput(fleet, fleet)
+        assert cmp.speedup == 1.0
+
+
+class TestPerfSmoke:
+    """Fast sanity: the vectorized fleet is not slower than the frozen baseline."""
+
+    WORKLOAD = ScenarioGrid(
+        problems=(("jacobi", {"n": 24}),),
+        kind="simulator",
+        machines=(("flexible", {"n_processors": 4}),),
+        n_seeds=2,
+        master_seed=1,
+        max_iterations=200,
+        tol=0.0,
+    )
+
+    def test_throughput_positive_and_results_identical(self):
+        import dataclasses
+
+        base = run_fleet(
+            dataclasses.replace(self.WORKLOAD, backend="reference").expand(),
+            executor="serial",
+        )
+        vec = run_fleet(self.WORKLOAD.expand(), executor="serial")
+        assert base.scenarios_per_sec > 0 and vec.scenarios_per_sec > 0
+        for rb, rv in zip(base.results, vec.results):
+            assert rb.error is None and rv.error is None
+            assert rb.iterations == rv.iterations
+            assert rb.final_residual == rv.final_residual
+
+    @pytest.mark.slow
+    def test_vectorized_fleet_at_least_2x_baseline(self):
+        """The acceptance bar, on a workload big enough to be stable."""
+        import dataclasses
+
+        grid = dataclasses.replace(self.WORKLOAD, n_seeds=3, max_iterations=600,
+                                   problems=(("jacobi", {"n": 48}),),
+                                   machines=(("flexible", {"n_processors": 8}),))
+        base = run_fleet(
+            dataclasses.replace(grid, backend="reference").expand(), executor="serial"
+        )
+        vec = run_fleet(grid.expand(), executor="auto")
+        cmp = compare_throughput(base, vec)
+        assert cmp.speedup >= 2.0, f"{cmp.speedup:.2f}x < 2x"
+
+
+@pytest.mark.slow
+class TestFleetStress:
+    """Large-grid stress: every registered axis value, process pool included."""
+
+    def test_full_axes_grid(self):
+        grid = ScenarioGrid(
+            problems=tuple((p, {"n": 12}) for p in available("problem")),
+            delays=available("delays"),
+            steerings=("cyclic", "random-subset"),
+            n_seeds=2,
+            master_seed=3,
+            max_iterations=5_000,
+            tol=1e-6,
+        )
+        fleet = run_fleet(grid.expand(), executor="auto")
+        assert not fleet.failures(), [r.error for r in fleet.failures()]
+        assert fleet.scenario_count == grid.size
+
+    def test_process_pool_matches_serial(self):
+        specs = SMALL_ENGINE_GRID.expand()
+        serial = run_fleet(specs, executor="serial")
+        procs = run_fleet(specs, executor="process", max_workers=2)
+        for a, b in zip(serial.results, procs.results):
+            assert a.iterations == b.iterations
+            assert a.final_residual == b.final_residual
