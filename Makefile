@@ -4,7 +4,7 @@
 PY ?= python
 PP := PYTHONPATH=src:.$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-slow test-all bench-fleet sweep example-fleet
+.PHONY: test test-slow test-all lint bench-fleet sweep example-fleet
 
 ## tier-1: the fast suite (slow-marked fleet stress tests are skipped)
 test:
@@ -17,6 +17,16 @@ test-slow:
 ## everything, slow tests included
 test-all:
 	$(PP) $(PY) -m pytest -q --runslow
+
+## ruff lint (same invocation as CI); skips gracefully when ruff is absent
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif $(PY) -m ruff --version >/dev/null 2>&1; then \
+		$(PY) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed (pip install ruff); skipping lint"; \
+	fi
 
 ## regenerate BENCH_fleet.json (scenarios/sec vs sequential baseline)
 bench-fleet:

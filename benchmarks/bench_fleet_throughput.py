@@ -49,7 +49,7 @@ WORKLOAD = ScenarioGrid(
 
 
 def run_throughput():
-    baseline_grid = dataclasses.replace(WORKLOAD, backend="reference")
+    baseline_grid = dataclasses.replace(WORKLOAD, backends="reference")
     baseline = fleet_run(baseline_grid, executor="serial")
     fleet = fleet_run(WORKLOAD, executor="auto")
     fleet_serial = fleet_run(WORKLOAD, executor="serial")

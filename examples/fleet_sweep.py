@@ -57,7 +57,7 @@ print(render_fleet_table(
 
 # ----------------------------------------------------------------------
 # 4. Simulator-kind grids sweep machine archetypes instead of delay
-#    models; backend="reference" runs the frozen seed engine, which is
+#    models; backends="reference" runs the frozen seed engine, which is
 #    how the throughput benchmark measures the vectorization speedup.
 # ----------------------------------------------------------------------
 sim_grid = ScenarioGrid(
@@ -70,7 +70,7 @@ sim_grid = ScenarioGrid(
 )
 sim_fleet = run_fleet(sim_grid.expand(), executor="serial")
 baseline = run_fleet(
-    dataclasses.replace(sim_grid, backend="reference").expand(), executor="serial"
+    dataclasses.replace(sim_grid, backends="reference").expand(), executor="serial"
 )
 cmp = compare_throughput(baseline, sim_fleet)
 print()
@@ -81,3 +81,20 @@ print(render_fleet_table(
     title="simulated machines (vectorized engine)",
 ))
 print(f"\nvectorized vs reference engine on this workload: {cmp.speedup:.2f}x scenarios/sec")
+
+# ----------------------------------------------------------------------
+# 5. The backend axis: one grid, several execution engines.  Scenarios
+#    differing only in backend share seeds, so the pivot table is a
+#    like-for-like comparison (vectorized and reference must agree
+#    exactly; shared-memory runs the same problems on real threads).
+# ----------------------------------------------------------------------
+from repro.analysis.fleet import render_backend_comparison
+
+cross_grid = dataclasses.replace(
+    sim_grid, machines=("uniform",),
+    backends=("vectorized", "reference", "shared-memory"),
+    max_iterations=3000,
+)
+cross_fleet = run_fleet(cross_grid.expand(), executor="serial")
+print()
+print(render_backend_comparison(cross_fleet, metric="iterations", group_by=("machine",)))

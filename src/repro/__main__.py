@@ -49,25 +49,60 @@ def _csv(value: str) -> tuple[str, ...]:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     # Imported here so `repro info` stays instant.
-    from repro.analysis.fleet import render_fleet_table
+    from repro.analysis.fleet import render_backend_comparison, render_fleet_table
+    from repro.runtime import backends as _backends
     from repro.runtime.fleet import run_fleet
     from repro.scenarios import ScenarioGrid, available
 
     if args.list_axes:
         for axis in ("problem", "steering", "delays", "machine"):
             print(f"{axis}: {', '.join(available(axis))}")
+        print(
+            "backend: "
+            f"{', '.join(_backends.available_backends('model'))} (--kind engine); "
+            f"{', '.join(_backends.available_backends('machine'))} (--kind simulator)"
+        )
         return 0
+
+    kind = args.kind
+    if kind is None:
+        # Derive the scenario kind from the requested backends; pure
+        # model backends mean an engine sweep, machine backends a
+        # simulator sweep.  No backend keeps the engine default.
+        kind = "engine"
+        if args.backend:
+            try:
+                kinds = {_backends.backend_kind(b) for b in args.backend}
+            except KeyError as exc:
+                print(f"sweep: {exc.args[0]}", file=sys.stderr)
+                return 2
+            if kinds == {"machine"}:
+                kind = "simulator"
+            elif kinds != {"model"}:
+                if "algorithm" in kinds:
+                    msg = (
+                        f"sweep: backends {args.backend} include algorithm-kind "
+                        "comparators, which are not sweepable; use model backends "
+                        "(engine sweeps) or machine backends (simulator sweeps)"
+                    )
+                else:
+                    msg = (
+                        f"sweep: backends {args.backend} mix kinds {sorted(kinds)}; "
+                        "a sweep needs all-model or all-machine backends"
+                    )
+                print(msg, file=sys.stderr)
+                return 2
 
     try:
         grid = ScenarioGrid(
             problems=args.problems,
-            kind=args.kind,
+            kind=kind,
             steerings=args.steering,
             delays=args.delays,
             machines=args.machines,
             n_seeds=args.seeds,
             master_seed=args.master_seed,
-            backend=args.backend,
+            backends=args.backend,
             max_iterations=args.max_iterations,
             tol=args.tol,
         )
@@ -81,20 +116,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({len(grid.problems)} problems x "
         + (
             f"{len(grid.delays)} delay models x {len(grid.steerings)} policies"
-            if args.kind == "engine"
+            if kind == "engine"
             else f"{len(grid.machines)} machines"
         )
+        + (f" x {len(grid.backends)} backends" if len(grid.backends) > 1 else "")
         + f" x {args.seeds} seeds), executor={args.executor}"
     )
     fleet = run_fleet(specs, executor=args.executor, max_workers=args.workers)
 
+    multi_backend = len(grid.backends) > 1
     group_by = args.group_by
     if group_by is None:
-        group_by = ("problem", "delays") if args.kind == "engine" else ("problem", "machine")
+        group_by = ("problem", "delays") if kind == "engine" else ("problem", "machine")
+        if multi_backend:
+            group_by = group_by + ("backend",)
     metrics = ("iterations", "converged", "final_residual")
-    if args.kind == "simulator":
+    if kind == "simulator":
         metrics = metrics + ("sim_time",)
     print(render_fleet_table(fleet, group_by=group_by, metrics=metrics, title=None))
+    if multi_backend:
+        pivot_by = ("problem", "delays") if kind == "engine" else ("problem", "machine")
+        print(render_backend_comparison(fleet, metric="iterations", group_by=pivot_by))
 
     for r in fleet.failures():
         print(f"FAILED {r.key}: {r.error}", file=sys.stderr)
@@ -123,7 +165,9 @@ def main(argv: list[str] | None = None) -> int:
             "execute it concurrently, printing per-group medians."
         ),
     )
-    sweep.add_argument("--kind", choices=("engine", "simulator"), default="engine")
+    sweep.add_argument("--kind", choices=("engine", "simulator"), default=None,
+                       help="scenario kind; default: derived from --backend "
+                            "(engine when no backend is given)")
     sweep.add_argument("--problems", type=_csv, default=("jacobi", "tridiagonal"),
                        help="comma-separated problem names (see --list-axes)")
     sweep.add_argument("--delays", type=_csv, default=("uniform", "baudet-sqrt"),
@@ -134,7 +178,14 @@ def main(argv: list[str] | None = None) -> int:
                        help="machine archetype names (simulator kind)")
     sweep.add_argument("--seeds", type=int, default=3, help="seed replicates per combo")
     sweep.add_argument("--master-seed", type=int, default=0)
-    sweep.add_argument("--backend", choices=("vectorized", "reference"), default="vectorized")
+    sweep.add_argument("--backend", type=_csv, default=None,
+                       help="comma-separated execution backends from the runtime "
+                            "registry (engine sweeps: exact, flexible; simulator "
+                            "sweeps: vectorized, reference, shared-memory; see "
+                            "--list-axes).  More than one backend adds a grid "
+                            "axis sharing seeds across backends and prints a "
+                            "cross-backend comparison table; default: the "
+                            "kind's canonical backend")
     sweep.add_argument("--max-iterations", type=int, default=2000)
     sweep.add_argument("--tol", type=float, default=1e-8)
     sweep.add_argument("--executor", choices=("auto", "serial", "thread", "process"),

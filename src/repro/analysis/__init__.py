@@ -8,8 +8,10 @@ from repro.analysis.comparison import (
 )
 from repro.analysis.fleet import (
     ThroughputComparison,
+    backend_comparison_rows,
     compare_throughput,
     fleet_summary_rows,
+    render_backend_comparison,
     render_fleet_table,
 )
 from repro.analysis.rates import (
@@ -25,11 +27,13 @@ __all__ = [
     "RateFit",
     "SpeedupReport",
     "ThroughputComparison",
+    "backend_comparison_rows",
     "compare_macro_epoch",
     "compare_throughput",
     "fit_geometric_rate",
     "fleet_summary_rows",
     "iterations_to_tolerance",
+    "render_backend_comparison",
     "render_fleet_table",
     "render_schedule",
     "render_series",

@@ -15,7 +15,14 @@ from typing import Any, Sequence
 from repro.analysis.reporting import render_table
 from repro.runtime.fleet import FleetResult
 
-__all__ = ["fleet_summary_rows", "render_fleet_table", "ThroughputComparison", "compare_throughput"]
+__all__ = [
+    "fleet_summary_rows",
+    "render_fleet_table",
+    "backend_comparison_rows",
+    "render_backend_comparison",
+    "ThroughputComparison",
+    "compare_throughput",
+]
 
 
 def fleet_summary_rows(
@@ -54,6 +61,46 @@ def render_fleet_table(
         f"workers={fleet.max_workers}, failures={len(fleet.failures())})"
     )
     return f"{table}\n{footer}"
+
+
+def backend_comparison_rows(
+    fleet: FleetResult,
+    *,
+    metric: str = "iterations",
+    group_by: Sequence[str] = ("problem",),
+) -> tuple[list[str], list[list[Any]]]:
+    """Pivot one metric into one column per execution backend.
+
+    Scenarios that differ only in ``spec.backend`` share a seed (the
+    grid spawns one seed per experiment, not per engine), so a row of
+    this table is a like-for-like comparison: close columns mean the
+    engines agree on the same work, and the ``sim_time``/``wall_time``
+    metrics expose their relative cost.  Cells are per-group medians
+    over non-failed scenarios; groups missing a backend show ``nan``.
+    """
+    medians = fleet.group_medians(by=("backend", *group_by), metrics=(metric,))
+    backends = sorted({key[0] for key in medians})
+    groups = sorted({key[1:] for key in medians}, key=repr)
+    headers = [*group_by, *(f"{metric}[{b}]" for b in backends)]
+    rows: list[list[Any]] = []
+    for g in groups:
+        row: list[Any] = [*g]
+        for b in backends:
+            row.append(medians.get((b, *g), {}).get(metric, float("nan")))
+        rows.append(row)
+    return headers, rows
+
+
+def render_backend_comparison(
+    fleet: FleetResult,
+    *,
+    metric: str = "iterations",
+    group_by: Sequence[str] = ("problem",),
+    title: str | None = "cross-backend comparison",
+) -> str:
+    """Monospace pivot table of one metric across execution backends."""
+    headers, rows = backend_comparison_rows(fleet, metric=metric, group_by=group_by)
+    return render_table(headers, rows, title=title)
 
 
 @dataclass(frozen=True)

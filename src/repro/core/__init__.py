@@ -8,7 +8,9 @@
 * :mod:`repro.core.convergence` — Theorem 1 certificates;
 * :mod:`repro.core.termination` — macro-iteration stopping criteria
   ([15], [22]);
-* :mod:`repro.core.trace` / :mod:`repro.core.history` — run records.
+* :mod:`repro.core.trace` / :mod:`repro.core.history` — run records;
+* :mod:`repro.core.replay` — wrap a realized trace as ``(S, L)`` models
+  for cross-backend replay.
 """
 
 from repro.core.async_iteration import AsyncIterationEngine, AsyncRunResult
@@ -30,6 +32,7 @@ from repro.core.flexible import (
 from repro.core.history import VectorHistory
 from repro.core.macro import MacroSequence, macro_sequence
 from repro.core.order_intervals import OrderIntervalEngine, OrderIntervalResult
+from repro.core.replay import TraceReplayDelays, TraceReplaySteering
 from repro.core.termination import (
     MacroTerminationDetector,
     TerminationReport,
@@ -54,6 +57,8 @@ __all__ = [
     "TerminationReport",
     "TheoremOneReport",
     "TraceBuilder",
+    "TraceReplayDelays",
+    "TraceReplaySteering",
     "VectorHistory",
     "empirical_macro_contraction",
     "epoch_sequence",

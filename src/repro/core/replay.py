@@ -1,0 +1,74 @@
+"""Replay models: feed a realized ``(S, L)`` trace back into an engine.
+
+A trace recorded on one substrate (the event-driven machine simulator,
+the shared-memory threads) *is* a steering sequence plus a delay
+sequence, so it can be re-executed by the prescribed-(S, L) engines.
+These two adapters wrap an :class:`~repro.core.trace.IterationTrace`
+as a :class:`~repro.steering.base.SteeringPolicy` and a
+:class:`~repro.delays.base.DelayModel`; the convenience entry point is
+:func:`repro.runtime.backends.replay_trace`.
+
+Replay is the cross-backend equivalence instrument: when the original
+substrate's update semantics coincide with Definition 1 (each global
+iteration applies ``F_i`` to the labelled values its labels name —
+e.g. simulated machines with one component per processor and a single
+inner step), the replayed iterates are bit-identical to the original
+run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trace import IterationTrace
+from repro.delays.base import DelayModel
+from repro.steering.base import SteeringPolicy
+
+__all__ = ["TraceReplaySteering", "TraceReplayDelays"]
+
+
+class TraceReplaySteering(SteeringPolicy):
+    """Steering policy that replays the active sets of a recorded trace."""
+
+    def __init__(self, trace: IterationTrace) -> None:
+        super().__init__(trace.n_components)
+        self._active_sets = trace.active_sets
+
+    @property
+    def n_iterations(self) -> int:
+        """Length of the recorded schedule."""
+        return len(self._active_sets)
+
+    def active_set(self, j: int) -> tuple[int, ...]:
+        if not 1 <= j <= len(self._active_sets):
+            raise ValueError(
+                f"replayed trace has {len(self._active_sets)} iterations, "
+                f"cannot produce S_{j}"
+            )
+        return self._active_sets[j - 1]
+
+
+class TraceReplayDelays(DelayModel):
+    """Delay model that replays the labels of a recorded trace.
+
+    Recorded labels already satisfy condition (a) (``l_i(j) <= j - 1``,
+    validated by :class:`~repro.core.trace.IterationTrace`), so the
+    clipping in :meth:`~repro.delays.base.DelayModel.labels` is the
+    identity on them.
+    """
+
+    def __init__(self, trace: IterationTrace) -> None:
+        super().__init__(trace.n_components)
+        self._labels = trace.labels
+
+    def raw_delays(self, j: int) -> np.ndarray:
+        if not 1 <= j <= self._labels.shape[0]:
+            raise ValueError(
+                f"replayed trace has {self._labels.shape[0]} iterations, "
+                f"cannot produce labels for j={j}"
+            )
+        return (j - 1) - self._labels[j - 1]
+
+    def is_bounded(self) -> bool:
+        """A finite recorded trace always has a finite delay bound."""
+        return True

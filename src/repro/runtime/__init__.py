@@ -1,5 +1,9 @@
 """Runtime substrates: the simulated machine, the real threads, the fleet.
 
+* :mod:`repro.runtime.backends` — the pluggable
+  :class:`ExecutionBackend` registry: one solver definition, every
+  engine (``exact``, ``flexible``, ``vectorized``, ``reference``,
+  ``shared-memory``, plus algorithm plugins);
 * :mod:`repro.runtime.simulator` — deterministic discrete-event
   simulation of processors + channels (the hardware substitute);
 * :mod:`repro.runtime.shared_memory` — lock-free Hogwild-style
@@ -8,6 +12,17 @@
   scenario grids (multi-seed, multi-regime experiment populations).
 """
 
+from repro.runtime.backends import (
+    BackendRunResult,
+    ExecutionBackend,
+    ExecutionRequest,
+    available_backends,
+    backend_kind,
+    default_backend,
+    get_backend,
+    register_backend,
+    replay_trace,
+)
 from repro.runtime.fleet import FleetResult, ScenarioResult, run_fleet, run_scenario
 from repro.runtime.shared_memory import SharedMemoryAsyncRunner, SharedMemoryResult
 from repro.runtime.simulator import (
@@ -28,9 +43,12 @@ from repro.runtime.simulator import (
 )
 
 __all__ = [
+    "BackendRunResult",
     "ChannelSpec",
     "ConstantTime",
     "DistributedSimulator",
+    "ExecutionBackend",
+    "ExecutionRequest",
     "ExponentialTime",
     "FleetResult",
     "LinearGrowthTime",
@@ -42,6 +60,12 @@ __all__ = [
     "SharedMemoryResult",
     "SimulationResult",
     "UniformTime",
+    "available_backends",
+    "backend_kind",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "replay_trace",
     "run_fleet",
     "run_scenario",
     "shared_memory_network",

@@ -171,6 +171,30 @@ class FleetResult:
 
         return json.dumps(doc, indent=2, default=_default)
 
+    @classmethod
+    def from_json(cls, doc: "str | dict[str, Any]") -> "FleetResult":
+        """Reconstruct a :class:`FleetResult` from :meth:`to_json` output.
+
+        Accepts the JSON text or an already-parsed document.  Specs are
+        rebuilt as real :class:`~repro.scenarios.spec.ScenarioSpec`
+        objects (re-validated against the current registries), so a
+        persisted sweep round-trips into the same typed API the live
+        fleet returns.
+        """
+        if isinstance(doc, str):
+            doc = json.loads(doc)
+        results = []
+        for record in doc["results"]:
+            record = dict(record)
+            spec = ScenarioSpec(**record.pop("spec"))
+            results.append(ScenarioResult(spec=spec, **record))
+        return cls(
+            results=tuple(results),
+            wall_time=float(doc["wall_time"]),
+            executor=str(doc["executor"]),
+            max_workers=int(doc["max_workers"]),
+        )
+
 
 # ----------------------------------------------------------------------
 # Scenario execution (top-level so process pools can pickle it)
@@ -197,57 +221,63 @@ def _run_scenario_inner(spec: ScenarioSpec) -> ScenarioResult:
     # Imported lazily: keeps fleet importable without dragging the
     # whole library into every worker before it is needed.
     from repro.analysis.rates import time_to_tolerance
-    from repro.core.async_iteration import AsyncIterationEngine
+    from repro.runtime import backends as _backends
     from repro.scenarios import registry
 
     t0 = time.perf_counter()
+    backend = _backends.get_backend(spec.backend)
     seeds = spec.spawn_seeds()
     op = registry.make_problem(spec.problem, seeds[0], **spec.problem_params)
     n = op.n_components
-    x0 = np.zeros(op.dim)
-
-    if spec.kind == "engine":
-        steering = registry.make_steering(spec.steering, n, seeds[1], **spec.steering_params)
-        delays = registry.make_delays(spec.delays, n, seeds[2], **spec.delay_params)
-        engine = AsyncIterationEngine(op, steering, delays)
-        res = engine.run(x0, max_iterations=spec.max_iterations, tol=spec.tol)
-        final_error = (
-            float(res.trace.errors[-1]) if res.trace.errors is not None else None
-        )
-        return ScenarioResult(
-            key=spec.key,
-            spec=spec,
-            iterations=res.iterations,
-            converged=res.converged,
-            final_residual=float(res.final_residual),
-            final_error=final_error,
-            wall_time=time.perf_counter() - t0,
-        )
-
-    from repro.runtime.simulator import DistributedSimulator
-    from repro.runtime.simulator.reference import ReferenceSimulator
-
-    processors, channels = registry.make_machine(
-        spec.machine, n, seeds[3], **spec.machine_params
+    request = _backends.ExecutionRequest(
+        operator=op,
+        x0=np.zeros(op.dim),
+        max_iterations=spec.max_iterations,
+        tol=spec.tol,
+        seed=seeds[1],
     )
-    sim_cls = DistributedSimulator if spec.backend == "vectorized" else ReferenceSimulator
-    sim = sim_cls(op, processors, channels=channels, seed=seeds[1])
-    res = sim.run(
-        x0, max_iterations=spec.max_iterations, tol=spec.tol, record_messages=False
-    )
+    if backend.kind == "model":
+        request.steering = registry.make_steering(
+            spec.steering, n, seeds[1], **spec.steering_params
+        )
+        request.delays = registry.make_delays(spec.delays, n, seeds[2], **spec.delay_params)
+        # Backend-internal randomness (e.g. flexible's default partial
+        # model) gets its own stream, independent of the ingredients.
+        request.seed = seeds[4]
+    else:
+        # Machine substrate: the archetype yields processors + channels
+        # (the shared-memory backend keeps only the processor count).
+        request.processors, request.channels = registry.make_machine(
+            spec.machine, n, seeds[3], **spec.machine_params
+        )
+        request.options["record_messages"] = False
+        # The fleet summarizes scalar outcomes; skip the per-update
+        # trace recording of the shared-memory backend.
+        request.options["record_trace"] = False
+    res = backend.execute(request)
+
     trace = res.trace
-    final_error = float(trace.errors[-1]) if trace.errors is not None else None
+    final_error = (
+        float(trace.errors[-1])
+        if trace is not None and trace.errors is not None
+        else None
+    )
     ttt = None
-    if spec.tol > 0 and trace.residuals is not None and trace.times is not None:
+    if (
+        spec.tol > 0
+        and trace is not None
+        and trace.residuals is not None
+        and trace.times is not None
+    ):
         ttt = time_to_tolerance(trace.residuals, trace.times, spec.tol)
     return ScenarioResult(
         key=spec.key,
         spec=spec,
-        iterations=trace.n_iterations,
+        iterations=res.iterations,
         converged=res.converged,
         final_residual=float(res.final_residual),
         final_error=final_error,
-        sim_time=float(res.final_time),
+        sim_time=None if res.final_time is None else float(res.final_time),
         time_to_tol=ttt,
         wall_time=time.perf_counter() - t0,
     )

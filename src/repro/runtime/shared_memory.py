@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.trace import IterationTrace, TraceBuilder
 from repro.operators.base import FixedPointOperator
 from repro.utils.validation import check_vector
 
@@ -50,6 +51,12 @@ class SharedMemoryResult:
         ``(time, residual)`` samples from the monitor thread.
     final_residual:
         Fixed-point residual at the final iterate.
+    trace:
+        Realized ``(S, L)`` trace of the run when recording was
+        requested (``None`` otherwise).  Commit order serializes the
+        lock-free updates into global iterations; labels are the
+        per-component versions each worker's snapshot held, so the
+        trace is the hardware-induced instance of Definition 1.
     """
 
     x: np.ndarray
@@ -59,6 +66,7 @@ class SharedMemoryResult:
     wall_time: float
     residual_history: list[tuple[float, float]] = field(default_factory=list)
     final_residual: float = float("nan")
+    trace: IterationTrace | None = None
 
 
 class SharedMemoryAsyncRunner:
@@ -121,41 +129,79 @@ class SharedMemoryAsyncRunner:
         max_updates: int = 100_000,
         tol: float = 1e-8,
         timeout: float = 60.0,
+        record_trace: bool = False,
     ) -> SharedMemoryResult:
         """Run until tolerance, update budget or timeout.
 
         The shared iterate is read and written without locks; the
         monitor thread samples the residual and raises the stop flag.
+        With ``record_trace`` every commit also logs its global
+        iteration number (the order in which the shared counter was
+        drawn) and the per-component version labels its snapshot held,
+        yielding a realized :class:`~repro.core.trace.IterationTrace`.
+        Labels are exact under the commit serialization (a snapshot can
+        only hold versions committed strictly before the reader's own
+        commit number), but the value/label pairing of *other*
+        components is best-effort under races — that inconsistency is
+        the Hogwild model, not a recording bug.
         """
         x0 = check_vector(x0, "x0", dim=self.operator.dim)
         if max_updates < 1:
             raise ValueError(f"max_updates must be >= 1, got {max_updates}")
         shared = x0.copy()
+        n = self.operator.n_components
         spec = self.operator.block_spec
         stop = threading.Event()
         update_counter = itertools.count()
         counts = [0] * self.n_workers
         history: list[tuple[float, float]] = []
+        # Per-component version labels (last committed global iteration)
+        # and the commit log; list.append and single-element ndarray
+        # writes are atomic under the GIL.
+        labels_shared = np.zeros(n, dtype=np.int64)
+        commits: list[tuple[int, int, np.ndarray]] = []
+        # All workers are released together once every thread is up, so
+        # a small update budget cannot be consumed by the first thread
+        # before the others have even been scheduled.
+        start_gate = threading.Event()
         t_start = time.perf_counter()
 
         def worker(wid: int) -> None:
             comps = self._partition[wid]
             sleep = self._sleeps[wid]
+            yield_gil = self.n_workers > 1
             k = 0
+            start_gate.wait()
             while not stop.is_set():
                 comp = comps[k % len(comps)]
                 k += 1
                 # Inconsistent read of the shared iterate (Hogwild): the
                 # vector may be mid-write elsewhere; that *is* the model.
                 local = shared.copy()
+                label_snap = labels_shared.copy() if record_trace else None
                 new_block = self.operator.apply_block(local, comp)
                 shared[spec.slice(comp)] = new_block
                 counts[wid] += 1
                 total = next(update_counter)
+                if record_trace:
+                    # Global iteration numbers are 1-based draw order;
+                    # every label in the snapshot was committed before
+                    # this draw, so label <= j - 1 holds by construction.
+                    j = total + 1
+                    labels_shared[comp] = j
+                    commits.append((j, comp, label_snap))
                 if total + 1 >= max_updates:
                     stop.set()
+                # Real Hogwild cores interleave at instruction granularity;
+                # under the GIL a thread would otherwise hog a whole 5 ms
+                # quantum (thousands of updates), starving its peers on
+                # small budgets.  sleep(0) yields the GIL after every
+                # commit, modelling fine-grained hardware interleaving
+                # (pointless with a single worker, so skipped there).
                 if sleep > 0.0:
                     time.sleep(sleep)
+                elif yield_gil:
+                    time.sleep(0)
 
         def monitor() -> None:
             while not stop.is_set():
@@ -177,12 +223,22 @@ class SharedMemoryAsyncRunner:
         for t in threads:
             t.start()
         mon.start()
+        start_gate.set()
         for t in threads:
             t.join()
         mon.join()
         wall = time.perf_counter() - t_start
         final = shared.copy()
         final_res = self.operator.residual(final)
+        trace: IterationTrace | None = None
+        if record_trace and commits:
+            owners = np.arange(n, dtype=np.int64) % self.n_workers
+            builder = TraceBuilder(n, owners=owners)
+            builder.meta["backend"] = "shared-memory"
+            builder.meta["n_workers"] = self.n_workers
+            for _, comp, label_snap in sorted(commits, key=lambda c: c[0]):
+                builder.record((comp,), label_snap)
+            trace = builder.build()
         return SharedMemoryResult(
             x=final,
             converged=final_res < tol,
@@ -191,4 +247,5 @@ class SharedMemoryAsyncRunner:
             wall_time=wall,
             residual_history=history,
             final_residual=final_res,
+            trace=trace,
         )

@@ -28,9 +28,39 @@ from repro.scenarios import registry
 __all__ = ["ScenarioSpec", "ScenarioGrid"]
 
 _KINDS = ("engine", "simulator")
-_BACKENDS = ("vectorized", "reference")
+#: Scenario kind -> execution-backend kind in the runtime registry.
+_KIND_TO_BACKEND_KIND = {"engine": "model", "simulator": "machine"}
 
 AxisItem = "str | tuple[str, Mapping[str, Any]]"
+
+
+def _check_backend(backend: str | None, kind: str) -> str:
+    """Resolve/validate a backend name against the runtime registry.
+
+    ``None`` resolves to the kind's default backend (``exact`` for
+    engine scenarios, ``vectorized`` for simulator scenarios).  The
+    registry import is deferred: :mod:`repro.runtime.backends` imports
+    the engines, which this declarative layer must not drag in at
+    import time (and must not cycle through ``repro.runtime``).
+    """
+    from repro.runtime import backends as _backends
+
+    want = _KIND_TO_BACKEND_KIND[kind]
+    if backend is None:
+        return _backends.default_backend(want)
+    try:
+        got = _backends.backend_kind(backend)
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; registered for kind={kind!r}: "
+            f"{', '.join(_backends.available_backends(want))}"
+        ) from None
+    if got != want:
+        raise ValueError(
+            f"backend {backend!r} has kind {got!r}, but {kind!r} scenarios need "
+            f"a {want!r} backend ({', '.join(_backends.available_backends(want))})"
+        )
+    return backend
 
 
 def _normalize_axis(items: Iterable[Any], axis: str) -> tuple[tuple[str, dict[str, Any]], ...]:
@@ -70,8 +100,12 @@ class ScenarioSpec:
     machine, machine_params:
         Simulator-kind ingredient (ignored for engines).
     backend:
-        ``"vectorized"`` (the production engine) or ``"reference"``
-        (the frozen seed implementation — the baseline oracle).
+        Execution-backend name from the
+        :mod:`repro.runtime.backends` registry.  Engine scenarios take
+        ``model``-kind backends (``exact``, ``flexible``); simulator
+        scenarios take ``machine``-kind backends (``vectorized``,
+        ``reference``, ``shared-memory``).  ``None`` resolves to the
+        kind's default (``exact`` / ``vectorized``).
     seed:
         Integer entropy for this scenario; :meth:`spawn_seeds` derives
         the independent per-ingredient streams from it.
@@ -88,7 +122,7 @@ class ScenarioSpec:
     delay_params: dict[str, Any] = field(default_factory=dict)
     machine: str = "uniform"
     machine_params: dict[str, Any] = field(default_factory=dict)
-    backend: str = "vectorized"
+    backend: str | None = None
     seed: int = 0
     max_iterations: int = 2000
     tol: float = 1e-8
@@ -96,8 +130,7 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
-        if self.backend not in _BACKENDS:
-            raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
+        object.__setattr__(self, "backend", _check_backend(self.backend, self.kind))
         if self.max_iterations < 1:
             raise ValueError(f"max_iterations must be >= 1, got {self.max_iterations}")
         if self.tol < 0:
@@ -108,13 +141,20 @@ class ScenarioSpec:
         """Human-readable identity, e.g. ``jacobi/uniform×cyclic/seed=7``."""
         if self.kind == "engine":
             mid = f"{self.delays}×{self.steering}"
+            if self.backend != "exact":
+                mid += f"[{self.backend}]"
         else:
             mid = f"{self.machine}[{self.backend}]"
         return f"{self.problem}/{mid}/seed={self.seed}"
 
     def spawn_seeds(self) -> list[np.random.SeedSequence]:
-        """Four independent child streams: problem, steering, delays, machine."""
-        return np.random.SeedSequence(self.seed).spawn(4)
+        """Five independent child streams: problem, steering, delays, machine, backend.
+
+        The last stream feeds backend-internal randomness (e.g. the
+        flexible engine's default partial-update model) so no backend
+        ever shares a stream with an ingredient factory.
+        """
+        return np.random.SeedSequence(self.seed).spawn(5)
 
     def build_problem(self) -> Any:
         return registry.make_problem(
@@ -130,7 +170,10 @@ class ScenarioGrid:
     names or ``(name, params)`` pairs; ``n_seeds`` replicates every
     combination with independent seeds spawned from ``master_seed``.
     Engine grids sweep problems × delays × steerings; simulator grids
-    sweep problems × machines.
+    sweep problems × machines.  ``backends`` is a fully fledged grid
+    axis over execution-backend names (a single name or ``None`` — the
+    kind's default — is normalized to a one-element axis), so
+    cross-backend populations come out of one expansion.
     """
 
     problems: tuple[Any, ...]
@@ -140,7 +183,7 @@ class ScenarioGrid:
     machines: tuple[Any, ...] = ("uniform",)
     n_seeds: int = 1
     master_seed: int = 0
-    backend: str = "vectorized"
+    backends: tuple[str, ...] | str | None = None
     max_iterations: int = 2000
     tol: float = 1e-8
 
@@ -149,6 +192,15 @@ class ScenarioGrid:
             raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
         if self.n_seeds < 1:
             raise ValueError(f"n_seeds must be >= 1, got {self.n_seeds}")
+        axis = self.backends
+        if axis is None or isinstance(axis, str):
+            axis = (axis,)
+        if not axis:
+            raise ValueError("grid axis 'backends' must not be empty")
+        axis = tuple(_check_backend(b, self.kind) for b in axis)
+        if len(set(axis)) != len(axis):
+            raise ValueError(f"duplicate backends in grid axis: {axis}")
+        object.__setattr__(self, "backends", axis)
         object.__setattr__(self, "problems", _normalize_axis(self.problems, "problem"))
         if self.kind == "engine":
             object.__setattr__(self, "steerings", _normalize_axis(self.steerings, "steering"))
@@ -160,17 +212,24 @@ class ScenarioGrid:
     def size(self) -> int:
         """Number of scenarios :meth:`expand` produces."""
         if self.kind == "engine":
-            return len(self.problems) * len(self.delays) * len(self.steerings) * self.n_seeds
-        return len(self.problems) * len(self.machines) * self.n_seeds
+            base = len(self.problems) * len(self.delays) * len(self.steerings)
+        else:
+            base = len(self.problems) * len(self.machines)
+        return base * len(self.backends) * self.n_seeds
 
     def expand(self) -> tuple[ScenarioSpec, ...]:
         """Materialize the grid, spawning one independent seed per scenario.
 
-        Seeds derive from ``SeedSequence(master_seed).spawn(size)`` in
+        Seeds derive from ``SeedSequence(master_seed)`` spawned in
         grid-enumeration order, so the expansion is deterministic and
         the fleet's results cannot depend on executor scheduling.
+        Scenarios that differ *only* in backend share one seed — the
+        backend axis varies the engine, not the experiment — so
+        cross-backend comparisons are like-for-like.
         """
-        children = np.random.SeedSequence(self.master_seed).spawn(self.size)
+        children = np.random.SeedSequence(self.master_seed).spawn(
+            self.size // len(self.backends)
+        )
         # Keep each child's full 128-bit entropy (a single 32-bit word
         # would birthday-collide in large sweeps); stays a plain int.
         seeds = [
@@ -183,36 +242,38 @@ class ScenarioGrid:
                 self.problems, self.delays, self.steerings, range(self.n_seeds)
             )
             for i, ((prob, pp), (dl, dp), (st, sp), _) in enumerate(combos):
-                specs.append(
-                    ScenarioSpec(
-                        problem=prob,
-                        problem_params=pp,
-                        kind="engine",
-                        steering=st,
-                        steering_params=sp,
-                        delays=dl,
-                        delay_params=dp,
-                        backend=self.backend,
-                        seed=seeds[i],
-                        max_iterations=self.max_iterations,
-                        tol=self.tol,
+                for backend in self.backends:
+                    specs.append(
+                        ScenarioSpec(
+                            problem=prob,
+                            problem_params=pp,
+                            kind="engine",
+                            steering=st,
+                            steering_params=sp,
+                            delays=dl,
+                            delay_params=dp,
+                            backend=backend,
+                            seed=seeds[i],
+                            max_iterations=self.max_iterations,
+                            tol=self.tol,
+                        )
                     )
-                )
         else:
             for i, ((prob, pp), (mach, mp), _) in enumerate(
                 itertools.product(self.problems, self.machines, range(self.n_seeds))
             ):
-                specs.append(
-                    ScenarioSpec(
-                        problem=prob,
-                        problem_params=pp,
-                        kind="simulator",
-                        machine=mach,
-                        machine_params=mp,
-                        backend=self.backend,
-                        seed=seeds[i],
-                        max_iterations=self.max_iterations,
-                        tol=self.tol,
+                for backend in self.backends:
+                    specs.append(
+                        ScenarioSpec(
+                            problem=prob,
+                            problem_params=pp,
+                            kind="simulator",
+                            machine=mach,
+                            machine_params=mp,
+                            backend=backend,
+                            seed=seeds[i],
+                            max_iterations=self.max_iterations,
+                            tol=self.tol,
+                        )
                     )
-                )
         return tuple(specs)

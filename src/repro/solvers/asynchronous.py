@@ -2,21 +2,21 @@
 
 Builds the forward-backward operator for a composite problem, wires a
 steering policy and a delay model (defaults: random single-component
-steering, bounded random delays) and runs the Definition 1 engine.
-Accepts any admissible delay model — including unbounded and
-out-of-order ones — which is precisely the "totally asynchronous"
-regime of the paper.
+steering, bounded random delays) and delegates to a ``model``-kind
+execution backend (default: the exact Definition 1 engine).  Accepts
+any admissible delay model — including unbounded and out-of-order ones
+— which is precisely the "totally asynchronous" regime of the paper.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.async_iteration import AsyncIterationEngine
 from repro.delays.base import DelayModel
 from repro.delays.bounded import UniformRandomDelay
 from repro.operators.prox_gradient import ForwardBackwardOperator
 from repro.problems.base import CompositeProblem
+from repro.runtime.backends import ExecutionRequest
 from repro.solvers.base import SolveResult, Solver
 from repro.steering.base import SteeringPolicy
 from repro.steering.policies import PermutationSweeps
@@ -42,6 +42,9 @@ class AsyncSolver(Solver):
         Optional uniform block decomposition (defaults to scalar).
     seed:
         Seed for the default steering/delay models.
+    backend:
+        ``model``-kind execution backend that runs the iteration
+        (default ``"exact"``, the Definition 1 engine).
     """
 
     def __init__(
@@ -52,12 +55,14 @@ class AsyncSolver(Solver):
         gamma: float | None = None,
         n_blocks: int | None = None,
         seed: int | np.random.Generator | None = 0,
+        backend: str = "exact",
     ) -> None:
         self.steering = steering
         self.delays = delays
         self.gamma = gamma
         self.n_blocks = n_blocks
         self.seed = seed
+        self.backend = backend
 
     def solve(
         self,
@@ -84,12 +89,16 @@ class AsyncSolver(Solver):
         delays = (
             self.delays if self.delays is not None else UniformRandomDelay(n, 5, seed=rng)
         )
-        engine = AsyncIterationEngine(op, steering, delays)
-        result = engine.run(
-            self._initial_point(problem, x0),
+        request = ExecutionRequest(
+            operator=op,
+            x0=self._initial_point(problem, x0),
             max_iterations=max_iterations,
             tol=tol * gamma,  # engine residual is in iterate units
+            steering=steering,
+            delays=delays,
+            seed=rng,
         )
+        result = self._execute(self.backend, request, kind="model")
         x = result.x
         return SolveResult(
             x=x,
@@ -98,5 +107,10 @@ class AsyncSolver(Solver):
             final_residual=problem.prox_gradient_residual(x, gamma),
             objective=problem.objective(x),
             trace=result.trace,
-            info={"gamma": gamma, "engine_residual": result.final_residual},
+            info={
+                "gamma": gamma,
+                "backend": self.backend,
+                "engine_residual": result.final_residual,
+                **result.stats,
+            },
         )

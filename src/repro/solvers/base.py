@@ -1,10 +1,16 @@
 """Solver interfaces and the common result type.
 
-Solvers are thin, opinionated front-ends over the engines: they build
-the right operator for a :class:`~repro.problems.base.CompositeProblem`
-(or accept a raw :class:`~repro.operators.base.FixedPointOperator`),
-choose steering/delay/partial models, run, and return a
-:class:`SolveResult` with the realized trace attached for analysis.
+Solvers are thin, opinionated front-ends over the execution backends:
+they build the right operator for a
+:class:`~repro.problems.base.CompositeProblem` (or accept a raw
+:class:`~repro.operators.base.FixedPointOperator`), choose
+steering/delay/partial models or a machine, then delegate the actual
+iteration to a registered
+:class:`~repro.runtime.backends.ExecutionBackend` via
+:meth:`Solver._execute` and return a :class:`SolveResult` with the
+realized trace attached for analysis.  One solver definition, every
+engine: swapping the ``backend`` name reruns the same mathematical
+problem on a different substrate.
 """
 
 from __future__ import annotations
@@ -77,6 +83,26 @@ class Solver(abc.ABC):
         max_iterations: int = 100_000,
     ) -> SolveResult:
         """Minimize ``f + g`` to the requested tolerance."""
+
+    @staticmethod
+    def _execute(backend: str, request: Any, *, kind: str | None = None) -> Any:
+        """Dispatch an :class:`~repro.runtime.backends.ExecutionRequest`.
+
+        Looks the backend up in the runtime registry, optionally
+        enforcing its kind (a solver wired for prescribed ``(S, L)``
+        models cannot run on a machine backend and vice versa), and
+        executes the request.  Imported lazily so the solver layer
+        stays importable without the runtime substrates.
+        """
+        from repro.runtime import backends as _backends
+
+        chosen = _backends.get_backend(backend)
+        if kind is not None and chosen.kind != kind:
+            raise ValueError(
+                f"backend {backend!r} has kind {chosen.kind!r}, need {kind!r} "
+                f"(choose from {', '.join(_backends.available_backends(kind))})"
+            )
+        return chosen.execute(request)
 
     @staticmethod
     def _initial_point(problem: CompositeProblem, x0: np.ndarray | None) -> np.ndarray:

@@ -11,15 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.flexible import (
-    FlexibleIterationEngine,
-    InterpolatedPartials,
-    PartialUpdateModel,
-)
+from repro.core.flexible import InterpolatedPartials, PartialUpdateModel
 from repro.delays.base import DelayModel
 from repro.delays.bounded import UniformRandomDelay
 from repro.operators.prox_gradient import ProxGradientOperator
 from repro.problems.base import CompositeProblem
+from repro.runtime.backends import ExecutionRequest
 from repro.solvers.base import SolveResult, Solver
 from repro.steering.base import SteeringPolicy
 from repro.steering.policies import PermutationSweeps
@@ -46,6 +43,9 @@ class FlexibleAsyncSolver(Solver):
         Optional uniform block decomposition.
     seed:
         Seed for default stochastic models.
+    backend:
+        ``model``-kind execution backend (default ``"flexible"``, the
+        Definition 3 engine with the constraint-(3) audit).
     """
 
     def __init__(
@@ -57,6 +57,7 @@ class FlexibleAsyncSolver(Solver):
         gamma: float | None = None,
         n_blocks: int | None = None,
         seed: int | np.random.Generator | None = 0,
+        backend: str = "flexible",
     ) -> None:
         self.steering = steering
         self.delays = delays
@@ -64,6 +65,7 @@ class FlexibleAsyncSolver(Solver):
         self.gamma = gamma
         self.n_blocks = n_blocks
         self.seed = seed
+        self.backend = backend
 
     def solve(
         self,
@@ -93,12 +95,17 @@ class FlexibleAsyncSolver(Solver):
         partials = (
             self.partials if self.partials is not None else InterpolatedPartials(seed=rng)
         )
-        engine = FlexibleIterationEngine(op, steering, delays, partials)
-        result = engine.run(
-            self._initial_point(problem, x0),
+        request = ExecutionRequest(
+            operator=op,
+            x0=self._initial_point(problem, x0),
             max_iterations=max_iterations,
             tol=tol * gamma,
+            steering=steering,
+            delays=delays,
+            seed=rng,
+            options={"partials": partials},
         )
+        result = self._execute(self.backend, request, kind="model")
         # The engine iterates in the G-space; map back to the minimizer.
         x = op.minimizer_from_fixed_point(result.x)
         return SolveResult(
@@ -111,9 +118,8 @@ class FlexibleAsyncSolver(Solver):
             info={
                 "gamma": gamma,
                 "rho": op.rho,
-                "constraint_checks": result.constraint_checks,
-                "constraint_violations": result.constraint_violations,
-                "worst_constraint_ratio": result.worst_constraint_ratio,
+                "backend": self.backend,
                 "engine_residual": result.final_residual,
+                **result.stats,
             },
         )

@@ -1,12 +1,16 @@
-"""One-call solving of composite problems on the simulated machine.
+"""One-call solving of composite problems on a machine substrate.
 
-:class:`SimulatedMachineSolver` wires a composite problem into the
-discrete-event simulator: it builds the Definition 4 operator, splits
-components across processors, applies a machine preset (cluster, WAN,
-two-site grid, shared memory) and returns a standard
-:class:`~repro.solvers.base.SolveResult` whose ``simulated_time`` and
-trace enable all the paper's analyses.  This is the "run it like the
-paper's testbeds would" entry point.
+:class:`SimulatedMachineSolver` wires a composite problem into a
+``machine``-kind execution backend: it builds the Definition 4
+operator, splits components across processors, applies a machine
+preset (cluster, WAN, two-site grid, shared memory) and returns a
+standard :class:`~repro.solvers.base.SolveResult` whose
+``simulated_time`` and trace enable all the paper's analyses.  The
+default backend is the vectorized discrete-event simulator; the same
+call runs on the frozen ``reference`` oracle or on real Hogwild
+threads (``shared-memory``, where the machine preset contributes its
+processor count and ``simulated_time`` is wall-clock seconds).  This
+is the "run it like the paper's testbeds would" entry point.
 """
 
 from __future__ import annotations
@@ -15,9 +19,9 @@ import numpy as np
 
 from repro.operators.prox_gradient import ProxGradientOperator
 from repro.problems.base import CompositeProblem
+from repro.runtime.backends import ExecutionRequest
 from repro.runtime.simulator import (
     ChannelSpec,
-    DistributedSimulator,
     ProcessorSpec,
     UniformTime,
     shared_memory_network,
@@ -34,12 +38,13 @@ _PRESETS = ("cluster", "wan", "grid", "shared_memory")
 
 
 class SimulatedMachineSolver(Solver):
-    """Solve ``min f + g`` on a simulated parallel/distributed machine.
+    """Solve ``min f + g`` on a simulated (or real) parallel machine.
 
     Parameters
     ----------
     n_processors:
-        Number of simulated processors (components split evenly).
+        Number of processors (components split evenly); for the
+        ``shared-memory`` backend this is the worker-thread count.
     machine:
         Network preset: ``"cluster"`` (uniform low latency), ``"wan"``
         (heterogeneous, lossy, reordering), ``"grid"`` (two sites), or
@@ -55,6 +60,10 @@ class SimulatedMachineSolver(Solver):
         Fixed step (default ``2/(mu+L)``).
     seed:
         Master seed for the whole machine.
+    backend:
+        ``machine``-kind execution backend: ``"vectorized"`` (default),
+        ``"reference"`` (the frozen oracle), or ``"shared-memory"``
+        (real threads).
     """
 
     def __init__(
@@ -66,6 +75,7 @@ class SimulatedMachineSolver(Solver):
         flexible: bool = True,
         gamma: float | None = None,
         seed: int | np.random.Generator | None = 0,
+        backend: str = "vectorized",
     ) -> None:
         if n_processors < 1:
             raise ValueError(f"n_processors must be >= 1, got {n_processors}")
@@ -79,6 +89,7 @@ class SimulatedMachineSolver(Solver):
         self.flexible = bool(flexible)
         self.gamma = gamma
         self.seed = seed
+        self.backend = backend
 
     def _channels(self):
         P = self.n_processors
@@ -119,29 +130,41 @@ class SimulatedMachineSolver(Solver):
             )
             for p in range(self.n_processors)
         ]
-        sim = DistributedSimulator(op, procs, channels=self._channels(), seed=self.seed)
-        res = sim.run(
-            np.zeros(problem.dim) if x0 is None else self._initial_point(problem, x0),
+        request = ExecutionRequest(
+            operator=op,
+            x0=np.zeros(problem.dim) if x0 is None else self._initial_point(problem, x0),
             max_iterations=max_iterations,
             tol=tol * gamma,
-            residual_every=5,
+            processors=procs,
+            channels=self._channels(),
+            seed=self.seed,
+            options={"residual_every": 5},
         )
+        res = self._execute(self.backend, request, kind="machine")
         x = op.minimizer_from_fixed_point(res.x)
+        info = {
+            "gamma": gamma,
+            "rho": op.rho,
+            "machine": self.machine,
+            "backend": self.backend,
+            "message_stats": res.stats.get("message_stats", {}),
+        }
+        if res.trace is not None:
+            info["updates_per_processor"] = {
+                p: int(c) for p, c in enumerate(res.trace.update_counts())
+            }
+        else:
+            info["updates_per_processor"] = {
+                int(p): int(c)
+                for p, c in res.stats.get("updates_per_worker", {}).items()
+            }
         return SolveResult(
             x=x,
             converged=res.converged,
-            iterations=res.trace.n_iterations,
+            iterations=res.iterations,
             final_residual=problem.prox_gradient_residual(x, gamma),
             objective=problem.objective(x),
             trace=res.trace,
-            simulated_time=res.final_time,
-            info={
-                "gamma": gamma,
-                "rho": op.rho,
-                "machine": self.machine,
-                "message_stats": res.message_stats(),
-                "updates_per_processor": {
-                    p: int(c) for p, c in enumerate(res.trace.update_counts())
-                },
-            },
+            simulated_time=float("nan") if res.final_time is None else res.final_time,
+            info=info,
         )

@@ -24,9 +24,11 @@ class TestSweepCLI:
     def test_list_axes(self, capsys):
         assert main(["sweep", "--list-axes"]) == 0
         out = capsys.readouterr().out
-        for axis in ("problem:", "steering:", "delays:", "machine:"):
+        for axis in ("problem:", "steering:", "delays:", "machine:", "backend:"):
             assert axis in out
         assert "jacobi" in out and "baudet-sqrt" in out
+        for backend in ("exact", "flexible", "vectorized", "reference", "shared-memory"):
+            assert backend in out
 
     def test_engine_sweep_runs_and_reports(self, capsys):
         assert main(_sweep("--problems", "jacobi,tridiagonal",
@@ -63,6 +65,49 @@ class TestSweepCLI:
         assert main(_sweep("--group-by", "delays,steering")) == 0
         header = capsys.readouterr().out
         assert "delays" in header and "steering" in header
+
+    def test_every_model_backend_sweeps(self, capsys):
+        assert main(_sweep("--backend", "exact,flexible", "--seeds", "1")) == 0
+        out = capsys.readouterr().out
+        assert "2 backends" in out
+        assert "failures=0" in out
+        assert "cross-backend" in out  # pivot table printed
+
+    def test_kind_derived_from_machine_backends(self, capsys):
+        # No --kind: vectorized,reference backends imply a simulator sweep.
+        assert main([
+            "sweep",
+            "--problems", "jacobi",
+            "--machines", "uniform",
+            "--backend", "vectorized,reference",
+            "--seeds", "1",
+            "--max-iterations", "150",
+            "--executor", "serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sim_time" in out and "failures=0" in out
+        assert "cross-backend" in out
+
+    def test_shared_memory_backend_sweeps(self, capsys):
+        assert main([
+            "sweep",
+            "--problems", "jacobi",
+            "--machines", "uniform",
+            "--backend", "shared-memory",
+            "--seeds", "1",
+            "--max-iterations", "2000",
+            "--executor", "serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "failures=0" in out
+
+    def test_mixed_backend_kinds_rejected(self, capsys):
+        assert main(_sweep("--backend", "exact,vectorized")) == 2
+        assert "mix kinds" in capsys.readouterr().err
+
+    def test_unknown_backend_errors(self, capsys):
+        assert main(_sweep("--backend", "gpu")) == 2
+        assert "unknown backend" in capsys.readouterr().err
 
     def test_unknown_axis_value_errors(self, capsys):
         assert main(_sweep("--delays", "warp-speed")) == 2

@@ -62,7 +62,7 @@ class TestScenarioSpec:
         a = ScenarioSpec(problem="jacobi", seed=1).spawn_seeds()
         b = ScenarioSpec(problem="jacobi", seed=1).spawn_seeds()
         assert [s.generate_state(1)[0] for s in a] == [s.generate_state(1)[0] for s in b]
-        assert len({int(s.generate_state(1)[0]) for s in a}) == 4
+        assert len({int(s.generate_state(1)[0]) for s in a}) == 5
 
 
 class TestScenarioGrid:
@@ -185,6 +185,34 @@ class TestRunFleet:
         assert len(doc["results"]) == 2
         assert doc["results"][0]["spec"]["problem"] == "jacobi"
 
+    def test_from_json_full_roundtrip(self):
+        specs = SMALL_ENGINE_GRID.expand()[:3] + (
+            ScenarioSpec(problem="jacobi", problem_params={"n": -1}, seed=2),  # a failure
+        )
+        fleet = run_fleet(specs, executor="serial")
+        back = FleetResult.from_json(fleet.to_json())
+        assert back.executor == fleet.executor
+        assert back.max_workers == fleet.max_workers
+        assert back.wall_time == fleet.wall_time
+        assert back.scenario_count == fleet.scenario_count
+        for a, b in zip(fleet.results, back.results):
+            assert a.spec == b.spec  # real ScenarioSpec, re-validated
+            assert a.key == b.key
+            assert a.iterations == b.iterations
+            assert a.converged == b.converged
+            assert a.error == b.error
+            # NaN-safe float comparison (failed scenarios carry nan)
+            assert repr(a.final_residual) == repr(b.final_residual)
+        # the reconstructed fleet supports the full aggregation API
+        assert back.group_medians(by=("delays",)).keys() == fleet.group_medians(
+            by=("delays",)
+        ).keys()
+
+    def test_from_json_accepts_parsed_document(self):
+        fleet = run_fleet(SMALL_ENGINE_GRID.expand()[:1], executor="serial")
+        back = FleetResult.from_json(json.loads(fleet.to_json()))
+        assert back.results[0].spec == fleet.results[0].spec
+
     def test_compare_throughput_requires_same_size(self):
         fleet = run_fleet(SMALL_ENGINE_GRID.expand()[:2], executor="serial")
         other = run_fleet(SMALL_ENGINE_GRID.expand()[:1], executor="serial")
@@ -192,6 +220,82 @@ class TestRunFleet:
             compare_throughput(fleet, other)
         cmp = compare_throughput(fleet, fleet)
         assert cmp.speedup == 1.0
+
+
+class TestBackendAxis:
+    """The generalized backend axis: one grid, every engine."""
+
+    def test_engine_grid_rejects_machine_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ScenarioGrid(problems=("jacobi",), backends=("vectorized",))
+
+    def test_simulator_grid_rejects_model_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ScenarioGrid(problems=("jacobi",), kind="simulator", backends="exact")
+
+    def test_duplicate_backends_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioGrid(problems=("jacobi",), backends=("exact", "exact"))
+
+    def test_backend_axis_shares_seeds(self):
+        grid = ScenarioGrid(
+            problems=(("jacobi", {"n": 8}),),
+            kind="simulator",
+            machines=("uniform",),
+            backends=("vectorized", "reference"),
+            n_seeds=2,
+            master_seed=4,
+            max_iterations=150,
+        )
+        specs = grid.expand()
+        assert grid.size == len(specs) == 4
+        by_backend = {}
+        for s in specs:
+            by_backend.setdefault(s.backend, []).append(s.seed)
+        # same experiments, different engines: seeds match pairwise
+        assert by_backend["vectorized"] == by_backend["reference"]
+        # single-backend expansion of the same grid keeps identical seeds
+        import dataclasses
+
+        solo = dataclasses.replace(grid, backends="vectorized").expand()
+        assert [s.seed for s in solo] == by_backend["vectorized"]
+
+    def test_cross_backend_fleet_agrees_and_pivots(self):
+        from repro.analysis.fleet import backend_comparison_rows, render_backend_comparison
+
+        grid = ScenarioGrid(
+            problems=(("jacobi", {"n": 8}),),
+            kind="simulator",
+            machines=("uniform",),
+            backends=("vectorized", "reference"),
+            n_seeds=2,
+            master_seed=4,
+            max_iterations=150,
+            tol=0.0,
+        )
+        fleet = run_fleet(grid.expand(), executor="serial")
+        assert not fleet.failures()
+        med = fleet.group_medians(by=("backend",), metrics=("iterations", "final_residual"))
+        assert med[("vectorized",)] == med[("reference",)]  # oracle agreement
+        headers, rows = backend_comparison_rows(fleet, metric="final_residual")
+        assert headers == ["problem", "final_residual[reference]", "final_residual[vectorized]"]
+        assert len(rows) == 1 and rows[0][1] == rows[0][2]
+        assert "cross-backend" in render_backend_comparison(fleet)
+
+    def test_shared_memory_in_simulator_grid(self):
+        grid = ScenarioGrid(
+            problems=(("jacobi", {"n": 8}),),
+            kind="simulator",
+            machines=("uniform",),
+            backends=("shared-memory",),
+            n_seeds=1,
+            max_iterations=3000,
+        )
+        fleet = run_fleet(grid.expand(), executor="serial")
+        assert not fleet.failures(), [r.error for r in fleet.failures()]
+        r = fleet.results[0]
+        assert r.spec.key.endswith("[shared-memory]/seed=%d" % r.spec.seed)
+        assert r.sim_time is not None and r.sim_time > 0  # wall seconds
 
 
 class TestPerfSmoke:
@@ -211,7 +315,7 @@ class TestPerfSmoke:
         import dataclasses
 
         base = run_fleet(
-            dataclasses.replace(self.WORKLOAD, backend="reference").expand(),
+            dataclasses.replace(self.WORKLOAD, backends="reference").expand(),
             executor="serial",
         )
         vec = run_fleet(self.WORKLOAD.expand(), executor="serial")
@@ -230,7 +334,7 @@ class TestPerfSmoke:
                                    problems=(("jacobi", {"n": 48}),),
                                    machines=(("flexible", {"n_processors": 8}),))
         base = run_fleet(
-            dataclasses.replace(grid, backend="reference").expand(), executor="serial"
+            dataclasses.replace(grid, backends="reference").expand(), executor="serial"
         )
         vec = run_fleet(grid.expand(), executor="auto")
         cmp = compare_throughput(base, vec)

@@ -74,6 +74,29 @@ class TestSharedMemoryRunner:
         with pytest.raises(ValueError):
             SharedMemoryAsyncRunner(small_jacobi, n_workers=2, monitor_interval=0.0)
 
+    def test_trace_recorded_on_request(self, small_jacobi):
+        runner = SharedMemoryAsyncRunner(small_jacobi, n_workers=3)
+        res = runner.run(
+            np.zeros(small_jacobi.dim), max_updates=2000, tol=1e-300,
+            record_trace=True,
+        )
+        trace = res.trace
+        assert trace is not None
+        assert trace.n_iterations == res.total_updates
+        assert trace.meta["backend"] == "shared-memory"
+        # every active set is one component, owned round-robin
+        assert all(len(S) == 1 for S in trace.active_sets)
+        assert np.array_equal(
+            trace.owners, np.arange(small_jacobi.n_components) % 3
+        )
+        # condition (a): no commit ever read a future version
+        assert trace.admissibility().condition_a
+
+    def test_trace_not_recorded_by_default(self, small_jacobi):
+        runner = SharedMemoryAsyncRunner(small_jacobi, n_workers=2)
+        res = runner.run(np.zeros(small_jacobi.dim), max_updates=500, tol=1e-300)
+        assert res.trace is None
+
     def test_timeout_stops(self, small_jacobi):
         runner = SharedMemoryAsyncRunner(
             small_jacobi, n_workers=1, worker_sleep=0.01, monitor_interval=0.01
