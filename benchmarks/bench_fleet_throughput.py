@@ -19,6 +19,17 @@ and the vectorized engine is bit-identical to the reference
 implementation speedup, not workload drift.  The numbers land in
 ``BENCH_fleet.json`` at the repo root — the perf trajectory file —
 and the acceptance bar is >= 2x scenarios/sec.
+
+The streaming results layer adds two costs worth tracking alongside
+raw throughput, both measured on the same workload:
+
+* **store-write overhead** — the same serial fleet through
+  ``run_grid`` with a ``SweepStore`` (manifest + one atomic JSON row
+  per scenario) vs the plain in-memory ``run_fleet``;
+* **peak trace memory** — ``tracemalloc`` peak while the sweep
+  records and persists every scenario's realized trace
+  (``keep_traces``, disk-spilling ``TraceStore``), which must stay
+  bounded instead of scaling with scenario count x trace length.
 """
 
 from __future__ import annotations
@@ -27,10 +38,13 @@ import dataclasses
 import json
 import pathlib
 import platform
+import tempfile
+import tracemalloc
 
 from benchmarks._common import emit, fleet_run, once
 from repro.analysis.fleet import compare_throughput
 from repro.analysis.reporting import render_table
+from repro.runtime.fleet import run_grid
 from repro.scenarios import ScenarioGrid
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -53,11 +67,42 @@ def run_throughput():
     baseline = fleet_run(baseline_grid, executor="serial")
     fleet = fleet_run(WORKLOAD, executor="auto")
     fleet_serial = fleet_run(WORKLOAD, executor="serial")
-    return baseline, fleet, fleet_serial
+    results_layer = run_results_layer()
+    return baseline, fleet, fleet_serial, results_layer
+
+
+def run_results_layer():
+    """Store-write overhead and peak trace memory on the same workload."""
+    specs = WORKLOAD.expand()
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        stored = run_grid(specs, store=root / "summaries", executor="serial")
+        # Wall time and peak memory come from separate runs: tracemalloc
+        # instruments every allocation and would dominate the timing.
+        traced = run_grid(
+            specs, store=root / "traced", keep_traces=True, executor="serial",
+        )
+        tracemalloc.start()
+        run_grid(specs, store=root / "memprobe", keep_traces=True, executor="serial")
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        n_traces = len(list((root / "traced" / "traces").glob("*.npz")))
+        trace_bytes = sum(
+            p.stat().st_size for p in (root / "traced" / "traces").glob("*.npz")
+        )
+    assert not stored.failures() and not traced.failures()
+    assert n_traces == len(specs)
+    return {
+        "store_wall": stored.wall_time,
+        "traced_wall": traced.wall_time,
+        "trace_peak_bytes": int(peak),
+        "trace_files": n_traces,
+        "trace_file_bytes": int(trace_bytes),
+    }
 
 
 def test_fleet_throughput(benchmark):
-    baseline, fleet, fleet_serial = once(benchmark, run_throughput)
+    baseline, fleet, fleet_serial, results_layer = once(benchmark, run_throughput)
     assert not baseline.failures() and not fleet.failures()
 
     cmp_total = compare_throughput(baseline, fleet)
@@ -75,7 +120,23 @@ def test_fleet_throughput(benchmark):
         rows,
         title=f"{baseline.scenario_count}-scenario simulator workload (48 components, 8 processors)",
     )
-    emit("fleet_throughput", table)
+
+    store_overhead = results_layer["store_wall"] / fleet_serial.wall_time - 1.0
+    traced_overhead = results_layer["traced_wall"] / fleet_serial.wall_time - 1.0
+    results_rows = [
+        ["run_grid + SweepStore (summary rows)", results_layer["store_wall"],
+         f"{100 * store_overhead:+.1f}%", "-"],
+        ["run_grid + SweepStore + keep_traces", results_layer["traced_wall"],
+         f"{100 * traced_overhead:+.1f}%",
+         f"{results_layer['trace_peak_bytes'] / 1e6:.1f} MB peak / "
+         f"{results_layer['trace_file_bytes'] / 1e6:.1f} MB on disk"],
+    ]
+    results_table = render_table(
+        ["results layer (vs serial in-memory fleet)", "wall s", "overhead", "trace memory"],
+        results_rows,
+        title=f"streaming results layer, same {baseline.scenario_count}-scenario workload",
+    )
+    emit("fleet_throughput", f"{table}\n\n{results_table}")
 
     payload = {
         "workload": {
@@ -91,6 +152,13 @@ def test_fleet_throughput(benchmark):
         "fleet_executor": fleet.executor,
         "cpu_count": fleet.max_workers,
         "platform": platform.platform(),
+        "results_layer": {
+            "store_write_overhead": store_overhead,
+            "keep_traces_overhead": traced_overhead,
+            "trace_peak_mb": results_layer["trace_peak_bytes"] / 1e6,
+            "trace_disk_mb": results_layer["trace_file_bytes"] / 1e6,
+            "trace_files": results_layer["trace_files"],
+        },
     }
     TRAJECTORY_FILE.write_text(json.dumps(payload, indent=2) + "\n")
 

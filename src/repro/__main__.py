@@ -51,7 +51,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # Imported here so `repro info` stays instant.
     from repro.analysis.fleet import render_backend_comparison, render_fleet_table
     from repro.runtime import backends as _backends
-    from repro.runtime.fleet import run_fleet
+    from repro.runtime.fleet import run_fleet, run_grid
+    from repro.runtime.sweep_store import SweepStore
     from repro.scenarios import ScenarioGrid, available
 
     if args.list_axes:
@@ -110,6 +111,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         msg = exc.args[0] if exc.args else str(exc)
         print(f"sweep: {msg}", file=sys.stderr)
         return 2
+    out_dir = args.out
+    if args.resume is not None:
+        resume_path = pathlib.Path(args.resume)
+        if out_dir is not None and pathlib.Path(out_dir).resolve() != resume_path.resolve():
+            print("sweep: --out and --resume point at different stores", file=sys.stderr)
+            return 2
+        if not (resume_path / "manifest.json").is_file():
+            # An unrelated existing directory is as wrong as a missing
+            # one — resuming "into" it would re-run everything and
+            # scatter store files there.
+            print(f"sweep: no sweep store at {args.resume} to resume", file=sys.stderr)
+            return 2
+        out_dir = args.resume
+    if args.keep_traces and out_dir is None:
+        print("sweep: --keep-traces requires --out (or --resume)", file=sys.stderr)
+        return 2
+
     specs = grid.expand()
     print(
         f"sweep: {len(specs)} scenarios "
@@ -122,7 +140,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         + (f" x {len(grid.backends)} backends" if len(grid.backends) > 1 else "")
         + f" x {args.seeds} seeds), executor={args.executor}"
     )
-    fleet = run_fleet(specs, executor=args.executor, max_workers=args.workers)
+    if out_dir is not None:
+        store = SweepStore(out_dir)
+        if args.resume is not None:
+            # The same completeness rule run_grid applies, so the
+            # banner and what actually re-executes cannot disagree.
+            done = sum(
+                1 for s in specs
+                if store.load_complete_result(s, require_trace=args.keep_traces)
+                is not None
+            )
+            print(f"sweep: resuming from {out_dir}: {done}/{len(specs)} "
+                  "scenarios already complete")
+        fleet = run_grid(
+            specs,
+            store=store,
+            resume=store if args.resume is not None else None,
+            keep_traces=args.keep_traces,
+            executor=args.executor,
+            max_workers=args.workers,
+        )
+        print(f"sweep: results in {out_dir} "
+              + ("(traces kept)" if args.keep_traces else ""))
+    else:
+        fleet = run_fleet(specs, executor=args.executor, max_workers=args.workers)
 
     multi_backend = len(grid.backends) > 1
     group_by = args.group_by
@@ -195,6 +236,19 @@ def main(argv: list[str] | None = None) -> int:
                        help="spec fields for the median table (default: problem,delays)")
     sweep.add_argument("--json", default=None, metavar="PATH",
                        help="also write the full FleetResult as JSON")
+    sweep.add_argument("--out", default=None, metavar="DIR",
+                       help="stream per-scenario results into a content-addressed "
+                            "sweep store at DIR (manifest + results/<hash>.json, "
+                            "written as workers finish)")
+    sweep.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume an interrupted sweep from the store at DIR: "
+                            "scenarios with a persisted result are loaded, only "
+                            "the missing ones run (implies --out DIR)")
+    sweep.add_argument("--keep-traces", action="store_true",
+                       help="persist each scenario's realized (S,L) trace as "
+                            "traces/<hash>.npz in the sweep store (requires "
+                            "--out/--resume; traces record via a disk-spilling "
+                            "store, so memory stays bounded)")
     sweep.add_argument("--list-axes", action="store_true",
                        help="print registered axis names and exit")
 

@@ -10,13 +10,16 @@ from repro.analysis.fleet import (
     ThroughputComparison,
     backend_comparison_rows,
     compare_throughput,
+    fleet_from_store,
     fleet_summary_rows,
     render_backend_comparison,
     render_fleet_table,
 )
 from repro.analysis.rates import (
     RateFit,
+    StreamingRateFit,
     fit_geometric_rate,
+    fit_geometric_rate_streaming,
     iterations_to_tolerance,
     time_to_tolerance,
 )
@@ -26,11 +29,14 @@ __all__ = [
     "MacroEpochComparison",
     "RateFit",
     "SpeedupReport",
+    "StreamingRateFit",
     "ThroughputComparison",
     "backend_comparison_rows",
     "compare_macro_epoch",
     "compare_throughput",
     "fit_geometric_rate",
+    "fit_geometric_rate_streaming",
+    "fleet_from_store",
     "fleet_summary_rows",
     "iterations_to_tolerance",
     "render_backend_comparison",

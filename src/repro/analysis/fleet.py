@@ -5,17 +5,27 @@ fleet runner produces and renders the aggregate views the benchmarks
 and the ``python -m repro sweep`` CLI print: per-group medians over
 seeds (the statistically honest summary of a grid) and head-to-head
 throughput comparisons between fleet configurations.
+
+Every helper also accepts a persisted sweep: :func:`fleet_from_store`
+reassembles the ``FleetResult`` from a
+:class:`~repro.runtime.sweep_store.SweepStore` directory (final
+aggregate or partial per-scenario rows), so the tables and the
+cross-backend pivot read equally from a live run or from disk.
 """
 
 from __future__ import annotations
 
+import os
+import pathlib
 from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.analysis.reporting import render_table
 from repro.runtime.fleet import FleetResult
+from repro.runtime.sweep_store import SweepStore
 
 __all__ = [
+    "fleet_from_store",
     "fleet_summary_rows",
     "render_fleet_table",
     "backend_comparison_rows",
@@ -23,6 +33,26 @@ __all__ = [
     "ThroughputComparison",
     "compare_throughput",
 ]
+
+
+def fleet_from_store(
+    store: "SweepStore | str | os.PathLike[str]",
+) -> FleetResult:
+    """Load a persisted sweep back into a typed :class:`FleetResult`.
+
+    Accepts a :class:`~repro.runtime.sweep_store.SweepStore`, its root
+    directory, or a bare ``fleet.json`` path.  Partial stores (sweep
+    still running or killed mid-flight) load with whatever scenarios
+    have completed, in manifest order — so the same
+    :func:`render_fleet_table`/:func:`render_backend_comparison` calls
+    work on in-flight results.
+    """
+    if isinstance(store, SweepStore):
+        return store.fleet_result()
+    path = pathlib.Path(store)
+    if path.is_file():
+        return FleetResult.from_json(path.read_text())
+    return SweepStore(path, create=False).fleet_result()
 
 
 def fleet_summary_rows(

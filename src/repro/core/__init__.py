@@ -38,7 +38,14 @@ from repro.core.termination import (
     TerminationReport,
     error_bound_from_eps,
 )
-from repro.core.trace import IterationTrace, TraceBuilder
+from repro.core.trace import (
+    IterationTrace,
+    TraceBuilder,
+    TraceHandle,
+    TraceStore,
+    load_trace,
+    save_trace,
+)
 
 __all__ = [
     "AsyncIterationEngine",
@@ -57,14 +64,18 @@ __all__ = [
     "TerminationReport",
     "TheoremOneReport",
     "TraceBuilder",
+    "TraceHandle",
     "TraceReplayDelays",
     "TraceReplaySteering",
+    "TraceStore",
     "VectorHistory",
     "empirical_macro_contraction",
     "epoch_sequence",
     "error_bound_from_eps",
+    "load_trace",
     "macro_iterations_to_tolerance",
     "macro_sequence",
+    "save_trace",
     "theorem1_bound",
     "theorem1_certificate",
 ]

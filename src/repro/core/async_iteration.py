@@ -22,7 +22,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.history import VectorHistory
-from repro.core.trace import IterationTrace, TraceBuilder
+from repro.core.trace import IterationTrace, TraceStore, resolve_sink
 from repro.delays.base import DelayModel
 from repro.operators.base import FixedPointOperator
 from repro.steering.base import SteeringPolicy
@@ -121,12 +121,16 @@ class AsyncIterationEngine:
         track_errors: bool = True,
         track_residuals: bool = True,
         meta: dict[str, Any] | None = None,
+        sink: TraceStore | None = None,
     ) -> AsyncRunResult:
         """Execute the asynchronous iteration from ``x0``.
 
         Stops when the fixed-point residual (checked every
         ``residual_every`` iterations) falls below ``tol`` or the
-        iteration budget is exhausted.
+        iteration budget is exhausted.  ``sink`` injects the
+        :class:`~repro.core.trace.TraceStore` the run records into
+        (e.g. a disk-spilling store); by default the engine uses a
+        fresh in-memory store.
         """
         x0 = check_vector(x0, "x0", dim=self.operator.dim)
         if max_iterations < 0:
@@ -136,7 +140,7 @@ class AsyncIterationEngine:
         norm = self.operator.norm()
         spec = self.operator.block_spec
         hist = VectorHistory(x0, spec)
-        builder = TraceBuilder(spec.n_blocks)
+        builder = resolve_sink(sink, spec.n_blocks)
         if meta:
             builder.meta.update(meta)
 

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.core.async_iteration import AsyncRunResult
 from repro.core.history import VectorHistory
-from repro.core.trace import TraceBuilder
+from repro.core.trace import TraceStore, resolve_sink
 from repro.delays.base import DelayModel
 from repro.operators.base import FixedPointOperator
 from repro.steering.base import SteeringPolicy
@@ -180,8 +180,13 @@ class FlexibleIterationEngine:
         track_residuals: bool = True,
         check_constraint: bool = True,
         meta: dict[str, Any] | None = None,
+        sink: TraceStore | None = None,
     ) -> FlexibleRunResult:
-        """Execute the flexible-communication iteration from ``x0``."""
+        """Execute the flexible-communication iteration from ``x0``.
+
+        ``sink`` injects the trace store the run records into (see
+        :func:`repro.core.trace.resolve_sink`).
+        """
         x0 = check_vector(x0, "x0", dim=self.operator.dim)
         if max_iterations < 0:
             raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
@@ -192,7 +197,7 @@ class FlexibleIterationEngine:
         spec = self.operator.block_spec
         weights = norm.weights
         hist = VectorHistory(x0, spec)
-        builder = TraceBuilder(spec.n_blocks)
+        builder = resolve_sink(sink, spec.n_blocks)
         if meta:
             builder.meta.update(meta)
 

@@ -9,7 +9,9 @@
 * :mod:`repro.runtime.shared_memory` — lock-free Hogwild-style
   threading backend on a shared NumPy iterate;
 * :mod:`repro.runtime.fleet` — concurrent execution of declarative
-  scenario grids (multi-seed, multi-regime experiment populations).
+  scenario grids (multi-seed, multi-regime experiment populations);
+* :mod:`repro.runtime.sweep_store` — content-addressed on-disk sweep
+  results (streaming writes, resumable grids, persisted traces).
 """
 
 from repro.runtime.backends import (
@@ -23,8 +25,15 @@ from repro.runtime.backends import (
     register_backend,
     replay_trace,
 )
-from repro.runtime.fleet import FleetResult, ScenarioResult, run_fleet, run_scenario
+from repro.runtime.fleet import (
+    FleetResult,
+    ScenarioResult,
+    run_fleet,
+    run_grid,
+    run_scenario,
+)
 from repro.runtime.shared_memory import SharedMemoryAsyncRunner, SharedMemoryResult
+from repro.runtime.sweep_store import SweepStore
 from repro.runtime.simulator import (
     ChannelSpec,
     ConstantTime,
@@ -59,6 +68,7 @@ __all__ = [
     "SharedMemoryAsyncRunner",
     "SharedMemoryResult",
     "SimulationResult",
+    "SweepStore",
     "UniformTime",
     "available_backends",
     "backend_kind",
@@ -67,6 +77,7 @@ __all__ = [
     "register_backend",
     "replay_trace",
     "run_fleet",
+    "run_grid",
     "run_scenario",
     "shared_memory_network",
     "two_cluster_grid",

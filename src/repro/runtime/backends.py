@@ -52,7 +52,7 @@ import numpy as np
 from repro.core.async_iteration import AsyncIterationEngine
 from repro.core.flexible import FlexibleIterationEngine, InterpolatedPartials
 from repro.core.replay import TraceReplayDelays, TraceReplaySteering
-from repro.core.trace import IterationTrace
+from repro.core.trace import IterationTrace, TraceHandle, TraceStore, save_trace
 from repro.delays.base import DelayModel
 from repro.operators.base import FixedPointOperator
 from repro.runtime.shared_memory import SharedMemoryAsyncRunner
@@ -116,6 +116,13 @@ class ExecutionRequest:
     options:
         Backend-specific extras (``residual_every``,
         ``record_messages``, ``partials``, ``n_workers``, ``problem``...).
+        The streaming results layer reads the cross-backend trace
+        options here: ``trace_sink`` (a
+        :class:`~repro.core.trace.TraceStore` to record into),
+        ``trace_spill_dir``/``trace_chunk_size`` (construct a spilling
+        store), ``trace_path`` (persist the realized trace as ``.npz``)
+        and ``materialize_trace`` (keep the in-memory trace on the
+        result; default true).
     """
 
     operator: FixedPointOperator | None
@@ -152,6 +159,13 @@ class BackendRunResult:
     final_time:
         Simulated time (simulators), wall-clock seconds (shared
         memory), or ``None`` for pure-math engines.
+    trace_handle:
+        :class:`~repro.core.trace.TraceHandle` naming the realized
+        trace wherever it lives.  With ``options["trace_path"]`` the
+        trace is saved there and — unless
+        ``options["materialize_trace"]`` stays true — ``trace`` is
+        ``None`` and the handle is the only (disk-backed) reference,
+        so fleets of results don't pin every trace in RAM.
     stats:
         Backend-specific counters (message stats, constraint audits,
         per-worker updates...).
@@ -166,6 +180,7 @@ class BackendRunResult:
     iterations: int
     final_residual: float
     final_time: float | None = None
+    trace_handle: TraceHandle | None = None
     stats: dict[str, Any] = field(default_factory=dict)
     raw: Any = None
 
@@ -204,6 +219,58 @@ class ExecutionBackend(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r} kind={self.kind!r}>"
+
+
+# ----------------------------------------------------------------------
+# Trace sinks and handles (the streaming results layer)
+# ----------------------------------------------------------------------
+
+def _trace_sink(request: ExecutionRequest) -> TraceStore | None:
+    """The store a backend should inject into its engine, if any.
+
+    ``options["trace_sink"]`` wins; ``trace_spill_dir`` /
+    ``trace_chunk_size`` construct a (possibly disk-spilling) store;
+    otherwise ``None`` lets the engine allocate its own.
+    """
+    opts = request.options
+    sink = opts.get("trace_sink")
+    if sink is not None:
+        return sink
+    spill = opts.get("trace_spill_dir")
+    chunk = opts.get("trace_chunk_size")
+    if spill is None and chunk is None:
+        return None
+    return TraceStore(
+        request.operator.n_components,
+        spill_dir=spill,
+        chunk_size=None if chunk is None else int(chunk),
+    )
+
+
+def _package_trace(
+    request: ExecutionRequest,
+    trace: IterationTrace | None,
+    sink: TraceStore | None = None,
+) -> tuple[IterationTrace | None, TraceHandle | None]:
+    """Apply the request's trace persistence options to a realized trace.
+
+    Returns the ``(trace, trace_handle)`` pair for the
+    :class:`BackendRunResult`: with ``options["trace_path"]`` the trace
+    is written there (through ``sink`` when one recorded the run, so no
+    second materialization happens) and, unless
+    ``options["materialize_trace"]`` stays true, dropped from memory —
+    the handle is then the only, disk-backed, reference.
+    """
+    if trace is None:
+        return None, None
+    opts = request.options
+    path = opts.get("trace_path")
+    if path is None:
+        return trace, TraceHandle(trace=trace)
+    saved = sink.save(path) if sink is not None else save_trace(path, trace)
+    if bool(opts.get("materialize_trace", True)):
+        return trace, TraceHandle(trace=trace, path=saved)
+    return None, TraceHandle(path=saved)
 
 
 # ----------------------------------------------------------------------
@@ -310,6 +377,7 @@ class ExactBackend(ExecutionBackend):
             reference=request.reference,
             residual_every=int(opts.get("residual_every", 1)),
         )
+        sink = _trace_sink(request)
         res = engine.run(
             request.x0,
             max_iterations=request.max_iterations,
@@ -317,14 +385,17 @@ class ExactBackend(ExecutionBackend):
             track_errors=bool(opts.get("track_errors", True)),
             track_residuals=bool(opts.get("track_residuals", True)),
             meta=opts.get("meta"),
+            sink=sink,
         )
+        trace, handle = _package_trace(request, res.trace, sink)
         return BackendRunResult(
             x=res.x,
-            trace=res.trace,
+            trace=trace,
             converged=res.converged,
             iterations=res.iterations,
             final_residual=res.final_residual,
             final_time=None,
+            trace_handle=handle,
             raw=res,
         )
 
@@ -351,6 +422,7 @@ class FlexibleBackend(ExecutionBackend):
             reference=request.reference,
             residual_every=int(opts.get("residual_every", 1)),
         )
+        sink = _trace_sink(request)
         res = engine.run(
             request.x0,
             max_iterations=request.max_iterations,
@@ -359,14 +431,17 @@ class FlexibleBackend(ExecutionBackend):
             track_residuals=bool(opts.get("track_residuals", True)),
             check_constraint=bool(opts.get("check_constraint", True)),
             meta=opts.get("meta"),
+            sink=sink,
         )
+        trace, handle = _package_trace(request, res.trace, sink)
         return BackendRunResult(
             x=res.x,
-            trace=res.trace,
+            trace=trace,
             converged=res.converged,
             iterations=res.iterations,
             final_residual=res.final_residual,
             final_time=None,
+            trace_handle=handle,
             stats={
                 "constraint_checks": res.constraint_checks,
                 "constraint_violations": res.constraint_violations,
@@ -398,6 +473,7 @@ class _SimulatorBackend(ExecutionBackend):
             seed=request.seed,
         )
         record_messages = bool(opts.get("record_messages", True))
+        sink = _trace_sink(request)
         res = sim.run(
             request.x0,
             max_iterations=request.max_iterations,
@@ -405,17 +481,21 @@ class _SimulatorBackend(ExecutionBackend):
             tol=request.tol,
             residual_every=int(opts.get("residual_every", 10)),
             record_messages=record_messages,
+            sink=sink,
         )
         stats: dict[str, Any] = dict(res.stats)
         if record_messages:
             stats["message_stats"] = res.message_stats()
+        iterations = res.trace.n_iterations
+        trace, handle = _package_trace(request, res.trace, sink)
         return BackendRunResult(
             x=res.x,
-            trace=res.trace,
+            trace=trace,
             converged=res.converged,
-            iterations=res.trace.n_iterations,
+            iterations=iterations,
             final_residual=res.final_residual,
             final_time=res.final_time,
+            trace_handle=handle,
             stats=stats,
             raw=res,
         )
@@ -468,20 +548,24 @@ class SharedMemoryBackend(ExecutionBackend):
             worker_sleep=opts.get("worker_sleep", 0.0),
             monitor_interval=float(opts.get("monitor_interval", 0.005)),
         )
+        sink = _trace_sink(request)
         res = runner.run(
             request.x0,
             max_updates=request.max_iterations,
             tol=request.tol,
             timeout=float(opts.get("timeout", 60.0)),
             record_trace=bool(opts.get("record_trace", True)),
+            sink=sink,
         )
+        trace, handle = _package_trace(request, res.trace, sink)
         return BackendRunResult(
             x=res.x,
-            trace=res.trace,
+            trace=trace,
             converged=res.converged,
             iterations=res.total_updates,
             final_residual=res.final_residual,
             final_time=res.wall_time,
+            trace_handle=handle,
             stats={
                 "total_updates": res.total_updates,
                 "updates_per_worker": dict(res.updates_per_worker),

@@ -11,33 +11,58 @@ scenario (concurrently when the hardware allows), collects one typed
 :class:`FleetResult` that the analysis layer, the benchmark harness and
 ``python -m repro sweep`` all consume.
 
+:func:`run_grid` is the streaming entry point: given a
+:class:`~repro.runtime.sweep_store.SweepStore` it persists one summary
+row (and optionally the realized trace) per scenario *as workers
+finish*, keyed by the spec's content hash — so a sweep killed at
+scenario 180/200 resumes with ``run_grid(..., resume=store)`` and only
+executes the missing twenty.
+
 Determinism: every spec carries its own integer seed (spawned
 independently by the grid), and results are returned in submission
 order — so the ``FleetResult`` is bit-identical whether scenarios ran
-serially, on a thread pool, or on a process pool.
+serially, on a thread pool, on a process pool, or across an
+interrupted-and-resumed pair of invocations.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 import os
+import pathlib
+import shutil
 import statistics
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import asdict, dataclass
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.scenarios.spec import ScenarioSpec
+from repro.utils.serialization import json_safe
 
-__all__ = ["ScenarioResult", "FleetResult", "run_scenario", "run_fleet"]
+__all__ = [
+    "ScenarioResult",
+    "FleetResult",
+    "run_scenario",
+    "run_fleet",
+    "run_grid",
+]
 
 _EXECUTORS = ("auto", "serial", "thread", "process")
 
 #: Metrics exposed by :meth:`FleetResult.group_medians` / ``to_rows``.
-METRIC_FIELDS = ("iterations", "final_residual", "final_error", "sim_time",
-                 "time_to_tol", "wall_time")
+#: Boolean-valued metrics (``converged``) aggregate as rates, numeric
+#: ones as medians.
+METRIC_FIELDS = ("iterations", "converged", "final_residual", "final_error",
+                 "sim_time", "time_to_tol", "wall_time")
 
 
 @dataclass(frozen=True)
@@ -46,6 +71,12 @@ class ScenarioResult:
 
     ``error`` holds the exception ``repr`` when the scenario crashed;
     every numeric field is then zero/None and ``converged`` is False.
+    ``info`` carries the JSON-safe subset of the backend's run stats
+    (constraint audits, message stats, per-worker update counts...) so
+    solver extras survive persistence; ``trace_path`` points at the
+    scenario's saved trace file when the sweep kept traces (``""``
+    when traces were requested but the backend produced none, ``None``
+    when they were never requested).
     """
 
     key: str
@@ -58,6 +89,39 @@ class ScenarioResult:
     time_to_tol: float | None = None
     wall_time: float = 0.0
     error: str | None = None
+    info: dict[str, Any] = field(default_factory=dict)
+    trace_path: str | None = None
+
+    @property
+    def content_hash(self) -> str:
+        """The spec's canonical content hash (the sweep-store key)."""
+        return self.spec.content_hash
+
+    # -- persistence --------------------------------------------------
+    def to_json_dict(self) -> dict[str, Any]:
+        """Plain-JSON record of this result (specs as field dicts).
+
+        The spec persists as its canonical form — the same document
+        its content hash digests — so a loaded result reconstructs a
+        spec with the *same* content hash as the one that ran (plain
+        ``json_safe`` would silently mangle array-valued params).
+        """
+        record = asdict(self)
+        record["spec"] = self.spec.canonical()
+        record["info"] = json_safe(self.info) or {}
+        return json_safe(record)
+
+    @classmethod
+    def from_json_dict(cls, record: "dict[str, Any]") -> "ScenarioResult":
+        """Rebuild a typed result from a :meth:`to_json_dict` record.
+
+        The spec is re-validated against the current registries;
+        records persisted before the ``info``/``trace_path`` fields
+        existed load with empty defaults.
+        """
+        record = dict(record)
+        spec = ScenarioSpec(**record.pop("spec"))
+        return cls(spec=spec, **record)
 
 
 @dataclass(frozen=True)
@@ -111,9 +175,11 @@ class FleetResult:
         ``by`` is either a key function on results or a sequence of
         :class:`~repro.scenarios.spec.ScenarioSpec` field names
         (e.g. ``("problem", "delays")``); metrics are drawn from
-        ``METRIC_FIELDS`` plus ``converged`` (reported as a fraction).
-        ``None``/non-finite metric values are skipped; a group whose
-        values all vanish reports ``nan``.
+        ``METRIC_FIELDS``.  Boolean-valued metrics (``converged``)
+        aggregate as the group's true-fraction — a well-defined rate —
+        instead of a coerced float median; for numeric metrics,
+        ``None``/non-finite values are skipped and a group whose values
+        all vanish reports ``nan``.
         """
         if not callable(by):
             fields = tuple(by)
@@ -126,16 +192,13 @@ class FleetResult:
             rows = groups[gkey]
             agg: dict[str, float] = {"count": float(len(rows))}
             for m in metrics:
-                if m == "converged":
-                    agg[m] = sum(1 for r in rows if r.converged) / len(rows)
-                    continue
                 if m not in METRIC_FIELDS:
                     raise KeyError(f"unknown metric {m!r}; choose from {METRIC_FIELDS}")
-                vals = [
-                    float(getattr(r, m))
-                    for r in rows
-                    if getattr(r, m) is not None and np.isfinite(getattr(r, m))
-                ]
+                raw = [getattr(r, m) for r in rows if getattr(r, m) is not None]
+                if raw and all(isinstance(v, (bool, np.bool_)) for v in raw):
+                    agg[m] = sum(map(bool, raw)) / len(raw)
+                    continue
+                vals = [float(v) for v in raw if np.isfinite(v)]
                 agg[m] = statistics.median(vals) if vals else float("nan")
             out[gkey] = agg
         return out
@@ -161,15 +224,9 @@ class FleetResult:
             "wall_time": self.wall_time,
             "scenario_count": self.scenario_count,
             "scenarios_per_sec": self.scenarios_per_sec,
-            "results": [asdict(r) for r in self.results],
+            "results": [r.to_json_dict() for r in self.results],
         }
-
-        def _default(o: Any) -> Any:
-            if isinstance(o, (np.floating, np.integer)):
-                return o.item()
-            raise TypeError(f"not JSON serializable: {type(o)}")
-
-        return json.dumps(doc, indent=2, default=_default)
+        return json.dumps(doc, indent=2)
 
     @classmethod
     def from_json(cls, doc: "str | dict[str, Any]") -> "FleetResult":
@@ -179,17 +236,13 @@ class FleetResult:
         rebuilt as real :class:`~repro.scenarios.spec.ScenarioSpec`
         objects (re-validated against the current registries), so a
         persisted sweep round-trips into the same typed API the live
-        fleet returns.
+        fleet returns — backend stats included (``info``).
         """
         if isinstance(doc, str):
             doc = json.loads(doc)
-        results = []
-        for record in doc["results"]:
-            record = dict(record)
-            spec = ScenarioSpec(**record.pop("spec"))
-            results.append(ScenarioResult(spec=spec, **record))
+        results = tuple(ScenarioResult.from_json_dict(r) for r in doc["results"])
         return cls(
-            results=tuple(results),
+            results=results,
             wall_time=float(doc["wall_time"]),
             executor=str(doc["executor"]),
             max_workers=int(doc["max_workers"]),
@@ -200,15 +253,32 @@ class FleetResult:
 # Scenario execution (top-level so process pools can pickle it)
 # ----------------------------------------------------------------------
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    trace_dir: "str | os.PathLike[str] | None" = None,
+    spill_dir: "str | os.PathLike[str] | None" = None,
+    trace_chunk_size: int | None = None,
+) -> ScenarioResult:
     """Execute one scenario spec and summarize it as a :class:`ScenarioResult`.
 
     Never raises for scenario-level errors: crashes are captured in
     ``result.error`` so one bad grid point cannot sink a fleet.
+
+    With ``trace_dir`` the realized trace is saved there as
+    ``<content_hash>.npz`` (recorded through a disk-spilling
+    :class:`~repro.core.trace.TraceStore` rooted at ``spill_dir`` when
+    given, so even very long traces stay within O(chunk) RAM while
+    recording); the summary then carries ``trace_path`` instead of any
+    in-memory trace.  Workers write their own trace files, so nothing
+    trace-sized ever crosses a process-pool boundary.
     """
     t0 = time.perf_counter()
     try:
-        result = _run_scenario_inner(spec)
+        result = _run_scenario_inner(
+            spec, trace_dir=trace_dir, spill_dir=spill_dir,
+            trace_chunk_size=trace_chunk_size,
+        )
     except Exception as exc:  # noqa: BLE001 - captured per scenario by design
         return ScenarioResult(
             key=spec.key, spec=spec, error=repr(exc),
@@ -217,7 +287,13 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     return result
 
 
-def _run_scenario_inner(spec: ScenarioSpec) -> ScenarioResult:
+def _run_scenario_inner(
+    spec: ScenarioSpec,
+    *,
+    trace_dir: "str | os.PathLike[str] | None" = None,
+    spill_dir: "str | os.PathLike[str] | None" = None,
+    trace_chunk_size: int | None = None,
+) -> ScenarioResult:
     # Imported lazily: keeps fleet importable without dragging the
     # whole library into every worker before it is needed.
     from repro.analysis.rates import time_to_tolerance
@@ -252,9 +328,36 @@ def _run_scenario_inner(spec: ScenarioSpec) -> ScenarioResult:
         )
         request.options["record_messages"] = False
         # The fleet summarizes scalar outcomes; skip the per-update
-        # trace recording of the shared-memory backend.
-        request.options["record_trace"] = False
-    res = backend.execute(request)
+        # trace recording of the shared-memory backend unless the
+        # sweep is persisting traces.
+        request.options["record_trace"] = trace_dir is not None
+
+    content_hash = spec.content_hash
+    scenario_spill: pathlib.Path | None = None
+    trace_path: str | None = None
+    if trace_dir is not None:
+        path = pathlib.Path(trace_dir) / f"{content_hash}.npz"
+        request.options["trace_path"] = path
+        if spill_dir is not None:
+            scenario_spill = pathlib.Path(spill_dir) / content_hash
+            request.options["trace_spill_dir"] = scenario_spill
+        if trace_chunk_size is not None:
+            request.options["trace_chunk_size"] = int(trace_chunk_size)
+
+    try:
+        res = backend.execute(request)
+    finally:
+        if scenario_spill is not None:
+            # The final .npz has everything; the spill chunks were
+            # only the recording-time working set.
+            shutil.rmtree(scenario_spill, ignore_errors=True)
+    if trace_dir is not None:
+        # "" = traces were requested but this backend produced none
+        # (e.g. a shared-memory run with zero commits): the row is
+        # complete, a re-run could never yield a trace.
+        trace_path = (
+            str(res.trace_handle.path) if res.trace_handle is not None else ""
+        )
 
     trace = res.trace
     final_error = (
@@ -280,6 +383,8 @@ def _run_scenario_inner(spec: ScenarioSpec) -> ScenarioResult:
         sim_time=None if res.final_time is None else float(res.final_time),
         time_to_tol=ttt,
         wall_time=time.perf_counter() - t0,
+        info=json_safe(res.stats) or {},
+        trace_path=trace_path,
     )
 
 
@@ -297,6 +402,40 @@ def _resolve_executor(executor: str, max_workers: int | None) -> tuple[str, int]
     # width is the core count.
     workers = cpus if max_workers is None else max(1, max_workers)
     return executor, workers
+
+
+def _execute_specs(
+    indexed: "list[tuple[int, ScenarioSpec]]",
+    runner: Callable[[ScenarioSpec], ScenarioResult],
+    chosen: str,
+    workers: int,
+    on_result: Callable[[ScenarioResult], None] | None = None,
+) -> "dict[int, ScenarioResult]":
+    """Run ``(index, spec)`` pairs, invoking ``on_result`` as each finishes.
+
+    Completion order drives the callback (that's what makes aggregation
+    incremental); the returned mapping restores submission order.
+    """
+    out: dict[int, ScenarioResult] = {}
+    if chosen == "serial" or len(indexed) <= 1:
+        for idx, spec in indexed:
+            r = runner(spec)
+            out[idx] = r
+            if on_result is not None:
+                on_result(r)
+        return out
+    pool_cls = ThreadPoolExecutor if chosen == "thread" else ProcessPoolExecutor
+    with pool_cls(max_workers=workers) as pool:
+        pending = {pool.submit(runner, spec): idx for idx, spec in indexed}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                idx = pending.pop(fut)
+                r = fut.result()
+                out[idx] = r
+                if on_result is not None:
+                    on_result(r)
+    return out
 
 
 def run_fleet(
@@ -319,21 +458,163 @@ def run_fleet(
         Pool width cap (defaults to ``os.cpu_count()``).
 
     The per-scenario results keep submission order regardless of
-    completion order.
+    completion order.  For persistent/resumable sweeps use
+    :func:`run_grid` with a :class:`~repro.runtime.sweep_store.SweepStore`.
     """
     specs = list(scenarios)
     chosen, workers = _resolve_executor(executor, max_workers)
-    t0 = time.perf_counter()
-    if chosen == "serial" or len(specs) <= 1:
-        results = [run_scenario(s) for s in specs]
+    if chosen != "serial" and len(specs) <= 1:
         chosen = "serial"
-    else:
-        pool_cls = ThreadPoolExecutor if chosen == "thread" else ProcessPoolExecutor
-        with pool_cls(max_workers=workers) as pool:
-            results = list(pool.map(run_scenario, specs))
+    t0 = time.perf_counter()
+    slots = _execute_specs(list(enumerate(specs)), run_scenario, chosen, workers)
     return FleetResult(
-        results=tuple(results),
+        results=tuple(slots[i] for i in range(len(specs))),
         wall_time=time.perf_counter() - t0,
         executor=chosen,
         max_workers=workers,
     )
+
+
+def run_grid(
+    grid_or_specs: Any,
+    *,
+    store: Any = None,
+    resume: Any = None,
+    keep_traces: bool = False,
+    trace_chunk_size: int | None = None,
+    executor: str = "auto",
+    max_workers: int | None = None,
+) -> FleetResult:
+    """Execute a scenario grid with per-scenario persistence and resume.
+
+    Parameters
+    ----------
+    grid_or_specs:
+        A :class:`~repro.scenarios.spec.ScenarioGrid` or an iterable of
+        specs.
+    store:
+        A :class:`~repro.runtime.sweep_store.SweepStore` or directory
+        path.  When given, the manifest is written up front and one
+        ``results/<content_hash>.json`` row lands *as each scenario
+        finishes* (plus ``traces/<content_hash>.npz`` with
+        ``keep_traces``), so a killed sweep loses at most the scenarios
+        in flight.  ``None`` degrades to a plain in-memory fleet run.
+    resume:
+        A store (or path) holding a previous, possibly partial, run of
+        the same scenarios.  Completed scenarios — recognized by
+        content hash — are loaded instead of re-executed; because every
+        spec carries its own independent seed, the resumed
+        :class:`FleetResult` is bit-identical to an uninterrupted one.
+        ``resume=True`` reuses ``store``.  A path that names no
+        existing store raises ``FileNotFoundError`` (a typo must not
+        silently re-run the whole sweep); with ``keep_traces``, rows
+        whose trace file is missing are re-executed so the store ends
+        up complete; resuming into a *different* ``store`` copies rows
+        and traces over.
+    keep_traces:
+        Persist each scenario's realized trace into the store.  Traces
+        record through a disk-spilling trace store and are saved (and
+        dropped) inside the worker, so fleet memory stays bounded
+        regardless of scenario count; the per-worker peak is the one
+        trace each engine still materializes at end of run.
+    trace_chunk_size:
+        Rows per trace chunk for ``keep_traces`` recording (default
+        :attr:`~repro.core.trace.TraceStore.DEFAULT_CHUNK_SIZE`).
+
+    Returns the same :class:`FleetResult` a plain :func:`run_fleet`
+    would have produced, with ``trace_path``/``info`` populated.
+    """
+    from repro.runtime.sweep_store import SweepStore
+    from repro.scenarios.spec import ScenarioGrid
+
+    if isinstance(grid_or_specs, ScenarioGrid):
+        specs = list(grid_or_specs.expand())
+    else:
+        specs = list(grid_or_specs)
+
+    if resume is True:
+        if store is None:
+            raise ValueError("resume=True requires a store")
+        resume = store
+    if resume is not None and not isinstance(resume, SweepStore) and store is not None:
+        # Equivalent paths count as the same store, however spelled.
+        store_root = store.root if isinstance(store, SweepStore) else pathlib.Path(store)
+        if pathlib.Path(resume).resolve() == store_root.resolve():
+            resume = store
+    if resume is not None and not isinstance(resume, SweepStore):
+        # A resume target must already exist: silently creating an
+        # empty store from a typo'd path would re-execute the whole
+        # sweep instead of erroring.
+        resume = SweepStore(resume, create=False)
+    if store is None and resume is not None:
+        store = resume
+    sweep: SweepStore | None = None
+    if store is not None:
+        sweep = store if isinstance(store, SweepStore) else SweepStore(store)
+    if keep_traces and sweep is None:
+        raise ValueError("keep_traces requires a store")
+    resume_store: SweepStore | None = None
+    if resume is not None:
+        # Usually the same store; resuming *into* a different one is
+        # allowed (completed rows and traces copy over, new rows land
+        # in `store`).
+        if resume is store or resume is sweep:
+            resume_store = sweep
+        else:
+            same = resume.root.resolve() == sweep.root.resolve()
+            resume_store = sweep if same else resume
+
+    chosen, workers = _resolve_executor(executor, max_workers)
+    t0 = time.perf_counter()
+
+    slots: dict[int, ScenarioResult] = {}
+    to_run: list[tuple[int, ScenarioSpec]] = []
+    if resume_store is not None:
+        for idx, spec in enumerate(specs):
+            # One completeness rule, shared with the CLI banner: rows
+            # from a traceless earlier run (or with a dangling trace
+            # reference) re-run under keep_traces — results are
+            # deterministic, so regenerating costs one scenario, not
+            # correctness.
+            loaded = resume_store.load_complete_result(
+                spec, require_trace=keep_traces
+            )
+            h = spec.content_hash
+            if loaded is None:
+                to_run.append((idx, spec))
+                continue
+            if resume_store is not sweep:
+                if resume_store.has_trace(h):
+                    sweep.traces_dir.mkdir(parents=True, exist_ok=True)
+                    shutil.copyfile(resume_store.trace_path(h), sweep.trace_path(h))
+                    loaded = replace(loaded, trace_path=str(sweep.trace_path(h)))
+                sweep.write_result(loaded)  # new store gets the full set
+            slots[idx] = loaded
+    else:
+        to_run = list(enumerate(specs))
+
+    runner: Callable[[ScenarioSpec], ScenarioResult] = run_scenario
+    if sweep is not None:
+        sweep.write_manifest(specs)
+        if keep_traces:
+            runner = functools.partial(
+                run_scenario,
+                trace_dir=sweep.traces_dir,
+                spill_dir=sweep.tmp_dir,
+                trace_chunk_size=trace_chunk_size,
+            )
+
+    on_result = None if sweep is None else sweep.write_result
+    if chosen != "serial" and len(to_run) <= 1:
+        chosen = "serial"
+    slots.update(_execute_specs(to_run, runner, chosen, workers, on_result))
+
+    fleet = FleetResult(
+        results=tuple(slots[i] for i in range(len(specs))),
+        wall_time=time.perf_counter() - t0,
+        executor=chosen,
+        max_workers=workers,
+    )
+    if sweep is not None:
+        sweep.write_fleet(fleet)
+    return fleet

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.trace import IterationTrace, TraceBuilder
+from repro.core.trace import IterationTrace, TraceStore, resolve_sink
 from repro.operators.base import FixedPointOperator
 from repro.utils.validation import check_vector
 
@@ -130,6 +130,7 @@ class SharedMemoryAsyncRunner:
         tol: float = 1e-8,
         timeout: float = 60.0,
         record_trace: bool = False,
+        sink: TraceStore | None = None,
     ) -> SharedMemoryResult:
         """Run until tolerance, update budget or timeout.
 
@@ -233,7 +234,7 @@ class SharedMemoryAsyncRunner:
         trace: IterationTrace | None = None
         if record_trace and commits:
             owners = np.arange(n, dtype=np.int64) % self.n_workers
-            builder = TraceBuilder(n, owners=owners)
+            builder = resolve_sink(sink, n, owners=owners)
             builder.meta["backend"] = "shared-memory"
             builder.meta["n_workers"] = self.n_workers
             for _, comp, label_snap in sorted(commits, key=lambda c: c[0]):

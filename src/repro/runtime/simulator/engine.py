@@ -45,7 +45,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.trace import TraceBuilder
+from repro.core.trace import TraceStore, resolve_sink
 from repro.operators.base import FixedPointOperator
 from repro.runtime.simulator.channel import ChannelSpec, ChannelState
 from repro.runtime.simulator.processor import ProcessorSpec
@@ -210,12 +210,15 @@ class DistributedSimulator:
         tol: float = 0.0,
         residual_every: int = 10,
         record_messages: bool = True,
+        sink: TraceStore | None = None,
     ) -> SimulationResult:
         """Simulate until tolerance, iteration budget or time horizon.
 
         ``tol`` tests the fixed-point residual of the *global committed
         iterate* every ``residual_every`` completed phases (``0``
-        disables the test and runs out the budget).
+        disables the test and runs out the budget).  ``sink`` injects
+        the trace store the run records into (e.g. a disk-spilling
+        :class:`~repro.core.trace.TraceStore`).
         """
         x0 = check_vector(x0, "x0", dim=self.operator.dim)
         if max_iterations < 1:
@@ -238,7 +241,7 @@ class DistributedSimulator:
         global_x = x0.copy()
         global_labels = np.zeros(n, dtype=np.int64)
 
-        builder = TraceBuilder(n, owners=self._owners.copy())
+        builder = resolve_sink(sink, n, owners=self._owners.copy())
         track_err = self.reference is not None
         err0 = norm(x0 - self.reference) if track_err else None
         res0 = self.operator.residual(x0)

@@ -1,0 +1,255 @@
+"""Content-addressed on-disk results of one scenario sweep.
+
+A :class:`SweepStore` is a plain directory the fleet runner streams
+into — the durable half of the results layer:
+
+.. code-block:: text
+
+    <root>/
+      manifest.json            # scenario hashes + canonical specs, in order
+      results/<hash>.json      # one summary row per completed scenario
+      traces/<hash>.npz        # optional realized traces (keep_traces)
+      tmp/<hash>/chunk_*.npz   # spill working set while a trace records
+      fleet.json               # the aggregate FleetResult document
+
+Every file is keyed by the scenario's canonical
+:attr:`~repro.scenarios.spec.ScenarioSpec.content_hash`, so the store
+is *content-addressed*: a resumed sweep (or a different grid that
+happens to share scenarios) recognizes completed work by identity, not
+by position.  Result rows are written atomically (tmp + rename) as
+workers finish — killing a sweep mid-flight never corrupts the store,
+and ``run_grid(..., resume=store)`` completes exactly the missing
+scenarios.
+
+The analysis layer reads the same directory back:
+:meth:`fleet_result` reassembles the typed
+:class:`~repro.runtime.fleet.FleetResult`, :meth:`load_trace`
+materializes a persisted trace, and :meth:`digest` condenses the
+deterministic fields of every completed row into one SHA-256 — the
+equality certificate between an interrupted-and-resumed sweep and an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.core.trace import IterationTrace, load_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.fleet import FleetResult, ScenarioResult
+    from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["SweepStore"]
+
+_MANIFEST = "manifest.json"
+_FLEET = "fleet.json"
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class SweepStore:
+    """Directory-backed, content-addressed persistence of a sweep."""
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, root: "str | os.PathLike[str]", *, create: bool = True) -> None:
+        self.root = pathlib.Path(root)
+        self.results_dir = self.root / "results"
+        self.traces_dir = self.root / "traces"
+        self.tmp_dir = self.root / "tmp"
+        if create:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+            self.traces_dir.mkdir(parents=True, exist_ok=True)
+            self.tmp_dir.mkdir(parents=True, exist_ok=True)
+        elif not (self.root / _MANIFEST).is_file():
+            # An existing-but-unrelated directory is as wrong as a
+            # missing one: opening it as a store would silently re-run
+            # a whole sweep (and scatter store files into it).  The
+            # manifest is written before any scenario executes, so
+            # every real store — however early it was killed — has one.
+            raise FileNotFoundError(
+                f"no sweep store at {self.root} (missing {_MANIFEST})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SweepStore root={str(self.root)!r} completed={len(self.completed())}>"
+
+    # -- paths ---------------------------------------------------------
+    def result_path(self, content_hash: str) -> pathlib.Path:
+        return self.results_dir / f"{content_hash}.json"
+
+    def trace_path(self, content_hash: str) -> pathlib.Path:
+        return self.traces_dir / f"{content_hash}.npz"
+
+    # -- manifest ------------------------------------------------------
+    def write_manifest(self, specs: "Sequence[ScenarioSpec]") -> pathlib.Path:
+        """Persist the sweep's scenario list (hashes + canonical specs).
+
+        The manifest freezes submission order, which is what makes the
+        store self-describing: :meth:`fleet_result` and :meth:`digest`
+        iterate scenarios in manifest order, so their output matches
+        the live fleet's regardless of completion interleaving.
+        """
+        doc = {
+            "format_version": self.FORMAT_VERSION,
+            "scenario_count": len(specs),
+            "scenarios": [
+                {"hash": s.content_hash, "key": s.key, "spec": s.canonical()}
+                for s in specs
+            ],
+        }
+        path = self.root / _MANIFEST
+        _atomic_write(path, json.dumps(doc, indent=2))
+        # A new manifest starts a new sweep: a fleet.json left over from
+        # a previous (smaller/older) run would otherwise shadow the
+        # fresh per-scenario rows in fleet_result() if this run dies
+        # before writing its own aggregate.
+        (self.root / _FLEET).unlink(missing_ok=True)
+        return path
+
+    def read_manifest(self) -> dict[str, Any]:
+        """The manifest document (raises when the store has none)."""
+        return json.loads((self.root / _MANIFEST).read_text())
+
+    def manifest_hashes(self) -> list[str]:
+        """Scenario content hashes in submission order."""
+        return [s["hash"] for s in self.read_manifest()["scenarios"]]
+
+    # -- per-scenario rows ---------------------------------------------
+    def completed(self) -> set[str]:
+        """Content hashes that already have a persisted summary row."""
+        return {p.stem for p in self.results_dir.glob("*.json")}
+
+    def write_result(self, result: "ScenarioResult") -> pathlib.Path:
+        """Atomically persist one scenario's summary row.
+
+        Failed scenarios (``result.error`` set) are *not* persisted as
+        completed work — a resumed sweep retries them.
+        """
+        path = self.result_path(result.content_hash)
+        if result.error is not None:
+            return path
+        _atomic_write(path, json.dumps(result.to_json_dict(), indent=2))
+        return path
+
+    def load_result(self, spec: "ScenarioSpec") -> "ScenarioResult | None":
+        """The persisted row for ``spec``, or ``None`` when absent."""
+        from repro.runtime.fleet import ScenarioResult
+
+        path = self.result_path(spec.content_hash)
+        if not path.is_file():
+            return None
+        return ScenarioResult.from_json_dict(json.loads(path.read_text()))
+
+    def load_result_by_hash(self, content_hash: str) -> "ScenarioResult | None":
+        from repro.runtime.fleet import ScenarioResult
+
+        path = self.result_path(content_hash)
+        if not path.is_file():
+            return None
+        return ScenarioResult.from_json_dict(json.loads(path.read_text()))
+
+    def load_complete_result(
+        self, spec: "ScenarioSpec", *, require_trace: bool = False
+    ) -> "ScenarioResult | None":
+        """The persisted row for ``spec`` iff it counts as *complete*.
+
+        This is THE completeness rule — ``run_grid``'s resume loop and
+        the CLI's "N/M already complete" banner both call it, so they
+        cannot drift apart.  Without ``require_trace`` a persisted row
+        is complete.  With it, a row is additionally required to
+        account for its trace: ``trace_path`` unset means the row
+        predates trace-keeping (re-run to record one); a set-but-empty
+        ``trace_path`` means the run kept traces and the backend
+        legitimately produced none (complete — re-running could never
+        help); a non-empty ``trace_path`` must have its file present.
+        """
+        row = self.load_result(spec)
+        if row is None:
+            return None
+        if require_trace:
+            if row.trace_path is None:
+                return None
+            if row.trace_path and not self.has_trace(spec.content_hash):
+                return None  # dangling reference
+        return row
+
+    # -- traces --------------------------------------------------------
+    def has_trace(self, content_hash: str) -> bool:
+        return self.trace_path(content_hash).is_file()
+
+    def load_trace(self, spec_or_hash: "ScenarioSpec | str") -> IterationTrace:
+        """Materialize a persisted trace by spec or content hash."""
+        h = spec_or_hash if isinstance(spec_or_hash, str) else spec_or_hash.content_hash
+        return load_trace(self.trace_path(h))
+
+    # -- aggregates ----------------------------------------------------
+    def write_fleet(self, fleet: "FleetResult") -> pathlib.Path:
+        path = self.root / _FLEET
+        _atomic_write(path, fleet.to_json())
+        return path
+
+    def fleet_result(self) -> "FleetResult":
+        """Reassemble the typed :class:`~repro.runtime.fleet.FleetResult`.
+
+        Prefers the final ``fleet.json`` aggregate; for an interrupted
+        sweep (no aggregate yet) the completed per-scenario rows are
+        stitched together in manifest order, so partial stores are
+        still fully analyzable.
+        """
+        from repro.runtime.fleet import FleetResult
+
+        final = self.root / _FLEET
+        if final.is_file():
+            return FleetResult.from_json(final.read_text())
+        results = []
+        for h in self.manifest_hashes():
+            r = self.load_result_by_hash(h)
+            if r is not None:
+                results.append(r)
+        return FleetResult(
+            results=tuple(results), wall_time=0.0, executor="store", max_workers=0
+        )
+
+    # -- determinism ---------------------------------------------------
+    #: ScenarioResult fields that are functions of the spec alone (for
+    #: deterministic backends) — wall-clock fields are excluded.
+    DIGEST_FIELDS = (
+        "iterations", "converged", "final_residual", "final_error",
+        "sim_time", "time_to_tol",
+    )
+
+    def digest(self, hashes: "Iterable[str] | None" = None) -> str:
+        """SHA-256 over the deterministic fields of completed rows.
+
+        Two stores that ran the same scenarios — in one shot, or killed
+        and resumed, serially or on any executor — produce the same
+        digest; it is the cheap equality check the resume tests and the
+        benchmark harness pin.  The default scope is the manifest's
+        scenario list (falling back to every row on manifest-less
+        stores), so rows left behind by a *different* grid that reused
+        the directory don't pollute the certificate.
+        """
+        if hashes is None:
+            try:
+                hashes = self.manifest_hashes()
+            except FileNotFoundError:
+                hashes = self.completed()
+        h = hashlib.sha256()
+        for ch in sorted(hashes):
+            row = self.load_result_by_hash(ch)
+            if row is None:
+                continue
+            payload = {f: getattr(row, f) for f in self.DIGEST_FIELDS}
+            h.update(ch.encode())
+            h.update(json.dumps(payload, sort_keys=True).encode())
+        return h.hexdigest()

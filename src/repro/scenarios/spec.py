@@ -17,7 +17,9 @@ so results do not depend on executor scheduling.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
@@ -32,6 +34,35 @@ _KINDS = ("engine", "simulator")
 _KIND_TO_BACKEND_KIND = {"engine": "model", "simulator": "machine"}
 
 AxisItem = "str | tuple[str, Mapping[str, Any]]"
+
+
+def _canon(obj: Any) -> Any:
+    """Canonical plain-JSON form of a params value, loud on the rest.
+
+    Every value must *participate* in the content hash — silently
+    dropping one would make distinct scenarios collide in a sweep
+    store.  Arrays of any size canonicalize as their nested lists, so
+    a spec that round-tripped through JSON (array -> list) hashes
+    identically to the live original; values that cannot be
+    canonicalized deterministically (callables, arbitrary objects)
+    raise.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_, np.integer, np.floating)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return _canon(obj.tolist())
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, dict):
+        return {
+            str(k): _canon(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    raise TypeError(
+        f"scenario params must be plain data; cannot canonicalize {type(obj).__name__}"
+    )
 
 
 def _check_backend(backend: str | None, kind: str) -> str:
@@ -146,6 +177,46 @@ class ScenarioSpec:
         else:
             mid = f"{self.machine}[{self.backend}]"
         return f"{self.problem}/{mid}/seed={self.seed}"
+
+    def canonical(self) -> dict[str, Any]:
+        """Plain-JSON dict that fully determines this scenario.
+
+        Every field — and every params entry — participates (the
+        backend name is already resolved by ``__post_init__``, so
+        ``backend=None`` and its explicit default hash identically);
+        params that cannot be canonicalized deterministically raise
+        ``TypeError`` rather than silently dropping out of the hash.
+        This is the document :attr:`content_hash` digests and sweep
+        manifests persist.
+        """
+        return {
+            "problem": self.problem,
+            "kind": self.kind,
+            "problem_params": _canon(self.problem_params),
+            "steering": self.steering,
+            "steering_params": _canon(self.steering_params),
+            "delays": self.delays,
+            "delay_params": _canon(self.delay_params),
+            "machine": self.machine,
+            "machine_params": _canon(self.machine_params),
+            "backend": self.backend,
+            "seed": int(self.seed),
+            "max_iterations": int(self.max_iterations),
+            "tol": float(self.tol),
+        }
+
+    @property
+    def content_hash(self) -> str:
+        """Canonical content address of this scenario (16 hex chars).
+
+        SHA-256 over the sorted-key JSON of :meth:`canonical` —
+        identical specs hash identically across processes and sessions,
+        so a :class:`~repro.runtime.sweep_store.SweepStore` can key
+        per-scenario results by it and a resumed sweep recognizes
+        completed work regardless of grid enumeration order.
+        """
+        doc = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(doc.encode()).hexdigest()[:16]
 
     def spawn_seeds(self) -> list[np.random.SeedSequence]:
         """Five independent child streams: problem, steering, delays, machine, backend.

@@ -1,0 +1,65 @@
+"""JSON-safety filtering for persisted run metadata.
+
+Sweep stores, trace files and ``FleetResult.to_json`` all persist
+free-form dicts (backend stats, trace meta, solver extras).  Those
+dicts routinely contain numpy scalars, small arrays, tuples and the
+occasional live object; :func:`json_safe` normalizes the serializable
+subset and drops the rest, so persistence never crashes on an exotic
+stats entry and round-trips stay plain JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["json_safe"]
+
+#: Arrays larger than this are dropped rather than inlined into JSON
+#: documents (a stats dict is a summary, not a data channel).
+_MAX_INLINE_ARRAY = 64
+
+_SENTINEL = object()
+
+
+def _convert(obj: Any, depth: int) -> Any:
+    if depth > 8:
+        return _SENTINEL
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        # Non-finite floats pass through: ``json`` serializes them as
+        # NaN/Infinity literals and parses them back (the historical
+        # round-trip behavior of FleetResult.to_json).
+        return obj
+    if isinstance(obj, (np.bool_, np.integer, np.floating)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        if obj.size > _MAX_INLINE_ARRAY:
+            return _SENTINEL
+        return _convert(obj.tolist(), depth + 1)
+    if isinstance(obj, (list, tuple)):
+        items = [_convert(v, depth + 1) for v in obj]
+        return [v for v in items if v is not _SENTINEL]
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, (str, int, np.integer)):
+                continue
+            cv = _convert(v, depth + 1)
+            if cv is not _SENTINEL:
+                out[str(k)] = cv
+        return out
+    return _SENTINEL
+
+
+def json_safe(obj: Any) -> Any:
+    """The JSON-serializable subset of ``obj``.
+
+    Numbers, strings, bools and ``None`` pass through; numpy scalars
+    unwrap; small arrays and tuples become lists; dict
+    keys are stringified.  Everything else — objects, callables,
+    oversized arrays — is silently dropped.  The top-level result of a
+    dropped object is ``None``.
+    """
+    out = _convert(obj, 0)
+    return None if out is _SENTINEL else out

@@ -117,3 +117,83 @@ class TestSweepCLI:
     def test_bad_seeds_errors(self, capsys):
         assert main(_sweep("--seeds", "0")) == 2
         assert "n_seeds" in capsys.readouterr().err
+
+
+class TestSweepStoreCLI:
+    """--out / --resume / --keep-traces: the resumable sweep workflow."""
+
+    def test_out_writes_store(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(_sweep("--out", str(out))) == 0
+        assert "results in" in capsys.readouterr().out
+        assert (out / "manifest.json").is_file()
+        assert (out / "fleet.json").is_file()
+        assert len(list((out / "results").glob("*.json"))) == 4
+
+    def test_keep_traces_writes_loadable_traces(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(_sweep("--out", str(out), "--keep-traces")) == 0
+        assert "traces kept" in capsys.readouterr().out
+        from repro.runtime.sweep_store import SweepStore
+
+        store = SweepStore(out, create=False)
+        traces = list((out / "traces").glob("*.npz"))
+        assert len(traces) == 4
+        trace = store.load_trace(traces[0].stem)
+        assert trace.n_iterations > 0
+
+    def test_resume_skips_completed(self, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "store"
+        assert main(_sweep("--out", str(out))) == 0
+        capsys.readouterr()
+
+        import repro.runtime.fleet as fleet_mod
+
+        def boom(spec, **kwargs):  # resume must not execute anything
+            raise AssertionError(f"re-ran completed scenario {spec.key}")
+
+        monkeypatch.setattr(fleet_mod, "_run_scenario_inner", boom)
+        assert main(_sweep("--resume", str(out))) == 0
+        out_text = capsys.readouterr().out
+        assert "resuming" in out_text and "4/4" in out_text
+
+    def test_resume_completes_missing(self, tmp_path, capsys):
+        from repro.runtime.fleet import run_grid
+        from repro.runtime.sweep_store import SweepStore
+        from repro.scenarios.spec import ScenarioGrid
+
+        # Pre-populate the store with only half the grid ("killed" sweep).
+        grid = ScenarioGrid(
+            problems=("jacobi",), delays=("zero", "uniform"),
+            steerings=("cyclic",), n_seeds=2, max_iterations=400,
+        )
+        out = tmp_path / "store"
+        run_grid(grid.expand()[:2], store=SweepStore(out), executor="serial")
+        assert main(_sweep("--resume", str(out))) == 0
+        assert "2/4" in capsys.readouterr().out
+        assert len(list((out / "results").glob("*.json"))) == 4
+
+    def test_resume_keep_traces_counts_traceless_rows_as_incomplete(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "store"
+        assert main(_sweep("--out", str(out))) == 0  # rows, no traces
+        capsys.readouterr()
+        assert main(_sweep("--resume", str(out), "--keep-traces")) == 0
+        out_text = capsys.readouterr().out
+        # run_grid re-executes every traceless row; the banner must agree.
+        assert "0/4" in out_text
+        assert len(list((out / "traces").glob("*.npz"))) == 4
+
+    def test_resume_missing_dir_errors(self, tmp_path, capsys):
+        assert main(_sweep("--resume", str(tmp_path / "nope"))) == 2
+        assert "no sweep store" in capsys.readouterr().err
+
+    def test_keep_traces_requires_out(self, capsys):
+        assert main(_sweep("--keep-traces")) == 2
+        assert "--keep-traces requires" in capsys.readouterr().err
+
+    def test_conflicting_out_and_resume(self, tmp_path, capsys):
+        assert main(_sweep("--out", str(tmp_path / "a"),
+                           "--resume", str(tmp_path / "b"))) == 2
+        assert "different stores" in capsys.readouterr().err
