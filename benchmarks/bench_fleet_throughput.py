@@ -44,22 +44,27 @@ import tracemalloc
 from benchmarks._common import emit, fleet_run, once
 from repro.analysis.fleet import compare_throughput
 from repro.analysis.reporting import render_table
+from repro.api import SolverRef, StudyConfig
 from repro.runtime.fleet import run_grid
-from repro.scenarios import ScenarioGrid
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 TRAJECTORY_FILE = REPO_ROOT / "BENCH_fleet.json"
 
-#: The fixed workload: 2 problems x 2 machines x 3 seeds = 12 scenarios.
-WORKLOAD = ScenarioGrid(
+#: The fixed workload as a declarative study:
+#: 2 problems x 2 machines x 3 seeds = 12 scenarios.
+STUDY = StudyConfig(
+    name="fleet-throughput",
     problems=(("jacobi", {"n": 48}), ("tridiagonal", {"n": 48})),
-    kind="simulator",
+    solver=SolverRef(
+        kind="simulator",
+        max_iterations=600,
+        tol=0.0,  # run out the budget: identical work per scenario
+    ),
     machines=(("flexible", {"n_processors": 8}), ("heterogeneous", {"n_processors": 8})),
     n_seeds=3,
     master_seed=2022,
-    max_iterations=600,
-    tol=0.0,  # run out the budget: identical work per scenario
 )
+WORKLOAD = STUDY.to_grid()
 
 
 def run_throughput():

@@ -1,4 +1,4 @@
-"""Fleet-runner walkthrough: from a declarative grid to multi-seed medians.
+"""Study-API walkthrough: from a declarative config to multi-seed medians.
 
 Run from the repository root:
 
@@ -7,94 +7,103 @@ Run from the repository root:
 The same sweep is available without writing code:
 
     python -m repro sweep --seeds 3 --max-iterations 3000
+    python -m repro study run examples/study.toml
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.fleet import compare_throughput, render_fleet_table
-from repro.runtime.fleet import run_fleet
-from repro.scenarios import ScenarioGrid
+import repro
+from repro.analysis.fleet import compare_throughput, render_backend_comparison
+from repro.api import SolverRef, Study, StudyConfig
 
 # ----------------------------------------------------------------------
-# 1. Describe a grid declaratively: 2 problems x 2 delay models x
+# 1. Describe a study declaratively: 2 problems x 2 delay models x
 #    2 steering policies x 3 seeds = 24 scenarios.  Axis entries are
 #    registry names (see `python -m repro sweep --list-axes`), with
-#    optional parameter overrides as (name, params) pairs.
+#    optional parameter overrides as (name, params) pairs — everything
+#    validates eagerly, with did-you-mean suggestions on typos.
 # ----------------------------------------------------------------------
-grid = ScenarioGrid(
+config = StudyConfig(
+    name="fleet-walkthrough",
     problems=(("jacobi", {"n": 24}), "tridiagonal"),
     delays=("uniform", "baudet-sqrt"),
     steerings=("cyclic", "random-subset"),
     n_seeds=3,
     master_seed=0,
-    max_iterations=3000,
-    tol=1e-8,
+    solver=SolverRef(kind="engine", max_iterations=3000, tol=1e-8),
 )
-specs = grid.expand()
-print(f"grid: {grid.size} scenarios, e.g. {specs[0].key}")
+study = Study(config)
+print(f"study: {study!r}")
+print(f"grid: {config.size} scenarios, e.g. {study.specs()[0].key}")
 
 # ----------------------------------------------------------------------
-# 2. Run the fleet.  Every scenario carries its own independently
-#    spawned seed, so "auto" (process pool on multi-core hosts),
-#    "thread" and "serial" all give bit-identical results.
+# 2. Run it.  Every scenario carries its own independently spawned
+#    seed, so "auto" (process pool on multi-core hosts), "thread" and
+#    "serial" all give bit-identical results — certified by the
+#    determinism digest.
 # ----------------------------------------------------------------------
-fleet = run_fleet(specs, executor="auto")
-assert not fleet.failures(), [r.error for r in fleet.failures()]
+result = study.run()
+assert not result.failures(), [r.error for r in result.failures()]
+print(f"determinism digest: {result.digest()}")
 
 # ----------------------------------------------------------------------
 # 3. Aggregate: per-group medians over seeds are the statistically
-#    honest form of every claim in the paper.
+#    honest form of every claim in the paper.  The report's grouping
+#    and metrics come from the config's [report] section (or
+#    kind-appropriate defaults).
 # ----------------------------------------------------------------------
 print()
-print(render_fleet_table(
-    fleet,
-    group_by=("problem", "delays"),
-    metrics=("iterations", "converged", "final_residual"),
-    title="median over 3 seeds per (problem, delay regime)",
-))
+print(result.report(title="median over 3 seeds per (problem, delay regime)"))
 
 # ----------------------------------------------------------------------
-# 4. Simulator-kind grids sweep machine archetypes instead of delay
+# 4. Simulator-kind studies sweep machine archetypes instead of delay
 #    models; backends="reference" runs the frozen seed engine, which is
 #    how the throughput benchmark measures the vectorization speedup.
 # ----------------------------------------------------------------------
-sim_grid = ScenarioGrid(
+sim_config = StudyConfig(
+    name="simulated-machines",
     problems=(("jacobi", {"n": 24}),),
-    kind="simulator",
+    solver=SolverRef(kind="simulator", max_iterations=300, tol=1e-8),
     machines=("uniform", "flexible"),
     n_seeds=2,
-    max_iterations=300,
-    tol=1e-8,
+    execution={"executor": "serial"},
 )
-sim_fleet = run_fleet(sim_grid.expand(), executor="serial")
-baseline = run_fleet(
-    dataclasses.replace(sim_grid, backends="reference").expand(), executor="serial"
-)
-cmp = compare_throughput(baseline, sim_fleet)
+sim_result = Study(sim_config).run()
+baseline = Study(dataclasses.replace(
+    sim_config, solver=SolverRef(kind="simulator", backends=("reference",),
+                                 max_iterations=300, tol=1e-8),
+)).run()
+cmp = compare_throughput(baseline.fleet, sim_result.fleet)
 print()
-print(render_fleet_table(
-    sim_fleet,
-    group_by=("machine",),
-    metrics=("iterations", "converged", "sim_time"),
-    title="simulated machines (vectorized engine)",
-))
+print(sim_result.report(title="simulated machines (vectorized engine)"))
 print(f"\nvectorized vs reference engine on this workload: {cmp.speedup:.2f}x scenarios/sec")
 
 # ----------------------------------------------------------------------
-# 5. The backend axis: one grid, several execution engines.  Scenarios
+# 5. The backend axis: one study, several execution engines.  Scenarios
 #    differing only in backend share seeds, so the pivot table is a
 #    like-for-like comparison (vectorized and reference must agree
 #    exactly; shared-memory runs the same problems on real threads).
 # ----------------------------------------------------------------------
-from repro.analysis.fleet import render_backend_comparison
-
-cross_grid = dataclasses.replace(
-    sim_grid, machines=("uniform",),
-    backends=("vectorized", "reference", "shared-memory"),
-    max_iterations=3000,
+cross_config = dataclasses.replace(
+    sim_config,
+    name="cross-backend",
+    machines=("uniform",),
+    solver=SolverRef(kind="simulator",
+                     backends=("vectorized", "reference", "shared-memory"),
+                     max_iterations=3000, tol=1e-8),
 )
-cross_fleet = run_fleet(cross_grid.expand(), executor="serial")
+cross_result = Study(cross_config).run()
 print()
-print(render_backend_comparison(cross_fleet, metric="iterations", group_by=("machine",)))
+print(render_backend_comparison(cross_result.fleet, metric="iterations",
+                                group_by=("machine",)))
+
+# ----------------------------------------------------------------------
+# 6. Every study serializes: write the TOML, reload it, run it from the
+#    CLI (`python -m repro study run <file>`), resume it after a kill
+#    (`study resume`) — all bit-identical by content hash.
+# ----------------------------------------------------------------------
+reloaded = repro.StudyConfig.from_toml(config.to_toml())
+assert reloaded == config and reloaded.content_hash == config.content_hash
+print(f"\nconfig round-trips through TOML: content hash {config.content_hash}")

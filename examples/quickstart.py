@@ -1,72 +1,74 @@
-"""Quickstart: solve a lasso problem with flexible asynchronous iterations.
+"""Quickstart: the `repro` front door in five calls.
 
-Builds a synthetic regression dataset, sets up the strongly convex
-lasso of problem (4), and solves it three ways:
+One lasso instance of the paper's problem (4) through four execution
+substrates — the exact Definition 1 engine, flexible communication
+(Definitions 3/4), the simulated distributed machine, and real
+shared-memory threads — then the same experiment scaled to a
+multi-seed study with one declarative object that also serializes to
+TOML for `python -m repro study run`.
 
-1. synchronous FISTA (reference baseline);
-2. totally asynchronous proximal gradient (Definition 1);
-3. asynchronous iterations with flexible communication (Definitions
-   3/4) — the paper's method, with the Theorem 1 certificate checked
-   on the realized trace.
-
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+import repro
 
-from repro.analysis.reporting import render_table
-from repro.core.convergence import theorem1_certificate
-from repro.core.macro import macro_sequence
-from repro.problems import make_lasso, make_regression
-from repro.solvers import AsyncSolver, FISTASolver, FlexibleAsyncSolver
+# ----------------------------------------------------------------------
+# 1. One call: a registered problem on the default Definition 1 engine.
+#    Problem names come from the unified registry
+#    (`python -m repro sweep --list-axes`); extra keywords reach the
+#    problem factory, validated eagerly with did-you-mean on typos.
+# ----------------------------------------------------------------------
+exact = repro.solve("lasso", seed=0, max_iterations=20_000)
+print(f"exact engine      : {exact.key}")
+print(f"                    converged={exact.converged} "
+      f"iterations={exact.iterations} residual={exact.final_residual:.2e}")
 
+# ----------------------------------------------------------------------
+# 2. The same problem under flexible communication (Def. 3/4) with
+#    unbounded Baudet-style delays, and on the simulated distributed
+#    machine (where S and L are *induced* by processor/channel physics)
+#    — only the backend changes, never the problem definition.
+# ----------------------------------------------------------------------
+flex = repro.solve("lasso", backend="flexible", delays="baudet-sqrt",
+                   steering="permutation-sweeps", seed=0, max_iterations=20_000)
+sim = repro.solve("lasso", backend="simulator", seed=0)
+hogwild = repro.solve("lasso", backend="shared-memory", seed=0,
+                      max_iterations=20_000)
+print(f"flexible engine   : iterations={flex.iterations} converged={flex.converged}")
+print(f"simulated machine : iterations={sim.iterations} sim_time={sim.sim_time:.1f}")
+print(f"shared memory     : iterations={hogwild.iterations} "
+      f"wall={hogwild.result.wall_time * 1e3:.0f}ms")
 
-def main() -> None:
-    # A 300-sample, 60-feature sparse regression task.
-    data = make_regression(300, 60, sparsity=0.6, noise_std=0.1, seed=0)
-    problem = make_lasso(data, l1=0.05, l2=0.05)
-    xstar = problem.solution()
-    print(f"problem: lasso, dim={problem.dim}, mu={problem.smooth.mu:.4f}, "
-          f"L={problem.smooth.lipschitz:.4f}, gamma_max={problem.smooth.max_step():.4f}")
+# ----------------------------------------------------------------------
+# 3. Claims need populations, not runs: sweep a grid of delay regimes
+#    with independent per-scenario seeds and read grouped medians.
+# ----------------------------------------------------------------------
+study = repro.sweep(
+    problems=("jacobi", "tridiagonal"),
+    delays=("uniform", "baudet-sqrt"),
+    steerings=("cyclic",),
+    n_seeds=3,
+    max_iterations=3000,
+)
+print()
+print(study.report())
 
-    rows = []
-    results = {}
-    for name, solver in [
-        ("FISTA (synchronous)", FISTASolver()),
-        ("async prox-gradient (Def. 1)", AsyncSolver(seed=1)),
-        ("flexible async (Def. 3/4)", FlexibleAsyncSolver(seed=2)),
-    ]:
-        res = solver.solve(problem, tol=1e-9, max_iterations=2_000_000)
-        results[name] = res
-        rows.append(
-            [
-                name,
-                res.converged,
-                res.iterations,
-                f"{res.error_to(xstar):.2e}",
-                f"{res.objective:.6f}",
-            ]
-        )
-    print()
-    print(render_table(["solver", "converged", "iterations", "error vs x*", "objective"], rows))
-
-    # Theorem 1 certificate on the flexible run.
-    flex = results["flexible async (Def. 3/4)"]
-    ms = macro_sequence(flex.trace)
-    cert = theorem1_certificate(flex.trace, ms, flex.info["rho"])
-    print()
-    print(f"macro-iterations completed: {ms.count}")
-    print(f"Theorem 1 bound held on every iteration: {cert.satisfied}")
-    print(f"guaranteed rate (1-rho): {1 - cert.rho:.4f}, realized: {cert.empirical_rate:.4f}")
-    print(f"constraint (3) violations: {flex.info['constraint_violations']} "
-          f"of {flex.info['constraint_checks']} checks")
-
-    sparsity = np.mean(np.abs(flex.x) < 1e-10)
-    print(f"recovered solution sparsity: {sparsity:.0%} "
-          f"(ground truth: {np.mean(data.true_weights == 0):.0%})")
-
-
-if __name__ == "__main__":
-    main()
+# ----------------------------------------------------------------------
+# 4. The same study as one declarative, serializable object.  The TOML
+#    below round-trips bit-identically (same content hash), so
+#    `python -m repro study run study.toml` reproduces exactly this.
+# ----------------------------------------------------------------------
+config = repro.StudyConfig(
+    name="quickstart",
+    problems=("jacobi", "tridiagonal"),
+    delays=("uniform", "baudet-sqrt"),
+    n_seeds=3,
+    solver={"kind": "engine", "max_iterations": 3000},
+)
+assert repro.StudyConfig.from_toml(config.to_toml()) == config
+print(f"\nstudy config content hash: {config.content_hash}  "
+      f"({config.size} scenarios)")
+print("--- study.toml ---")
+print(config.to_toml())

@@ -10,6 +10,12 @@ A production-grade reproduction of
 
 Public API tour
 ---------------
+* ``repro.solve`` / ``repro.sweep`` / ``repro.load_study`` — the front
+  door: one scenario, a declarative grid, or a study file, through any
+  execution backend (:mod:`repro.api`).
+* ``repro.Study`` / ``repro.StudyConfig`` — the declarative Study
+  layer: solve → sweep → store → report as one validated, serializable
+  (TOML/JSON) object.
 * ``repro.operators`` — fixed-point maps: affine splittings, gradient
   steps, the Definition 4 prox-gradient operator, inner-iteration
   approximations, Newton multi-splittings, monotone operators.
@@ -21,7 +27,10 @@ Public API tour
   macro-iterations (Definition 2), epochs [30], Theorem 1 certificates
   and termination detection.
 * ``repro.runtime`` — a deterministic discrete-event simulator of a
-  parallel/distributed machine plus a real shared-memory backend.
+  parallel/distributed machine, a real shared-memory backend, the
+  scenario fleet and the content-addressed sweep store.
+* ``repro.scenarios`` — the unified ingredient registry and the
+  declarative ``ScenarioSpec``/``ScenarioGrid``.
 * ``repro.solvers`` — end-to-end synchronous/asynchronous/flexible
   solvers and modern baselines (ARock, DAve-PG, async Bellman–Ford).
 * ``repro.analysis`` — rate fitting, certificates, comparisons, and
@@ -29,15 +38,82 @@ Public API tour
 
 Quickstart
 ----------
->>> from repro.problems import make_regression, make_lasso
->>> from repro.solvers import FlexibleAsyncSolver
->>> data = make_regression(200, 50, sparsity=0.5, seed=0)
->>> problem = make_lasso(data)
->>> result = FlexibleAsyncSolver(seed=1).solve(problem, tol=1e-8)
->>> result.converged
+Solve one registered problem on the default Definition 1 engine, then
+the same lasso instance on the simulated distributed machine:
+
+>>> import repro
+>>> result = repro.solve("jacobi", seed=0)
+>>> bool(result.converged)
+True
+>>> machine_run = repro.solve("lasso", backend="simulator", seed=0)
+>>> bool(machine_run.converged)
+True
+>>> machine_run.sim_time is not None
+True
+
+Sweep a small grid (2 delay regimes x 2 seeds) and read the grouped
+medians; every scenario carries an independently spawned seed, so the
+result is bit-identical on any executor:
+
+>>> study = repro.sweep(problems=("jacobi",), delays=("zero", "uniform"),
+...                     n_seeds=2, max_iterations=500, executor="serial")
+>>> study.scenario_count
+4
+>>> len(study.digest())
+64
+
+The same sweep as a declarative config that round-trips through TOML:
+
+>>> cfg = repro.StudyConfig(problems=("jacobi",), delays=("zero", "uniform"),
+...                         n_seeds=2)
+>>> repro.StudyConfig.from_toml(cfg.to_toml()) == cfg
 True
 """
 
-__version__ = "1.0.0"
+from typing import Any
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+#: Lazy top-level exports: name -> providing module.  Resolved on first
+#: attribute access so ``import repro`` stays light (the CLI's ``info``
+#: verb must not pay for NumPy-heavy engine imports).
+_EXPORTS = {
+    # the Study front door
+    "solve": "repro.api",
+    "sweep": "repro.api",
+    "load_study": "repro.api",
+    "Study": "repro.api",
+    "StudyConfig": "repro.api",
+    "StudyResult": "repro.api",
+    "SolveOutcome": "repro.api",
+    "ProblemRef": "repro.api",
+    "SolverRef": "repro.api",
+    # the declarative scenario layer
+    "ScenarioSpec": "repro.scenarios",
+    "ScenarioGrid": "repro.scenarios",
+    # the fleet and its persistence
+    "FleetResult": "repro.runtime.fleet",
+    "ScenarioResult": "repro.runtime.fleet",
+    "run_fleet": "repro.runtime.fleet",
+    "run_grid": "repro.runtime.fleet",
+    "SweepStore": "repro.runtime.sweep_store",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str) -> Any:
+    """PEP 562 lazy exports (cached in module globals after first use)."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> "list[str]":
+    return sorted({*globals(), *_EXPORTS})

@@ -1,8 +1,16 @@
-"""Command-line interface: ``python -m repro {info,list,run <exp-id>,sweep}``."""
+"""Command-line interface: ``python -m repro {info,list,run,sweep,study}``.
+
+``sweep`` and ``study`` are two spellings of the same thing: both build
+a :class:`~repro.api.config.StudyConfig` and execute it through
+:class:`~repro.api.study.Study` — ``sweep`` from legacy flags (kept
+stable), ``study`` from a declarative ``.toml``/``.json`` file with
+``run``/``resume``/``report`` verbs.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import subprocess
 import sys
@@ -47,74 +55,143 @@ def _csv(value: str) -> tuple[str, ...]:
     return items
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    # Imported here so `repro info` stays instant.
-    from repro.analysis.fleet import render_backend_comparison, render_fleet_table
-    from repro.runtime import backends as _backends
-    from repro.runtime.fleet import run_fleet, run_grid
-    from repro.runtime.sweep_store import SweepStore
-    from repro.scenarios import ScenarioGrid, available
+# ----------------------------------------------------------------------
+# The shared study executor (sweep and study both land here)
+# ----------------------------------------------------------------------
 
-    if args.list_axes:
-        for axis in ("problem", "steering", "delays", "machine"):
-            print(f"{axis}: {', '.join(available(axis))}")
-        print(
-            "backend: "
-            f"{', '.join(_backends.available_backends('model'))} (--kind engine); "
-            f"{', '.join(_backends.available_backends('machine'))} (--kind simulator)"
+def _grid_shape(config) -> str:
+    """``2 problems x 2 delay models x 2 policies x 3 seeds`` banner text."""
+    shape = f"{len(config.problems)} problems x "
+    if config.kind == "engine":
+        shape += (
+            f"{len(config.delays)} delay models x "
+            f"{len(config.steerings)} policies"
         )
-        return 0
+    else:
+        shape += f"{len(config.machines)} machines"
+    if len(config.solver.backends) > 1:
+        shape += f" x {len(config.solver.backends)} backends"
+    return shape + f" x {config.n_seeds} seeds"
 
-    kind = args.kind
-    if kind is None:
-        # Derive the scenario kind from the requested backends; pure
-        # model backends mean an engine sweep, machine backends a
-        # simulator sweep.  No backend keeps the engine default.
-        kind = "engine"
-        if args.backend:
-            try:
-                kinds = {_backends.backend_kind(b) for b in args.backend}
-            except KeyError as exc:
-                print(f"sweep: {exc.args[0]}", file=sys.stderr)
-                return 2
-            if kinds == {"machine"}:
-                kind = "simulator"
-            elif kinds != {"model"}:
-                if "algorithm" in kinds:
-                    msg = (
-                        f"sweep: backends {args.backend} include algorithm-kind "
-                        "comparators, which are not sweepable; use model backends "
-                        "(engine sweeps) or machine backends (simulator sweeps)"
-                    )
-                else:
-                    msg = (
-                        f"sweep: backends {args.backend} mix kinds {sorted(kinds)}; "
-                        "a sweep needs all-model or all-machine backends"
-                    )
-                print(msg, file=sys.stderr)
-                return 2
 
-    try:
-        grid = ScenarioGrid(
-            problems=args.problems,
-            kind=kind,
-            steerings=args.steering,
-            delays=args.delays,
-            machines=args.machines,
-            n_seeds=args.seeds,
-            master_seed=args.master_seed,
-            backends=args.backend,
+def _execute_study(
+    config,
+    *,
+    prog: str,
+    resume: bool,
+    json_path: "str | None" = None,
+    print_digest: bool = False,
+) -> int:
+    """Run one validated StudyConfig, printing the standard banners/report."""
+    from repro.api.study import Study
+    from repro.runtime.sweep_store import SweepStore
+
+    study = Study(config)
+    specs = study.specs()
+    print(
+        f"{prog}: {len(specs)} scenarios ({_grid_shape(config)}), "
+        f"executor={config.execution.executor}"
+    )
+    out_dir = config.store.out
+    if resume:
+        try:
+            store = SweepStore(out_dir, create=False)
+        except FileNotFoundError:
+            print(f"{prog}: no sweep store at {out_dir} to resume", file=sys.stderr)
+            return 2
+        # The same completeness rule run_grid applies, so the banner
+        # and what actually re-executes cannot disagree.
+        done = sum(
+            1 for s in specs
+            if store.load_complete_result(s, require_trace=config.store.keep_traces)
+            is not None
+        )
+        print(f"{prog}: resuming from {out_dir}: {done}/{len(specs)} "
+              "scenarios already complete")
+
+    result = study.run(resume=resume)
+    if out_dir is not None:
+        print(f"{prog}: results in {out_dir} "
+              + ("(traces kept)" if config.store.keep_traces else ""))
+
+    print(result.report(title=None))
+    if print_digest:
+        print(f"{prog}: determinism digest {result.digest()}")
+
+    for r in result.failures():
+        print(f"FAILED {r.key}: {r.error}", file=sys.stderr)
+    if json_path is not None:
+        pathlib.Path(json_path).write_text(result.fleet.to_json())
+        print(f"wrote {json_path}")
+    return 1 if result.failures() else 0
+
+
+# ----------------------------------------------------------------------
+# sweep: legacy flags, now a thin shim that builds a StudyConfig
+# ----------------------------------------------------------------------
+
+def _cmd_list_axes() -> int:
+    """Axis tables rendered from registry introspection (no hand lists)."""
+    from repro.runtime import backends as _backends
+    from repro.scenarios.registry import describe_axes
+
+    for axis, entries in describe_axes().items():
+        print(f"{axis}:")
+        for e in entries:
+            print(f"  {e.describe():<44}  {e.summary}")
+    print(
+        "backend: "
+        f"{', '.join(_backends.available_backends('model'))} (--kind engine); "
+        f"{', '.join(_backends.available_backends('machine'))} (--kind simulator)"
+    )
+    return 0
+
+
+def _sweep_config(args: argparse.Namespace):
+    """Compile the legacy sweep flags into a validated StudyConfig."""
+    from repro.api.config import (
+        ExecutionSpec,
+        ReportSpec,
+        SolverRef,
+        StoreSpec,
+        StudyConfig,
+        infer_kind,
+    )
+
+    backends = tuple(args.backend) if args.backend else ()
+    out_dir = args.out if args.resume is None else args.resume
+    return StudyConfig(
+        name="sweep",
+        problems=tuple(args.problems),
+        solver=SolverRef(
+            kind=infer_kind(backends, args.kind),
+            backends=backends,
             max_iterations=args.max_iterations,
             tol=args.tol,
-        )
-    except (KeyError, ValueError) as exc:
-        msg = exc.args[0] if exc.args else str(exc)
-        print(f"sweep: {msg}", file=sys.stderr)
-        return 2
-    out_dir = args.out
+        ),
+        steerings=tuple(args.steering),
+        delays=tuple(args.delays),
+        machines=tuple(args.machines),
+        n_seeds=args.seeds,
+        master_seed=args.master_seed,
+        store=StoreSpec(
+            out=out_dir,
+            resume=args.resume is not None,
+            keep_traces=args.keep_traces,
+        ),
+        report=ReportSpec(group_by=args.group_by or ()),
+        execution=ExecutionSpec(executor=args.executor, max_workers=args.workers),
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list_axes:
+        return _cmd_list_axes()
+
+    # Path conflicts are CLI-level mistakes; keep their messages stable.
     if args.resume is not None:
         resume_path = pathlib.Path(args.resume)
-        if out_dir is not None and pathlib.Path(out_dir).resolve() != resume_path.resolve():
+        if args.out is not None and pathlib.Path(args.out).resolve() != resume_path.resolve():
             print("sweep: --out and --resume point at different stores", file=sys.stderr)
             return 2
         if not (resume_path / "manifest.json").is_file():
@@ -123,69 +200,99 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # scatter store files there.
             print(f"sweep: no sweep store at {args.resume} to resume", file=sys.stderr)
             return 2
-        out_dir = args.resume
-    if args.keep_traces and out_dir is None:
+    if args.keep_traces and args.out is None and args.resume is None:
         print("sweep: --keep-traces requires --out (or --resume)", file=sys.stderr)
         return 2
 
-    specs = grid.expand()
-    print(
-        f"sweep: {len(specs)} scenarios "
-        f"({len(grid.problems)} problems x "
-        + (
-            f"{len(grid.delays)} delay models x {len(grid.steerings)} policies"
-            if kind == "engine"
-            else f"{len(grid.machines)} machines"
-        )
-        + (f" x {len(grid.backends)} backends" if len(grid.backends) > 1 else "")
-        + f" x {args.seeds} seeds), executor={args.executor}"
+    try:
+        config = _sweep_config(args)
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"sweep: {msg}", file=sys.stderr)
+        return 2
+    return _execute_study(
+        config, prog="sweep", resume=args.resume is not None, json_path=args.json
     )
-    if out_dir is not None:
-        store = SweepStore(out_dir)
-        if args.resume is not None:
-            # The same completeness rule run_grid applies, so the
-            # banner and what actually re-executes cannot disagree.
-            done = sum(
-                1 for s in specs
-                if store.load_complete_result(s, require_trace=args.keep_traces)
-                is not None
+
+
+# ----------------------------------------------------------------------
+# study: the declarative front door
+# ----------------------------------------------------------------------
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    import dataclasses
+    import tomllib
+
+    from repro.api.config import ExecutionSpec, StudyConfig
+    from repro.api.study import Study
+    from repro.api.toml_io import load_study_file
+
+    try:
+        doc = load_study_file(args.study_file)
+    except FileNotFoundError:
+        print(f"study: no such study file: {args.study_file}", file=sys.stderr)
+        return 2
+    except (tomllib.TOMLDecodeError, json.JSONDecodeError) as exc:
+        print(f"study: cannot parse {args.study_file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        config = StudyConfig.from_dict(doc)
+        if args.out is not None or args.keep_traces:
+            config = config.with_store(
+                args.out, keep_traces=True if args.keep_traces else None
             )
-            print(f"sweep: resuming from {out_dir}: {done}/{len(specs)} "
-                  "scenarios already complete")
-        fleet = run_grid(
-            specs,
-            store=store,
-            resume=store if args.resume is not None else None,
-            keep_traces=args.keep_traces,
-            executor=args.executor,
-            max_workers=args.workers,
+        if args.executor is not None or args.workers is not None:
+            config = dataclasses.replace(
+                config,
+                execution=ExecutionSpec(
+                    executor=args.executor or config.execution.executor,
+                    max_workers=(
+                        args.workers if args.workers is not None
+                        else config.execution.max_workers
+                    ),
+                ),
+            )
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"study: {msg}", file=sys.stderr)
+        return 2
+
+    if args.verb == "report":
+        try:
+            result = Study(config).result()
+        except (FileNotFoundError, ValueError) as exc:
+            msg = exc.args[0] if exc.args else str(exc)
+            print(f"study: {msg}", file=sys.stderr)
+            return 2
+        total = config.size
+        print(f"study: {config.name!r} from {config.store.out}: "
+              f"{result.scenario_count}/{total} scenarios complete")
+        print(result.report())
+        print(f"study: determinism digest {result.digest()}")
+        if args.json is not None:
+            pathlib.Path(args.json).write_text(result.fleet.to_json())
+            print(f"wrote {args.json}")
+        return 0
+
+    resume = args.verb == "resume" or config.store.resume
+    if resume and config.store.out is None:
+        print("study: resume needs a store: set [store] out or pass --out",
+              file=sys.stderr)
+        return 2
+    try:
+        return _execute_study(
+            config, prog="study", resume=resume, json_path=args.json,
+            print_digest=True,
         )
-        print(f"sweep: results in {out_dir} "
-              + ("(traces kept)" if args.keep_traces else ""))
-    else:
-        fleet = run_fleet(specs, executor=args.executor, max_workers=args.workers)
+    except ValueError as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"study: {msg}", file=sys.stderr)
+        return 2
 
-    multi_backend = len(grid.backends) > 1
-    group_by = args.group_by
-    if group_by is None:
-        group_by = ("problem", "delays") if kind == "engine" else ("problem", "machine")
-        if multi_backend:
-            group_by = group_by + ("backend",)
-    metrics = ("iterations", "converged", "final_residual")
-    if kind == "simulator":
-        metrics = metrics + ("sim_time",)
-    print(render_fleet_table(fleet, group_by=group_by, metrics=metrics, title=None))
-    if multi_backend:
-        pivot_by = ("problem", "delays") if kind == "engine" else ("problem", "machine")
-        print(render_backend_comparison(fleet, metric="iterations", group_by=pivot_by))
 
-    for r in fleet.failures():
-        print(f"FAILED {r.key}: {r.error}", file=sys.stderr)
-    if args.json is not None:
-        pathlib.Path(args.json).write_text(fleet.to_json())
-        print(f"wrote {args.json}")
-    return 1 if fleet.failures() else 0
-
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -203,7 +310,9 @@ def main(argv: list[str] | None = None) -> int:
         description=(
             "Expand a declarative scenario grid (problem x delay model x "
             "steering policy x seeds, or problem x machine x seeds) and "
-            "execute it concurrently, printing per-group medians."
+            "execute it concurrently, printing per-group medians.  These "
+            "flags build a StudyConfig: `python -m repro study` runs the "
+            "same thing from a declarative TOML/JSON file."
         ),
     )
     sweep.add_argument("--kind", choices=("engine", "simulator"), default=None,
@@ -250,7 +359,34 @@ def main(argv: list[str] | None = None) -> int:
                             "--out/--resume; traces record via a disk-spilling "
                             "store, so memory stays bounded)")
     sweep.add_argument("--list-axes", action="store_true",
-                       help="print registered axis names and exit")
+                       help="print registered axis names, parameters and "
+                            "defaults (from registry introspection) and exit")
+
+    study = sub.add_parser(
+        "study",
+        help="run/resume/report a declarative study file",
+        description=(
+            "Execute a declarative study: a TOML (or JSON) StudyConfig "
+            "naming problems, solver backends, grid axes, store and report "
+            "options.  `run` executes it, `resume` completes an interrupted "
+            "store bit-identically, `report` renders a (possibly partial) "
+            "store without running anything."
+        ),
+    )
+    study.add_argument("verb", choices=("run", "resume", "report"),
+                       help="what to do with the study")
+    study.add_argument("study_file", metavar="STUDY",
+                       help="path to the study config (.toml or .json)")
+    study.add_argument("--out", default=None, metavar="DIR",
+                       help="override the config's [store] out directory")
+    study.add_argument("--keep-traces", action="store_true",
+                       help="override the config to persist realized traces")
+    study.add_argument("--executor", choices=("auto", "serial", "thread", "process"),
+                       default=None, help="override the config's executor")
+    study.add_argument("--workers", type=int, default=None,
+                       help="override the config's pool width cap")
+    study.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the full FleetResult as JSON")
 
     args = parser.parse_args(argv)
     try:
@@ -262,6 +398,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args.exp_id)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "study":
+            return _cmd_study(args)
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
         return 0

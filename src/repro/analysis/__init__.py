@@ -14,6 +14,7 @@ from repro.analysis.fleet import (
     fleet_summary_rows,
     render_backend_comparison,
     render_fleet_table,
+    render_study_report,
 )
 from repro.analysis.rates import (
     RateFit,
@@ -43,6 +44,7 @@ __all__ = [
     "render_fleet_table",
     "render_schedule",
     "render_series",
+    "render_study_report",
     "render_table",
     "speedup",
     "time_to_tolerance",

@@ -30,6 +30,7 @@ __all__ = [
     "render_fleet_table",
     "backend_comparison_rows",
     "render_backend_comparison",
+    "render_study_report",
     "ThroughputComparison",
     "compare_throughput",
 ]
@@ -131,6 +132,46 @@ def render_backend_comparison(
     """Monospace pivot table of one metric across execution backends."""
     headers, rows = backend_comparison_rows(fleet, metric=metric, group_by=group_by)
     return render_table(headers, rows, title=title)
+
+
+def render_study_report(
+    fleet: FleetResult,
+    *,
+    kind: str = "engine",
+    group_by: Sequence[str] | None = None,
+    metrics: Sequence[str] | None = None,
+    backend_metric: str = "iterations",
+    title: str | None = None,
+) -> str:
+    """The standard study report: grouped medians + cross-backend pivot.
+
+    One rendering shared by ``python -m repro sweep``/``study`` and
+    :meth:`repro.api.StudyResult.report`, so the CLI and the Python API
+    cannot drift apart.  ``group_by``/``metrics`` default to
+    kind-appropriate choices (engine studies group by problem × delay
+    regime, simulator studies by problem × machine and add
+    ``sim_time``); when the fleet spans several execution backends the
+    grouping gains a ``backend`` column and the pivot table is appended.
+    """
+    backends = {r.spec.backend for r in fleet.results}
+    multi_backend = len(backends) > 1
+    pivot_by = ("problem", "delays") if kind == "engine" else ("problem", "machine")
+    if group_by is None:
+        group_by = pivot_by + (("backend",) if multi_backend else ())
+    if metrics is None:
+        metrics = ("iterations", "converged", "final_residual")
+        if kind == "simulator":
+            metrics = metrics + ("sim_time",)
+    out = render_fleet_table(
+        fleet, group_by=tuple(group_by), metrics=tuple(metrics), title=title
+    )
+    if multi_backend:
+        out += "\n" + render_backend_comparison(
+            fleet,
+            metric=backend_metric,
+            group_by=tuple(g for g in pivot_by if g != "backend"),
+        )
+    return out
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,74 @@
+"""One front door: the declarative Study API.
+
+Everything the library can do — solve one scenario, sweep a grid,
+stream results into a resumable store, render reports — is reachable
+from this package through one object (:class:`Study`) and one file
+format (:class:`StudyConfig`, serialized as TOML or JSON):
+
+>>> from repro.api import solve
+>>> bool(solve("jacobi", seed=0).converged)
+True
+
+The same study three ways::
+
+    # Python one-liner
+    result = repro.sweep(problems=("jacobi", "tridiagonal"),
+                         delays=("uniform",), n_seeds=3)
+
+    # Declarative file (study.toml) + loader
+    study = repro.load_study("study.toml")
+    result = study.run()
+
+    # CLI
+    #   python -m repro study run study.toml --out results/
+
+All three compile to the same :class:`~repro.scenarios.spec.ScenarioGrid`
+and :func:`~repro.runtime.fleet.run_grid` call — the Study layer adds
+no second execution path.
+"""
+
+from repro.api.config import (
+    ComponentRef,
+    DelayRef,
+    ExecutionSpec,
+    MachineRef,
+    ProblemRef,
+    ReportSpec,
+    SolverRef,
+    SteeringRef,
+    StoreSpec,
+    StudyConfig,
+    infer_kind,
+)
+from repro.api.study import (
+    SolveOutcome,
+    Study,
+    StudyResult,
+    load_study,
+    solve,
+    sweep,
+)
+from repro.api.toml_io import dumps_toml, load_study_file, loads_toml
+
+__all__ = [
+    "ComponentRef",
+    "DelayRef",
+    "ExecutionSpec",
+    "MachineRef",
+    "ProblemRef",
+    "ReportSpec",
+    "SolveOutcome",
+    "SolverRef",
+    "SteeringRef",
+    "StoreSpec",
+    "Study",
+    "StudyConfig",
+    "StudyResult",
+    "dumps_toml",
+    "infer_kind",
+    "load_study",
+    "load_study_file",
+    "loads_toml",
+    "solve",
+    "sweep",
+]

@@ -1,0 +1,104 @@
+"""Study-file serialization: TOML out, TOML/JSON in.
+
+The standard library ships a TOML *parser* (:mod:`tomllib`) but no
+writer, so :func:`dumps_toml` implements the small subset a
+:class:`~repro.api.config.StudyConfig` document needs: top-level
+scalars, ``[section]`` tables whose nested dicts render as inline
+tables, and ``[[array-of-tables]]`` entries for the grid axes.  The
+emitted text parses back (``tomllib.loads``) into the exact document it
+was produced from — the bit-identical round-trip the Study layer's
+content hashing relies on — which is pinned by
+``tests/api/test_study_config.py``.
+
+TOML has no null: ``None`` values must be dropped by the caller before
+emission (``StudyConfig.to_dict`` omits them), and a stray ``None``
+raises instead of silently corrupting the file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import tomllib
+from typing import Any, Mapping
+
+__all__ = ["dumps_toml", "loads_toml", "load_study_file"]
+
+
+def _scalar(value: Any) -> str:
+    """One TOML value: bool/int/float/str, or an inline array/table."""
+    if value is None:
+        raise TypeError("TOML has no null; drop None-valued keys before emission")
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        out = repr(value)
+        # TOML floats need a decimal point or exponent; repr(2.0) has one.
+        return out
+    if isinstance(value, str):
+        # JSON string escaping is valid TOML basic-string escaping.
+        return json.dumps(value)
+    if isinstance(value, Mapping):
+        inner = ", ".join(f"{_key(k)} = {_scalar(v)}" for k, v in value.items())
+        return "{" + (f" {inner} " if inner else "") + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_scalar(v) for v in value) + "]"
+    raise TypeError(f"cannot serialize {type(value).__name__} to TOML")
+
+
+def _key(key: str) -> str:
+    """Bare key when possible, quoted otherwise."""
+    if key and all(c.isalnum() or c in "-_" for c in key):
+        return key
+    return json.dumps(key)
+
+
+def dumps_toml(doc: Mapping[str, Any]) -> str:
+    """Serialize a plain-data document as TOML text.
+
+    Top-level scalars come first (TOML's parsing rule), then one
+    ``[section]`` per dict value, then ``[[name]]`` blocks for lists of
+    dicts.  Nested dicts inside sections render as inline tables.
+    """
+    scalars: list[str] = []
+    tables: list[str] = []
+    for key, value in doc.items():
+        if isinstance(value, Mapping):
+            tables.append(f"\n[{_key(key)}]")
+            tables.extend(
+                f"{_key(k)} = {_scalar(v)}" for k, v in value.items()
+            )
+        elif (
+            isinstance(value, (list, tuple))
+            and value
+            and all(isinstance(v, Mapping) for v in value)
+        ):
+            for item in value:
+                tables.append(f"\n[[{_key(key)}]]")
+                tables.extend(
+                    f"{_key(k)} = {_scalar(v)}" for k, v in item.items()
+                )
+        else:
+            scalars.append(f"{_key(key)} = {_scalar(value)}")
+    return "\n".join([*scalars, *tables]) + "\n"
+
+
+def loads_toml(text: str) -> dict[str, Any]:
+    """Parse TOML text into a plain dict (:mod:`tomllib`)."""
+    return tomllib.loads(text)
+
+
+def load_study_file(path: "str | pathlib.Path") -> dict[str, Any]:
+    """Read a study document from ``.toml`` or ``.json`` by suffix."""
+    path = pathlib.Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        return json.loads(text)
+    return loads_toml(text)

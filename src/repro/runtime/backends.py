@@ -326,9 +326,9 @@ def get_backend(name: str) -> ExecutionBackend:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise KeyError(
-            f"unknown backend {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
-        ) from None
+        from repro.utils.naming import unknown_name_message
+
+        raise KeyError(unknown_name_message("backend", name, sorted(_REGISTRY))) from None
 
 
 def available_backends(kind: str | None = None) -> tuple[str, ...]:

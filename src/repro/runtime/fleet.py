@@ -51,6 +51,7 @@ from repro.utils.serialization import json_safe
 __all__ = [
     "ScenarioResult",
     "FleetResult",
+    "execute_scenario",
     "run_scenario",
     "run_fleet",
     "run_grid",
@@ -215,6 +216,18 @@ class FleetResult:
             rows.append(row)
         return rows
 
+    def digest(self) -> str:
+        """SHA-256 certificate over the deterministic per-scenario fields.
+
+        Matches :meth:`repro.runtime.sweep_store.SweepStore.digest` for
+        a store holding the same completed scenarios, so an in-memory
+        fleet and its persisted twin certify equality without a store
+        ever existing (failed scenarios are excluded from both sides).
+        """
+        from repro.runtime.sweep_store import digest_rows
+
+        return digest_rows((r.content_hash, r) for r in self.ok())
+
     # -- persistence --------------------------------------------------
     def to_json(self) -> str:
         """JSON document with per-scenario records and fleet stats."""
@@ -294,6 +307,28 @@ def _run_scenario_inner(
     spill_dir: "str | os.PathLike[str] | None" = None,
     trace_chunk_size: int | None = None,
 ) -> ScenarioResult:
+    summary, _ = execute_scenario(
+        spec, trace_dir=trace_dir, spill_dir=spill_dir,
+        trace_chunk_size=trace_chunk_size,
+    )
+    return summary
+
+
+def execute_scenario(
+    spec: ScenarioSpec,
+    *,
+    trace_dir: "str | os.PathLike[str] | None" = None,
+    spill_dir: "str | os.PathLike[str] | None" = None,
+    trace_chunk_size: int | None = None,
+) -> "tuple[ScenarioResult, Any]":
+    """Run one spec, returning ``(summary, backend_result)``.
+
+    The second element is the full
+    :class:`~repro.runtime.backends.BackendRunResult` — final iterate,
+    realized trace, backend stats — for callers (``repro.solve``) that
+    need more than the fleet's scalar summary.  Unlike
+    :func:`run_scenario` this *raises* on scenario errors.
+    """
     # Imported lazily: keeps fleet importable without dragging the
     # whole library into every worker before it is needed.
     from repro.analysis.rates import time_to_tolerance
@@ -373,7 +408,7 @@ def _run_scenario_inner(
         and trace.times is not None
     ):
         ttt = time_to_tolerance(trace.residuals, trace.times, spec.tol)
-    return ScenarioResult(
+    summary = ScenarioResult(
         key=spec.key,
         spec=spec,
         iterations=res.iterations,
@@ -386,6 +421,7 @@ def _run_scenario_inner(
         info=json_safe(res.stats) or {},
         trace_path=trace_path,
     )
+    return summary, res
 
 
 # ----------------------------------------------------------------------

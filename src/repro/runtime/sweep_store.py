@@ -44,10 +44,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.fleet import FleetResult, ScenarioResult
     from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["SweepStore"]
+__all__ = ["SweepStore", "DIGEST_FIELDS", "digest_rows"]
 
 _MANIFEST = "manifest.json"
 _FLEET = "fleet.json"
+
+#: ScenarioResult fields that are functions of the spec alone (for
+#: deterministic backends) — wall-clock fields are excluded.
+DIGEST_FIELDS = (
+    "iterations", "converged", "final_residual", "final_error",
+    "sim_time", "time_to_tol",
+)
+
+
+def digest_rows(pairs: "Iterable[tuple[str, ScenarioResult]]") -> str:
+    """SHA-256 over ``(content_hash, deterministic fields)`` pairs.
+
+    The one digest algorithm shared by :meth:`SweepStore.digest` and
+    :meth:`repro.runtime.fleet.FleetResult.digest`, so a live fleet and
+    a store that persisted the same scenarios certify equality.  Pairs
+    are hashed in content-hash order, making the digest independent of
+    completion/enumeration order.
+    """
+    h = hashlib.sha256()
+    for ch, row in sorted(pairs, key=lambda p: p[0]):
+        payload = {f: getattr(row, f) for f in DIGEST_FIELDS}
+        h.update(ch.encode())
+        h.update(json.dumps(payload, sort_keys=True).encode())
+    return h.hexdigest()
 
 
 def _atomic_write(path: pathlib.Path, text: str) -> None:
@@ -221,12 +245,8 @@ class SweepStore:
         )
 
     # -- determinism ---------------------------------------------------
-    #: ScenarioResult fields that are functions of the spec alone (for
-    #: deterministic backends) — wall-clock fields are excluded.
-    DIGEST_FIELDS = (
-        "iterations", "converged", "final_residual", "final_error",
-        "sim_time", "time_to_tol",
-    )
+    #: Shared with FleetResult.digest (see module-level DIGEST_FIELDS).
+    DIGEST_FIELDS = DIGEST_FIELDS
 
     def digest(self, hashes: "Iterable[str] | None" = None) -> str:
         """SHA-256 over the deterministic fields of completed rows.
@@ -237,19 +257,18 @@ class SweepStore:
         benchmark harness pin.  The default scope is the manifest's
         scenario list (falling back to every row on manifest-less
         stores), so rows left behind by a *different* grid that reused
-        the directory don't pollute the certificate.
+        the directory don't pollute the certificate.  The algorithm is
+        :func:`digest_rows`, shared with
+        :meth:`~repro.runtime.fleet.FleetResult.digest`.
         """
         if hashes is None:
             try:
                 hashes = self.manifest_hashes()
             except FileNotFoundError:
                 hashes = self.completed()
-        h = hashlib.sha256()
-        for ch in sorted(hashes):
+        rows = []
+        for ch in hashes:
             row = self.load_result_by_hash(ch)
-            if row is None:
-                continue
-            payload = {f: getattr(row, f) for f in self.DIGEST_FIELDS}
-            h.update(ch.encode())
-            h.update(json.dumps(payload, sort_keys=True).encode())
-        return h.hexdigest()
+            if row is not None:
+                rows.append((ch, row))
+        return digest_rows(rows)

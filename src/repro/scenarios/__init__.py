@@ -22,12 +22,19 @@ from repro.scenarios.registry import (
     DELAY_FACTORIES,
     MACHINE_FACTORIES,
     PROBLEM_FACTORIES,
+    REGISTRY,
+    SCENARIO_AXES,
     STEERING_FACTORIES,
+    Registry,
+    RegistryEntry,
     available,
+    describe_axes,
+    entry,
     make_delays,
     make_machine,
     make_problem,
     make_steering,
+    register,
 )
 from repro.scenarios.spec import ScenarioGrid, ScenarioSpec
 
@@ -35,12 +42,19 @@ __all__ = [
     "DELAY_FACTORIES",
     "MACHINE_FACTORIES",
     "PROBLEM_FACTORIES",
+    "REGISTRY",
+    "Registry",
+    "RegistryEntry",
+    "SCENARIO_AXES",
     "STEERING_FACTORIES",
     "ScenarioGrid",
     "ScenarioSpec",
     "available",
+    "describe_axes",
+    "entry",
     "make_delays",
     "make_machine",
     "make_problem",
     "make_steering",
+    "register",
 ]

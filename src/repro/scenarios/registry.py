@@ -1,21 +1,35 @@
-"""Name -> factory registries backing declarative scenario specs.
+"""The unified ingredient registry backing declarative scenario specs.
 
-Every entry is a plain function of ``(seed, **params)`` (problems) or
-``(n, seed, **params)`` (steering, delays, machines) returning fully
-constructed library objects.  Scenario specs refer to entries by
-string name, which keeps them picklable across process boundaries and
-stable across library refactors; ``python -m repro sweep --list-axes``
-prints the tables.
+Every scenario ingredient — problems (operator factories), steering
+policies, delay models, machine archetypes — registers into one
+generic :class:`Registry` under a ``(kind, name)`` address via the
+:meth:`Registry.register` decorator.  Entries are plain functions of
+``(seed, **params)`` (problems) or ``(n, seed, **params)`` (steering,
+delays, machines) returning fully constructed library objects; their
+tunable parameters are declared keyword-only, so the registry can
+introspect names and defaults from the signature alone.  That
+introspection is the single source of truth rendered by
+``python -m repro sweep --list-axes``, the Study layer's validation
+errors, and the docs — there is no hand-maintained table to rot.
 
-Seeds arrive as :class:`numpy.random.SeedSequence` children spawned
-per scenario by :meth:`repro.scenarios.spec.ScenarioGrid.expand`, so
-two scenarios never share a stream no matter how the fleet schedules
-them.
+Scenario specs refer to entries by string name, which keeps them
+picklable across process boundaries and stable across library
+refactors.  Seeds arrive as :class:`numpy.random.SeedSequence`
+children spawned per scenario by
+:meth:`repro.scenarios.spec.ScenarioGrid.expand`, so two scenarios
+never share a stream no matter how the fleet schedules them.
+
+The execution-*backend* registry (``exact``/``vectorized``/...) lives
+in :mod:`repro.runtime.backends`; :func:`describe_axes` merges both
+views for the CLI.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+import inspect
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
@@ -29,7 +43,11 @@ from repro.delays.outoforder import OutOfOrderDelay, ShuffledWindowDelay
 from repro.delays.unbounded import BaudetSqrtDelay, LogGrowthDelay, PowerGrowthDelay
 from repro.operators.gradient import GradientStepOperator
 from repro.operators.linear import jacobi_operator
+from repro.operators.prox_gradient import ForwardBackwardOperator
+from repro.problems.datasets import make_classification, make_regression
+from repro.problems.least_squares import make_lasso, make_ridge
 from repro.problems.linear_system import make_jacobi_instance, tridiagonal_system
+from repro.problems.logistic import make_logistic
 from repro.problems.markov import discounted_value_operator, random_markov_chain
 from repro.problems.quadratic import random_quadratic
 from repro.runtime.simulator import (
@@ -48,153 +66,352 @@ from repro.steering.policies import (
     RandomSubset,
     WeightedRandom,
 )
+from repro.utils.naming import unknown_name_message
 from repro.utils.rng import as_generator
 
 __all__ = [
+    "Registry",
+    "RegistryEntry",
+    "REGISTRY",
+    "SCENARIO_AXES",
     "PROBLEM_FACTORIES",
     "STEERING_FACTORIES",
     "DELAY_FACTORIES",
     "MACHINE_FACTORIES",
     "available",
+    "describe_axes",
+    "entry",
     "make_problem",
     "make_steering",
     "make_delays",
     "make_machine",
+    "register",
 ]
 
 SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+#: The scenario-grid axes, in the order the CLI prints them.
+SCENARIO_AXES = ("problem", "steering", "delays", "machine")
+
+
+# ----------------------------------------------------------------------
+# The generic registry
+# ----------------------------------------------------------------------
+
+def _keyword_defaults(factory: Callable[..., Any]) -> dict[str, Any]:
+    """Tunable parameters of a factory: its keyword-only arguments.
+
+    Positional parameters (``seed``; ``n, seed``) are wiring supplied
+    by the scenario layer, not user-tunable knobs, so only
+    keyword-only parameters advertise as the entry's signature.
+    """
+    out: dict[str, Any] = {}
+    for name, p in inspect.signature(factory).parameters.items():
+        if p.kind is inspect.Parameter.KEYWORD_ONLY:
+            out[name] = p.default
+    return out
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered factory plus its introspected metadata."""
+
+    kind: str
+    name: str
+    factory: Callable[..., Any]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    summary: str = ""
+
+    def describe(self) -> str:
+        """``name(param=default, ...)`` — the ``--list-axes``/docs rendering."""
+        params = ", ".join(f"{k}={v!r}" for k, v in self.defaults.items())
+        return f"{self.name}({params})" if params else self.name
+
+    def build(self, *args: Any, **params: Any) -> Any:
+        """Invoke the factory (positional wiring first, tunables after)."""
+        return self.factory(*args, **params)
+
+
+class Registry:
+    """Generic ``(kind, name) -> factory`` registry with introspection.
+
+    Kinds are fixed at construction (an unknown kind is a programming
+    error, loudly reported); names within a kind are open — plugins
+    register at import time with the :meth:`register` decorator, and
+    re-registering a name replaces the previous entry (latest wins) so
+    plugins can shadow built-ins deliberately.
+    """
+
+    def __init__(self, kinds: Iterable[str]) -> None:
+        self._tables: dict[str, dict[str, RegistryEntry]] = {k: {} for k in kinds}
+
+    # -- registration --------------------------------------------------
+    def register(
+        self, kind: str, name: str, *, summary: str | None = None
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator: register a factory under ``(kind, name)``.
+
+        The entry's tunable signature is introspected from the
+        factory's keyword-only parameters; ``summary`` defaults to the
+        first line of the factory's docstring.
+        """
+        table = self._table(kind)
+
+        def deco(factory: Callable[..., Any]) -> Callable[..., Any]:
+            doc = summary
+            if doc is None:
+                # `or [""]` guards whitespace-only docstrings.
+                doc = ((factory.__doc__ or "").strip().splitlines() or [""])[0]
+            table[name] = RegistryEntry(
+                kind=kind,
+                name=name,
+                factory=factory,
+                defaults=MappingProxyType(_keyword_defaults(factory)),
+                summary=doc,
+            )
+            return factory
+
+        return deco
+
+    # -- lookup --------------------------------------------------------
+    def _table(self, kind: str) -> dict[str, RegistryEntry]:
+        try:
+            return self._tables[kind]
+        except KeyError:
+            raise KeyError(
+                f"unknown axis {kind!r}; choose from {sorted(self._tables)}"
+            ) from None
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def names(self, kind: str) -> tuple[str, ...]:
+        """Registered names for one kind, sorted."""
+        return tuple(sorted(self._table(kind)))
+
+    def entries(self, kind: str) -> tuple[RegistryEntry, ...]:
+        """Registered entries for one kind, sorted by name."""
+        table = self._table(kind)
+        return tuple(table[n] for n in sorted(table))
+
+    def get(self, kind: str, name: str) -> RegistryEntry:
+        """The entry at ``(kind, name)``; KeyError with did-you-mean."""
+        table = self._table(kind)
+        try:
+            return table[name]
+        except KeyError:
+            raise KeyError(unknown_name_message(kind, name, sorted(table))) from None
+
+    def make(self, kind: str, name: str, *args: Any, **params: Any) -> Any:
+        """Look up and invoke a factory in one step."""
+        return self.get(kind, name).build(*args, **params)
+
+    def factories(self, kind: str) -> "_FactoryView":
+        """Live name -> factory mapping view of one kind's table."""
+        return _FactoryView(self, kind)
+
+
+class _FactoryView(Mapping):
+    """Read-only live ``name -> factory`` view (backward compatibility).
+
+    The historical ``PROBLEM_FACTORIES``-style module dicts are now
+    views over the unified registry, so late plugin registrations show
+    up without re-import.
+    """
+
+    def __init__(self, registry: Registry, kind: str) -> None:
+        self._registry = registry
+        self._kind = kind
+
+    def __getitem__(self, name: str) -> Callable[..., Any]:
+        return self._registry.get(self._kind, name).factory
+
+    def __iter__(self):
+        return iter(self._registry.names(self._kind))
+
+    def __len__(self) -> int:
+        return len(self._registry.names(self._kind))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FactoryView kind={self._kind!r} names={self._registry.names(self._kind)}>"
+
+
+#: The process-wide scenario-ingredient registry.
+REGISTRY = Registry(SCENARIO_AXES)
+
+#: Module-level decorator: ``@register("problem", "mine")``.
+register = REGISTRY.register
 
 
 # ----------------------------------------------------------------------
 # Problems: (seed, **params) -> FixedPointOperator
 # ----------------------------------------------------------------------
 
+@register("problem", "jacobi")
 def _problem_jacobi(seed: Any, *, n: int = 24, dominance: float = 0.4) -> Any:
+    """Diagonally dominant linear system under the Jacobi splitting."""
     return make_jacobi_instance(n, dominance, seed=seed)
 
 
+@register("problem", "tridiagonal")
 def _problem_tridiagonal(seed: Any, *, n: int = 24, off_diag: float = -1.0,
                          diag: float = 2.3) -> Any:
+    """Tridiagonal (discrete-Laplacian-like) system, Jacobi splitting."""
     M, c = tridiagonal_system(n, off_diag=off_diag, diag=diag, seed=seed)
     return jacobi_operator(M, c)
 
 
+@register("problem", "quadratic")
 def _problem_quadratic(seed: Any, *, n: int = 24, condition: float = 8.0,
                        coupling: float = 0.6) -> Any:
+    """Random strongly convex quadratic, maximal gradient step."""
     problem = random_quadratic(n, condition, coupling=coupling, seed=seed)
     gamma = 1.8 / (problem.mu + problem.lipschitz)
     return GradientStepOperator(problem, gamma)
 
 
+@register("problem", "markov")
 def _problem_markov(seed: Any, *, n: int = 24, beta: float = 0.85,
                     density: float = 0.4) -> Any:
+    """Discounted Markov value-iteration operator."""
     rng = as_generator(seed)
     P = random_markov_chain(n, density=density, seed=rng)
     rewards = rng.uniform(0.0, 1.0, size=n)
     return discounted_value_operator(P, rewards, beta)
 
 
-PROBLEM_FACTORIES: dict[str, Callable[..., Any]] = {
-    "jacobi": _problem_jacobi,
-    "tridiagonal": _problem_tridiagonal,
-    "quadratic": _problem_quadratic,
-    "markov": _problem_markov,
-}
+@register("problem", "lasso")
+def _problem_lasso(seed: Any, *, n_samples: int = 120, n_features: int = 32,
+                   sparsity: float = 0.5, l1: float = 0.05,
+                   l2: float = 0.05) -> Any:
+    """Lasso instance of problem (4): forward-backward prox-gradient operator."""
+    data = make_regression(
+        n_samples, n_features, sparsity=sparsity, seed=as_generator(seed)
+    )
+    problem = make_lasso(data, l1=l1, l2=l2)
+    return ForwardBackwardOperator(problem, problem.smooth.max_step())
+
+
+@register("problem", "ridge")
+def _problem_ridge(seed: Any, *, n_samples: int = 120, n_features: int = 32,
+                   l2: float = 0.1) -> Any:
+    """Ridge regression: smooth strongly convex forward-backward operator."""
+    data = make_regression(n_samples, n_features, seed=as_generator(seed))
+    problem = make_ridge(data, l2=l2)
+    return ForwardBackwardOperator(problem, problem.smooth.max_step())
+
+
+@register("problem", "logistic")
+def _problem_logistic(seed: Any, *, n_samples: int = 120, n_features: int = 24,
+                      separation: float = 1.5, l2: float = 0.1) -> Any:
+    """L2-regularized logistic regression on a synthetic classification task."""
+    data = make_classification(
+        n_samples, n_features, separation=separation, seed=as_generator(seed)
+    )
+    problem = make_logistic(data, l2=l2)
+    return ForwardBackwardOperator(problem, problem.smooth.max_step())
 
 
 # ----------------------------------------------------------------------
 # Steering policies: (n, seed, **params) -> SteeringPolicy
 # ----------------------------------------------------------------------
 
+@register("steering", "all")
 def _steer_all(n: int, seed: Any) -> Any:
+    """Every component every iteration (synchronous steering)."""
     return AllComponents(n)
 
 
+@register("steering", "cyclic")
 def _steer_cyclic(n: int, seed: Any) -> Any:
+    """One component per iteration, round-robin."""
     return CyclicSingle(n)
 
 
+@register("steering", "block-cyclic")
 def _steer_block_cyclic(n: int, seed: Any, *, group_size: int = 4) -> Any:
+    """Contiguous blocks, round-robin."""
     return BlockCyclic(n, min(group_size, n))
 
 
+@register("steering", "random-subset")
 def _steer_random_subset(n: int, seed: Any, *, p: float = 0.3) -> Any:
+    """Independent Bernoulli(p) inclusion per component."""
     return RandomSubset(n, p, seed=as_generator(seed))
 
 
+@register("steering", "weighted")
 def _steer_weighted(n: int, seed: Any, *, spread: float = 4.0) -> Any:
+    """Single component drawn from geometrically spread weights."""
     weights = np.geomspace(1.0, spread, n)
     return WeightedRandom(weights, seed=as_generator(seed))
 
 
+@register("steering", "permutation-sweeps")
 def _steer_sweeps(n: int, seed: Any) -> Any:
+    """Shuffled single-component sweeps (every component once per sweep)."""
     return PermutationSweeps(n, seed=as_generator(seed))
-
-
-STEERING_FACTORIES: dict[str, Callable[..., Any]] = {
-    "all": _steer_all,
-    "cyclic": _steer_cyclic,
-    "block-cyclic": _steer_block_cyclic,
-    "random-subset": _steer_random_subset,
-    "weighted": _steer_weighted,
-    "permutation-sweeps": _steer_sweeps,
-}
 
 
 # ----------------------------------------------------------------------
 # Delay models: (n, seed, **params) -> DelayModel
 # ----------------------------------------------------------------------
 
+@register("delays", "zero")
 def _delay_zero(n: int, seed: Any) -> Any:
+    """No staleness (synchronous reads)."""
     return ZeroDelay(n)
 
 
+@register("delays", "constant")
 def _delay_constant(n: int, seed: Any, *, delay: int = 3) -> Any:
+    """Every read exactly ``delay`` iterations stale."""
     return ConstantDelay(n, delay)
 
 
+@register("delays", "uniform")
 def _delay_uniform(n: int, seed: Any, *, bound: int = 6) -> Any:
+    """IID uniform staleness in ``[0, bound]``."""
     return UniformRandomDelay(n, bound, seed=as_generator(seed))
 
 
+@register("delays", "chaotic")
 def _delay_chaotic(n: int, seed: Any, *, bound: int = 8) -> Any:
+    """Chaotic-relaxation style bursty bounded delays."""
     return ChaoticRelaxationDelay(n, bound, seed=as_generator(seed))
 
 
+@register("delays", "baudet-sqrt")
 def _delay_baudet(n: int, seed: Any) -> Any:
+    """Baudet's sqrt(j) unbounded delays on a random slow quarter."""
     rng = as_generator(seed)
     slow = sorted(int(i) for i in rng.choice(n, size=max(1, n // 4), replace=False))
     return BaudetSqrtDelay(n, slow)
 
 
+@register("delays", "log-growth")
 def _delay_log_growth(n: int, seed: Any, *, scale: float = 2.0) -> Any:
+    """Unbounded delays growing like ``scale * log(j)``."""
     return LogGrowthDelay(n, scale=scale)
 
 
+@register("delays", "power")
 def _delay_power(n: int, seed: Any, *, alpha: float = 0.7) -> Any:
+    """Unbounded delays growing like ``j**alpha``."""
     return PowerGrowthDelay(n, alpha=alpha)
 
 
+@register("delays", "out-of-order")
 def _delay_out_of_order(n: int, seed: Any, *, bound: int = 6) -> Any:
+    """Uniform delays with message reordering."""
     rng = as_generator(seed)
     return OutOfOrderDelay(UniformRandomDelay(n, bound, seed=rng), seed=rng)
 
 
+@register("delays", "shuffled-window")
 def _delay_shuffled(n: int, seed: Any, *, window: int = 12) -> Any:
+    """Reads shuffled within a sliding window."""
     return ShuffledWindowDelay(n, window, seed=as_generator(seed))
-
-
-DELAY_FACTORIES: dict[str, Callable[..., Any]] = {
-    "zero": _delay_zero,
-    "constant": _delay_constant,
-    "uniform": _delay_uniform,
-    "chaotic": _delay_chaotic,
-    "baudet-sqrt": _delay_baudet,
-    "log-growth": _delay_log_growth,
-    "power": _delay_power,
-    "out-of-order": _delay_out_of_order,
-    "shuffled-window": _delay_shuffled,
-}
 
 
 # ----------------------------------------------------------------------
@@ -209,8 +426,10 @@ def _partition(n: int, n_processors: int) -> list[tuple[int, ...]]:
     return [tuple(range(bounds[p], bounds[p + 1])) for p in range(n_processors)]
 
 
+@register("machine", "uniform")
 def _machine_uniform(n: int, seed: Any, *, n_processors: int = 4,
                      latency: float = 0.05) -> Any:
+    """Homogeneous cluster, uniform compute times, low latency."""
     procs = [
         ProcessorSpec(components=comps, compute_time=UniformTime(0.8, 1.2))
         for comps in _partition(n, n_processors)
@@ -218,8 +437,10 @@ def _machine_uniform(n: int, seed: Any, *, n_processors: int = 4,
     return procs, uniform_cluster(n_processors, latency=latency)
 
 
+@register("machine", "heterogeneous")
 def _machine_heterogeneous(n: int, seed: Any, *, n_processors: int = 4,
                            imbalance: float = 4.0, latency: float = 0.05) -> Any:
+    """Geometrically imbalanced processor speeds (stragglers)."""
     scales = np.geomspace(1.0, imbalance, n_processors)
     procs = [
         ProcessorSpec(components=comps, compute_time=UniformTime(0.8 * s, 1.2 * s))
@@ -228,8 +449,10 @@ def _machine_heterogeneous(n: int, seed: Any, *, n_processors: int = 4,
     return procs, uniform_cluster(n_processors, latency=latency)
 
 
+@register("machine", "flexible")
 def _machine_flexible(n: int, seed: Any, *, n_processors: int = 4,
                       inner_steps: int = 3, latency: float = 0.2) -> Any:
+    """Flexible communication: inner steps, partial publishes, refreshed reads."""
     procs = [
         ProcessorSpec(
             components=comps,
@@ -243,8 +466,10 @@ def _machine_flexible(n: int, seed: Any, *, n_processors: int = 4,
     return procs, ChannelSpec(latency=ConstantTime(latency))
 
 
+@register("machine", "wan")
 def _machine_wan(n: int, seed: Any, *, n_processors: int = 4,
                  base_latency: float = 0.3, drop_prob: float = 0.02) -> Any:
+    """Wide-area network: high heterogeneous latency, occasional drops."""
     procs = [
         ProcessorSpec(components=comps, compute_time=UniformTime(0.8, 1.2))
         for comps in _partition(n, n_processors)
@@ -256,8 +481,10 @@ def _machine_wan(n: int, seed: Any, *, n_processors: int = 4,
     return procs, channels
 
 
+@register("machine", "lossy")
 def _machine_lossy(n: int, seed: Any, *, n_processors: int = 4,
                    drop_prob: float = 0.05) -> Any:
+    """Lossy reordering channels (out-of-order messages in simulation)."""
     procs = [
         ProcessorSpec(components=comps, compute_time=UniformTime(0.8, 1.2))
         for comps in _partition(n, n_processors)
@@ -266,59 +493,50 @@ def _machine_lossy(n: int, seed: Any, *, n_processors: int = 4,
     return procs, spec
 
 
-MACHINE_FACTORIES: dict[str, Callable[..., Any]] = {
-    "uniform": _machine_uniform,
-    "heterogeneous": _machine_heterogeneous,
-    "flexible": _machine_flexible,
-    "wan": _machine_wan,
-    "lossy": _machine_lossy,
-}
+# ----------------------------------------------------------------------
+# Backward-compatible module-level tables (live views)
+# ----------------------------------------------------------------------
+
+PROBLEM_FACTORIES = REGISTRY.factories("problem")
+STEERING_FACTORIES = REGISTRY.factories("steering")
+DELAY_FACTORIES = REGISTRY.factories("delays")
+MACHINE_FACTORIES = REGISTRY.factories("machine")
 
 
 # ----------------------------------------------------------------------
 # Lookup helpers
 # ----------------------------------------------------------------------
 
-_TABLES: dict[str, Mapping[str, Callable[..., Any]]] = {
-    "problem": PROBLEM_FACTORIES,
-    "steering": STEERING_FACTORIES,
-    "delays": DELAY_FACTORIES,
-    "machine": MACHINE_FACTORIES,
-}
-
-
 def available(axis: str) -> tuple[str, ...]:
     """Registered names for one axis (``problem``/``steering``/``delays``/``machine``)."""
-    try:
-        return tuple(sorted(_TABLES[axis]))
-    except KeyError:
-        raise KeyError(f"unknown axis {axis!r}; choose from {sorted(_TABLES)}") from None
+    return REGISTRY.names(axis)
 
 
-def _lookup(axis: str, name: str) -> Callable[..., Any]:
-    table = _TABLES[axis]
-    if name not in table:
-        raise KeyError(
-            f"unknown {axis} {name!r}; registered: {', '.join(sorted(table))}"
-        )
-    return table[name]
+def entry(axis: str, name: str) -> RegistryEntry:
+    """The registered entry (factory + introspected defaults) for a name."""
+    return REGISTRY.get(axis, name)
+
+
+def describe_axes() -> dict[str, tuple[RegistryEntry, ...]]:
+    """Every scenario axis with its entries — the ``--list-axes`` source."""
+    return {axis: REGISTRY.entries(axis) for axis in SCENARIO_AXES}
 
 
 def make_problem(name: str, seed: SeedLike = 0, **params: Any) -> Any:
     """Instantiate a registered problem operator."""
-    return _lookup("problem", name)(seed, **params)
+    return REGISTRY.make("problem", name, seed, **params)
 
 
 def make_steering(name: str, n: int, seed: SeedLike = 0, **params: Any) -> Any:
     """Instantiate a registered steering policy for ``n`` components."""
-    return _lookup("steering", name)(n, seed, **params)
+    return REGISTRY.make("steering", name, n, seed, **params)
 
 
 def make_delays(name: str, n: int, seed: SeedLike = 0, **params: Any) -> Any:
     """Instantiate a registered delay model for ``n`` components."""
-    return _lookup("delays", name)(n, seed, **params)
+    return REGISTRY.make("delays", name, n, seed, **params)
 
 
 def make_machine(name: str, n: int, seed: SeedLike = 0, **params: Any) -> Any:
     """Instantiate a registered machine: ``(processors, channels)``."""
-    return _lookup("machine", name)(n, seed, **params)
+    return REGISTRY.make("machine", name, n, seed, **params)

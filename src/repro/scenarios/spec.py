@@ -75,6 +75,7 @@ def _check_backend(backend: str | None, kind: str) -> str:
     import time (and must not cycle through ``repro.runtime``).
     """
     from repro.runtime import backends as _backends
+    from repro.utils.naming import unknown_name_message
 
     want = _KIND_TO_BACKEND_KIND[kind]
     if backend is None:
@@ -83,7 +84,8 @@ def _check_backend(backend: str | None, kind: str) -> str:
         got = _backends.backend_kind(backend)
     except KeyError:
         raise ValueError(
-            f"unknown backend {backend!r}; registered for kind={kind!r}: "
+            unknown_name_message("backend", backend, _backends.available_backends())
+            + f"; kind={kind!r} scenarios take: "
             f"{', '.join(_backends.available_backends(want))}"
         ) from None
     if got != want:
@@ -103,10 +105,7 @@ def _normalize_axis(items: Iterable[Any], axis: str) -> tuple[tuple[str, dict[st
         else:
             name, params = item
             params = dict(params)
-        if name not in registry.available(axis):
-            raise KeyError(
-                f"unknown {axis} {name!r}; registered: {', '.join(registry.available(axis))}"
-            )
+        registry.entry(axis, name)  # KeyError with did-you-mean on typos
         out.append((name, params))
     if not out:
         raise ValueError(f"grid axis {axis!r} must not be empty")

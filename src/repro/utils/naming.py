@@ -1,0 +1,39 @@
+"""Uniform unknown-name errors with did-you-mean suggestions.
+
+Every registry in the library (scenario axes, execution backends, the
+Study layer's refs) funnels its lookup failures through
+:func:`unknown_name_message`, so a typo'd name produces the same shape
+of message everywhere: what was unknown, the closest registered
+spellings, and the full list to pick from.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, Sequence
+
+__all__ = ["suggest", "unknown_name_message"]
+
+
+def suggest(name: str, candidates: Iterable[str], *, limit: int = 3) -> tuple[str, ...]:
+    """Closest registered spellings to ``name`` (possibly empty)."""
+    return tuple(
+        difflib.get_close_matches(name, list(candidates), n=limit, cutoff=0.5)
+    )
+
+
+def unknown_name_message(
+    label: str, name: str, registered: Sequence[str]
+) -> str:
+    """``unknown <label> '<name>'; did you mean ...? registered: ...``.
+
+    ``label`` is the human name of the namespace (``"problem"``,
+    ``"backend"``, ...).  The did-you-mean clause only appears when
+    :mod:`difflib` finds plausible candidates, so messages never point
+    at wild guesses.
+    """
+    msg = f"unknown {label} {name!r}"
+    hints = suggest(name, registered)
+    if hints:
+        msg += "; did you mean " + " or ".join(repr(h) for h in hints) + "?"
+    return msg + f" (registered: {', '.join(sorted(registered))})"

@@ -1,0 +1,63 @@
+"""The package front door: lazy exports and the executable Quickstart."""
+
+from __future__ import annotations
+
+import doctest
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_all_matches_docstring_tour(self):
+        for name in ("solve", "sweep", "load_study", "Study", "StudyConfig",
+                     "StudyResult", "ScenarioSpec", "ScenarioGrid",
+                     "FleetResult", "run_fleet", "run_grid", "SweepStore"):
+            assert name in repro.__all__, name
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_dir_includes_lazy_names(self):
+        listing = dir(repro)
+        assert "solve" in listing and "StudyConfig" in listing
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'nope'"):
+            repro.nope
+
+    def test_import_stays_light(self):
+        # `import repro` must not drag in NumPy-heavy engine modules —
+        # that's the whole point of the lazy __getattr__ exports.
+        code = (
+            "import sys; import repro; "
+            "heavy = [m for m in ('repro.api', 'repro.runtime', 'repro.core', "
+            "'repro.solvers') if m in sys.modules]; "
+            "print(','.join(heavy) or 'CLEAN')"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True
+        )
+        assert out.stdout.strip() == "CLEAN"
+
+    def test_lazy_access_caches(self):
+        first = repro.solve
+        assert repro.__dict__["solve"] is first  # cached after first access
+
+
+class TestQuickstartDoctest:
+    def test_quickstart_examples_execute(self):
+        """The docstring's Quickstart is executable — it can never rot."""
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 8  # the tour really runs, not a no-op
+
+    def test_api_package_doctest(self):
+        import repro.api
+
+        results = doctest.testmod(repro.api, verbose=False)
+        assert results.failed == 0 and results.attempted >= 1

@@ -38,9 +38,10 @@ class TestRegistry:
             make_problem("definitely-not-registered")
 
     def test_problem_factories_build_operators(self):
+        # Every entry must be constructible with its advertised defaults.
         for name in available("problem"):
-            op = make_problem(name, seed=3, n=10)
-            assert op.dim >= 10 and op.n_components >= 1, name
+            op = make_problem(name, seed=3)
+            assert op.dim >= 1 and op.n_components >= 1, name
 
 
 class TestScenarioSpec:
@@ -345,9 +346,26 @@ class TestPerfSmoke:
 class TestFleetStress:
     """Large-grid stress: every registered axis value, process pool included."""
 
+    @staticmethod
+    def _small_params(name):
+        """Shrink each problem via its introspected tunables (stress != big)."""
+        from repro.scenarios import REGISTRY
+
+        defaults = REGISTRY.get("problem", name).defaults
+        if "n" in defaults:
+            return {"n": 12}
+        small = {}
+        if "n_samples" in defaults:
+            small["n_samples"] = 40
+        if "n_features" in defaults:
+            small["n_features"] = 12
+        return small
+
     def test_full_axes_grid(self):
         grid = ScenarioGrid(
-            problems=tuple((p, {"n": 12}) for p in available("problem")),
+            problems=tuple(
+                (p, self._small_params(p)) for p in available("problem")
+            ),
             delays=available("delays"),
             steerings=("cyclic", "random-subset"),
             n_seeds=2,

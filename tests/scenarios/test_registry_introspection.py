@@ -1,0 +1,135 @@
+"""The unified registry: introspection, defaults, plugins, suggestions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import registry
+from repro.scenarios.registry import (
+    DELAY_FACTORIES,
+    MACHINE_FACTORIES,
+    PROBLEM_FACTORIES,
+    REGISTRY,
+    SCENARIO_AXES,
+    STEERING_FACTORIES,
+    Registry,
+    describe_axes,
+)
+
+
+class TestEveryEntryConstructibleWithDefaults:
+    """Every registered entry must build with its advertised defaults.
+
+    This is the contract behind ``--list-axes``: anything the registry
+    advertises (names *and* default parameters) must actually work.
+    """
+
+    N = 12
+
+    def test_problems(self):
+        for entry in REGISTRY.entries("problem"):
+            op = entry.build(3, **dict(entry.defaults))
+            assert op.dim >= 1 and op.n_components >= 1, entry.name
+
+    def test_steering(self):
+        for entry in REGISTRY.entries("steering"):
+            policy = entry.build(self.N, 3, **dict(entry.defaults))
+            subset = policy.active_set(1)
+            assert subset and all(0 <= i < self.N for i in subset), entry.name
+
+    def test_delays(self):
+        for entry in REGISTRY.entries("delays"):
+            model = entry.build(self.N, 3, **dict(entry.defaults))
+            labels = model.labels(5)
+            assert len(labels) == self.N, entry.name
+
+    def test_machines(self):
+        for entry in REGISTRY.entries("machine"):
+            procs, channels = entry.build(self.N, 3, **dict(entry.defaults))
+            covered = sorted(i for p in procs for i in p.components)
+            assert covered == list(range(self.N)), entry.name
+
+
+class TestIntrospection:
+    def test_defaults_are_keyword_only_params(self):
+        entry = REGISTRY.get("problem", "jacobi")
+        assert dict(entry.defaults) == {"n": 24, "dominance": 0.4}
+        # Positional wiring (seed / n, seed) never advertises as tunable.
+        assert "seed" not in entry.defaults
+
+    def test_describe_renders_defaults(self):
+        assert REGISTRY.get("delays", "uniform").describe() == "uniform(bound=6)"
+        assert REGISTRY.get("steering", "cyclic").describe() == "cyclic"
+
+    def test_entries_have_summaries(self):
+        for axis in SCENARIO_AXES:
+            for entry in REGISTRY.entries(axis):
+                assert entry.summary, (axis, entry.name)
+
+    def test_describe_axes_covers_all(self):
+        axes = describe_axes()
+        assert tuple(axes) == SCENARIO_AXES
+        assert {e.name for e in axes["problem"]} == set(registry.available("problem"))
+
+    def test_whitespace_docstring_registers(self):
+        reg = Registry(("thing",))
+
+        @reg.register("thing", "blank")
+        def _blank():
+            """   """
+            return None
+
+        assert reg.get("thing", "blank").summary == ""
+
+    def test_factory_views_stay_live(self):
+        reg = Registry(("thing",))
+
+        view = reg.factories("thing")
+        assert len(view) == 0
+
+        @reg.register("thing", "one")
+        def _one():
+            """One."""
+            return 1
+
+        assert view["one"] is _one and list(view) == ["one"]
+
+    def test_backcompat_tables(self):
+        assert "jacobi" in PROBLEM_FACTORIES
+        assert "cyclic" in STEERING_FACTORIES
+        assert "uniform" in DELAY_FACTORIES and "uniform" in MACHINE_FACTORIES
+        assert callable(PROBLEM_FACTORIES["jacobi"])
+
+
+class TestSuggestions:
+    def test_close_typo_suggests(self):
+        with pytest.raises(KeyError) as exc:
+            REGISTRY.get("problem", "jacobbi")
+        assert "did you mean 'jacobi'" in exc.value.args[0]
+
+    def test_wild_typo_lists_registered_without_guess(self):
+        with pytest.raises(KeyError) as exc:
+            REGISTRY.get("problem", "zzzzz")
+        msg = exc.value.args[0]
+        assert "did you mean" not in msg and "registered:" in msg
+
+    def test_unknown_axis(self):
+        with pytest.raises(KeyError, match="unknown axis"):
+            REGISTRY.names("nope")
+
+
+class TestPluginRegistration:
+    def test_register_shadow_and_restore(self):
+        original = REGISTRY.get("steering", "cyclic")
+
+        @registry.register("steering", "cyclic")
+        def _shadow(n, seed):
+            """Shadowed for the test."""
+            return original.build(n, seed)
+
+        try:
+            assert REGISTRY.get("steering", "cyclic").factory is _shadow
+            assert callable(STEERING_FACTORIES["cyclic"])
+        finally:
+            REGISTRY._tables["steering"]["cyclic"] = original
+        assert REGISTRY.get("steering", "cyclic") is original
