@@ -30,6 +30,15 @@ raw throughput, both measured on the same workload:
   records and persists every scenario's realized trace
   (``keep_traces``, disk-spilling ``TraceStore``), which must stay
   bounded instead of scaling with scenario count x trace length.
+
+The sharded execution layer adds a third axis: **dispatch overhead**.
+A separate many-small-scenarios workload (hundreds of engine scenarios
+of a few iterations each — the regime where per-task pickle/IPC and
+future bookkeeping dominate) runs once with per-task dispatch
+(``chunk_size=1``, the PR-4 behavior) and once with cost-balanced
+chunked dispatch (``chunk_size="auto"``) on the same process pool.
+The acceptance bar is >= 1.5x scenarios/sec for chunked dispatch, with
+bit-identical results (equal determinism digests).
 """
 
 from __future__ import annotations
@@ -66,6 +75,19 @@ STUDY = StudyConfig(
 )
 WORKLOAD = STUDY.to_grid()
 
+#: The dispatch-overhead workload: many tiny engine scenarios, so the
+#: per-task cost of pickling, queueing and future bookkeeping is the
+#: dominant term rather than the math.
+MANY_SMALL_STUDY = StudyConfig(
+    name="fleet-dispatch",
+    problems=(("jacobi", {"n": 6}),),
+    solver=SolverRef(kind="engine", max_iterations=4, tol=0.0),
+    delays=("zero", "uniform"),
+    n_seeds=160,  # 320 scenarios of ~a millisecond each
+    master_seed=7,
+)
+MANY_SMALL = MANY_SMALL_STUDY.to_grid()
+
 
 def run_throughput():
     baseline_grid = dataclasses.replace(WORKLOAD, backends="reference")
@@ -73,7 +95,22 @@ def run_throughput():
     fleet = fleet_run(WORKLOAD, executor="auto")
     fleet_serial = fleet_run(WORKLOAD, executor="serial")
     results_layer = run_results_layer()
-    return baseline, fleet, fleet_serial, results_layer
+    dispatch = run_dispatch()
+    return baseline, fleet, fleet_serial, results_layer, dispatch
+
+
+def run_dispatch():
+    """Chunked vs per-task dispatch on the many-small-scenarios workload."""
+    from repro.runtime.fleet import run_fleet
+
+    specs = MANY_SMALL.expand()
+    serial = run_fleet(specs, executor="serial")
+    per_task = run_fleet(specs, executor="process", chunk_size=1)
+    chunked = run_fleet(specs, executor="process", chunk_size="auto")
+    # Same specs, same seeds: dispatch strategy must never leak into
+    # the results.
+    assert serial.digest() == per_task.digest() == chunked.digest()
+    return serial, per_task, chunked
 
 
 def run_results_layer():
@@ -107,7 +144,9 @@ def run_results_layer():
 
 
 def test_fleet_throughput(benchmark):
-    baseline, fleet, fleet_serial, results_layer = once(benchmark, run_throughput)
+    baseline, fleet, fleet_serial, results_layer, dispatch = once(
+        benchmark, run_throughput
+    )
     assert not baseline.failures() and not fleet.failures()
 
     cmp_total = compare_throughput(baseline, fleet)
@@ -141,7 +180,24 @@ def test_fleet_throughput(benchmark):
         results_rows,
         title=f"streaming results layer, same {baseline.scenario_count}-scenario workload",
     )
-    emit("fleet_throughput", f"{table}\n\n{results_table}")
+
+    d_serial, d_per_task, d_chunked = dispatch
+    chunked_speedup = compare_throughput(d_per_task, d_chunked).speedup
+    dispatch_rows = [
+        ["serial (no pool, no dispatch cost)", d_serial.wall_time,
+         d_serial.scenarios_per_sec, "-"],
+        ["process pool, per-task dispatch (chunk_size=1)", d_per_task.wall_time,
+         d_per_task.scenarios_per_sec, 1.0],
+        ["process pool, chunked dispatch (chunk_size=auto)", d_chunked.wall_time,
+         d_chunked.scenarios_per_sec, chunked_speedup],
+    ]
+    dispatch_table = render_table(
+        ["dispatch strategy", "wall s", "scenarios/s", "vs per-task"],
+        dispatch_rows,
+        title=(f"{d_serial.scenario_count} many-small scenarios "
+               f"({MANY_SMALL.max_iterations} iterations each)"),
+    )
+    emit("fleet_throughput", f"{table}\n\n{results_table}\n\n{dispatch_table}")
 
     payload = {
         "workload": {
@@ -164,6 +220,14 @@ def test_fleet_throughput(benchmark):
             "trace_disk_mb": results_layer["trace_file_bytes"] / 1e6,
             "trace_files": results_layer["trace_files"],
         },
+        "dispatch": {
+            "scenarios": d_serial.scenario_count,
+            "max_iterations": MANY_SMALL.max_iterations,
+            "serial_scenarios_per_sec": d_serial.scenarios_per_sec,
+            "per_task_scenarios_per_sec": d_per_task.scenarios_per_sec,
+            "chunked_scenarios_per_sec": d_chunked.scenarios_per_sec,
+            "chunked_vs_per_task_speedup": chunked_speedup,
+        },
     }
     TRAJECTORY_FILE.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -171,5 +235,9 @@ def test_fleet_throughput(benchmark):
     for rb, rf in zip(baseline.results, fleet.results):
         assert rb.iterations == rf.iterations, (rb.key, rf.key)
         assert rb.final_residual == rf.final_residual, (rb.key, rf.key)
-    # The acceptance bar: the fleet at least doubles scenarios/sec.
+    # The acceptance bars: the fleet at least doubles scenarios/sec,
+    # and chunked dispatch buys >= 1.5x on many small scenarios.
     assert cmp_total.speedup >= 2.0, f"fleet speedup {cmp_total.speedup:.2f}x < 2x"
+    assert chunked_speedup >= 1.5, (
+        f"chunked dispatch speedup {chunked_speedup:.2f}x < 1.5x"
+    )

@@ -1,10 +1,13 @@
-"""Command-line interface: ``python -m repro {info,list,run,sweep,study}``.
+"""Command-line interface: ``python -m repro {info,list,run,sweep,study,store}``.
 
 ``sweep`` and ``study`` are two spellings of the same thing: both build
 a :class:`~repro.api.config.StudyConfig` and execute it through
 :class:`~repro.api.study.Study` — ``sweep`` from legacy flags (kept
 stable), ``study`` from a declarative ``.toml``/``.json`` file with
-``run``/``resume``/``report`` verbs.
+``run``/``resume``/``report`` verbs.  ``study run --shard i/k`` runs
+one content-hash-stable shard of the grid (one host of ``k``), and
+``store merge`` recombines the per-host stores into one whose
+determinism digest matches a single-host run bit for bit.
 """
 
 from __future__ import annotations
@@ -55,6 +58,36 @@ def _csv(value: str) -> tuple[str, ...]:
     return items
 
 
+def _shard(value: str) -> tuple[int, int]:
+    """``"i/k"`` (1-based, e.g. ``2/4``) -> 0-based ``(index, num_shards)``."""
+    try:
+        i_text, k_text = value.split("/", 1)
+        i, k = int(i_text), int(k_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like i/k (e.g. 2/4), got {value!r}"
+        ) from None
+    if k < 1 or not 1 <= i <= k:
+        raise argparse.ArgumentTypeError(
+            f"shard needs 1 <= i <= k, got {value!r}"
+        )
+    return (i - 1, k)
+
+
+def _chunk_size(value: str) -> "int | str":
+    if value == "auto":
+        return "auto"
+    try:
+        size = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f'chunk size must be "auto" or a positive int, got {value!r}'
+        ) from None
+    if size < 1:
+        raise argparse.ArgumentTypeError(f"chunk size must be >= 1, got {size}")
+    return size
+
+
 # ----------------------------------------------------------------------
 # The shared study executor (sweep and study both land here)
 # ----------------------------------------------------------------------
@@ -81,17 +114,22 @@ def _execute_study(
     resume: bool,
     json_path: "str | None" = None,
     print_digest: bool = False,
+    shard: "tuple[int, int] | None" = None,
+    cache: "bool | None" = None,
 ) -> int:
     """Run one validated StudyConfig, printing the standard banners/report."""
     from repro.api.study import Study
     from repro.runtime.sweep_store import SweepStore
 
     study = Study(config)
-    specs = study.specs()
-    print(
+    specs = study.shard_specs(shard)
+    banner = (
         f"{prog}: {len(specs)} scenarios ({_grid_shape(config)}), "
         f"executor={config.execution.executor}"
     )
+    if shard is not None:
+        banner += f", shard {shard[0] + 1}/{shard[1]} of {config.size} scenarios"
+    print(banner)
     out_dir = config.store.out
     if resume:
         try:
@@ -109,7 +147,7 @@ def _execute_study(
         print(f"{prog}: resuming from {out_dir}: {done}/{len(specs)} "
               "scenarios already complete")
 
-    result = study.run(resume=resume)
+    result = study.run(resume=resume, shard=shard, cache=cache)
     if out_dir is not None:
         print(f"{prog}: results in {out_dir} "
               + ("(traces kept)" if config.store.keep_traces else ""))
@@ -143,6 +181,11 @@ def _cmd_list_axes() -> int:
         "backend: "
         f"{', '.join(_backends.available_backends('model'))} (--kind engine); "
         f"{', '.join(_backends.available_backends('machine'))} (--kind simulator)"
+    )
+    print(
+        "dispatch: --chunk-size auto|N (cost-balanced pool chunks), "
+        "--cache DIR / REPRO_SWEEP_CACHE (cross-study result cache), "
+        "study run --shard i/k + store merge (multi-host sweeps)"
     )
     return 0
 
@@ -180,7 +223,12 @@ def _sweep_config(args: argparse.Namespace):
             keep_traces=args.keep_traces,
         ),
         report=ReportSpec(group_by=args.group_by or ()),
-        execution=ExecutionSpec(executor=args.executor, max_workers=args.workers),
+        execution=ExecutionSpec(
+            executor=args.executor,
+            max_workers=args.workers,
+            chunk_size=args.chunk_size,
+            cache_dir=args.cache,
+        ),
     )
 
 
@@ -211,7 +259,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"sweep: {msg}", file=sys.stderr)
         return 2
     return _execute_study(
-        config, prog="sweep", resume=args.resume is not None, json_path=args.json
+        config, prog="sweep", resume=args.resume is not None, json_path=args.json,
+        cache=False if args.no_cache else None,
     )
 
 
@@ -241,7 +290,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
             config = config.with_store(
                 args.out, keep_traces=True if args.keep_traces else None
             )
-        if args.executor is not None or args.workers is not None:
+        overrides = (args.executor, args.workers, args.chunk_size, args.cache)
+        if any(v is not None for v in overrides):
             config = dataclasses.replace(
                 config,
                 execution=ExecutionSpec(
@@ -250,11 +300,25 @@ def _cmd_study(args: argparse.Namespace) -> int:
                         args.workers if args.workers is not None
                         else config.execution.max_workers
                     ),
+                    chunk_size=(
+                        args.chunk_size if args.chunk_size is not None
+                        else config.execution.chunk_size
+                    ),
+                    cache_dir=(
+                        args.cache if args.cache is not None
+                        else config.execution.cache_dir
+                    ),
                 ),
             )
     except (KeyError, ValueError) as exc:
         msg = exc.args[0] if exc.args else str(exc)
         print(f"study: {msg}", file=sys.stderr)
+        return 2
+
+    if args.shard is not None and args.verb == "report":
+        # A report always reads the whole store; "report one shard"
+        # has no store of its own to read.
+        print("study: --shard applies to run/resume, not report", file=sys.stderr)
         return 2
 
     if args.verb == "report":
@@ -282,12 +346,48 @@ def _cmd_study(args: argparse.Namespace) -> int:
     try:
         return _execute_study(
             config, prog="study", resume=resume, json_path=args.json,
-            print_digest=True,
+            print_digest=True, shard=args.shard,
+            cache=False if args.no_cache else None,
         )
     except ValueError as exc:
         msg = exc.args[0] if exc.args else str(exc)
         print(f"study: {msg}", file=sys.stderr)
         return 2
+
+
+# ----------------------------------------------------------------------
+# store: inspect and recombine sweep stores
+# ----------------------------------------------------------------------
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.runtime.sweep_store import SweepStore
+
+    if args.store_verb == "merge":
+        try:
+            shards = [SweepStore(p, create=False) for p in args.shards]
+        except FileNotFoundError as exc:
+            print(f"store: {exc}", file=sys.stderr)
+            return 2
+        merged = SweepStore(args.out).merge(*shards)
+        hashes = merged.manifest_hashes()
+        done = len(merged.completed() & set(hashes))
+        print(
+            f"store: merged {len(shards)} shard store"
+            f"{'s' if len(shards) != 1 else ''} into {args.out}: "
+            f"{done}/{len(hashes)} scenarios complete"
+        )
+        print(f"store: determinism digest {merged.digest()}")
+        return 0
+    if args.store_verb == "digest":
+        try:
+            store = SweepStore(args.store_dir, create=False)
+        except FileNotFoundError as exc:
+            print(f"store: {exc}", file=sys.stderr)
+            return 2
+        print(store.digest())
+        return 0
+    print(f"store: unknown verb {args.store_verb!r}", file=sys.stderr)
+    return 2
 
 
 # ----------------------------------------------------------------------
@@ -341,6 +441,19 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--executor", choices=("auto", "serial", "thread", "process"),
                        default="auto")
     sweep.add_argument("--workers", type=int, default=None, help="pool width cap")
+    sweep.add_argument("--chunk-size", type=_chunk_size, default="auto",
+                       metavar="N|auto",
+                       help="scenarios per dispatched pool task (default auto: "
+                            "cost-balanced chunks, ~4 tasks per worker; 1 = "
+                            "per-task dispatch)")
+    sweep.add_argument("--cache", default=None, metavar="DIR",
+                       help="cross-study result cache: completed scenarios are "
+                            "looked up there by content hash before executing "
+                            "and written back after (default: the "
+                            "REPRO_SWEEP_CACHE environment variable)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache even when "
+                            "REPRO_SWEEP_CACHE is set")
     sweep.add_argument("--group-by", type=_csv, default=None,
                        help="spec fields for the median table (default: problem,delays)")
     sweep.add_argument("--json", default=None, metavar="PATH",
@@ -385,8 +498,48 @@ def main(argv: list[str] | None = None) -> int:
                        default=None, help="override the config's executor")
     study.add_argument("--workers", type=int, default=None,
                        help="override the config's pool width cap")
+    study.add_argument("--chunk-size", type=_chunk_size, default=None,
+                       metavar="N|auto",
+                       help="override the config's dispatch chunk size "
+                            "(auto: cost-balanced chunks; 1: per-task dispatch)")
+    study.add_argument("--shard", type=_shard, default=None, metavar="i/k",
+                       help="run only shard i of k (1-based, e.g. 2/4): a "
+                            "content-hash-stable, seed-preserving slice of the "
+                            "grid; run each shard on its own host with its own "
+                            "--out store, then recombine with "
+                            "`python -m repro store merge`")
+    study.add_argument("--cache", default=None, metavar="DIR",
+                       help="override the config's cross-study result cache "
+                            "directory (default: [execution] cache_dir, else "
+                            "the REPRO_SWEEP_CACHE environment variable)")
+    study.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache for this invocation")
     study.add_argument("--json", default=None, metavar="PATH",
                        help="also write the full FleetResult as JSON")
+
+    store = sub.add_parser(
+        "store",
+        help="inspect/merge content-addressed sweep stores",
+        description=(
+            "Operate on sweep-store directories.  `merge` recombines the "
+            "per-host stores of a sharded study into one store whose "
+            "determinism digest is bit-identical to a single-host run; "
+            "`digest` prints a store's digest for cross-host comparison."
+        ),
+    )
+    store_sub = store.add_subparsers(dest="store_verb", required=True)
+    merge = store_sub.add_parser(
+        "merge", help="merge shard stores into one certified store"
+    )
+    merge.add_argument("--out", required=True, metavar="DIR",
+                       help="destination store (created if missing; merging "
+                            "into an existing store is incremental)")
+    merge.add_argument("shards", nargs="+", metavar="SHARD",
+                       help="shard store directories to merge in")
+    digest = store_sub.add_parser(
+        "digest", help="print a store's determinism digest"
+    )
+    digest.add_argument("store_dir", metavar="DIR", help="sweep store directory")
 
     args = parser.parse_args(argv)
     try:
@@ -400,6 +553,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "study":
             return _cmd_study(args)
+        if args.command == "store":
+            return _cmd_store(args)
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
         return 0

@@ -86,8 +86,14 @@ def render_fleet_table(
     """Monospace per-group median table plus a fleet footer line."""
     headers, rows = fleet_summary_rows(fleet, group_by=group_by, metrics=metrics)
     table = render_table(headers, rows, title=title)
+    # A store-reassembled fleet (no live aggregate) reports the *sum*
+    # of its rows' wall times — honest cumulative compute, labelled as
+    # such rather than passed off as one run's wall clock.
+    wall = f"{fleet.wall_time:.2f}s"
+    if fleet.executor == "store":
+        wall += " cumulative"
     footer = (
-        f"{fleet.scenario_count} scenarios in {fleet.wall_time:.2f}s "
+        f"{fleet.scenario_count} scenarios in {wall} "
         f"({fleet.scenarios_per_sec:.2f}/s, executor={fleet.executor}, "
         f"workers={fleet.max_workers}, failures={len(fleet.failures())})"
     )

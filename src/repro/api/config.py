@@ -301,10 +301,23 @@ class ReportSpec:
 
 @dataclass(frozen=True)
 class ExecutionSpec:
-    """Fleet execution knobs: executor choice and pool width."""
+    """Fleet execution knobs: executor, pool width, dispatch, cache.
+
+    ``chunk_size`` controls how many scenarios ride in one dispatched
+    pool task (``"auto"``: cost-balanced chunks, ~4 tasks per worker;
+    ``1``: per-task dispatch).  ``cache_dir`` names the cross-study
+    result cache consulted by content hash before any scenario
+    executes (``None`` defers to the ``REPRO_SWEEP_CACHE`` environment
+    variable at run time).  Both change only *how fast* results
+    arrive, never their bits, so neither participates in defaults-only
+    documents: they are omitted from :meth:`to_dict` when unset and
+    old study files load unchanged.
+    """
 
     executor: str = "auto"
     max_workers: int | None = None
+    chunk_size: int | str = "auto"
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -313,11 +326,20 @@ class ExecutionSpec:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        from repro.runtime.fleet import _check_chunk_size
+
+        _check_chunk_size(self.chunk_size)
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", str(self.cache_dir))
 
     def to_dict(self) -> dict[str, Any]:
         doc: dict[str, Any] = {"executor": self.executor}
         if self.max_workers is not None:
             doc["max_workers"] = int(self.max_workers)
+        if self.chunk_size != "auto":
+            doc["chunk_size"] = int(self.chunk_size)
+        if self.cache_dir is not None:
+            doc["cache_dir"] = self.cache_dir  # TOML has no null: omit when unset
         return doc
 
 

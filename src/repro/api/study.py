@@ -34,7 +34,6 @@ from repro.runtime.fleet import (
     FleetResult,
     ScenarioResult,
     execute_scenario,
-    run_fleet,
     run_grid,
 )
 from repro.runtime.sweep_store import SweepStore
@@ -232,6 +231,18 @@ class Study:
             f"hash={cfg.content_hash}>"
         )
 
+    def shard_specs(self, shard: "tuple[int, int] | None") -> tuple[ScenarioSpec, ...]:
+        """The specs this host runs: all of them, or one grid shard.
+
+        ``shard`` is ``(index, num_shards)`` with a 0-based index; the
+        split is the content-hash-stable, seed-preserving
+        :meth:`~repro.scenarios.spec.ScenarioGrid.shard`.
+        """
+        if shard is None:
+            return self.specs()
+        index, num_shards = shard
+        return self.config.to_grid().shard(num_shards, index)
+
     # -- execution -----------------------------------------------------
     def run(
         self,
@@ -241,6 +252,9 @@ class Study:
         keep_traces: "bool | None" = None,
         executor: "str | None" = None,
         max_workers: "int | None" = None,
+        chunk_size: "int | str | None" = None,
+        cache: Any = None,
+        shard: "tuple[int, int] | None" = None,
     ) -> "StudyResult":
         """Execute the study's scenario grid through the fleet.
 
@@ -251,6 +265,13 @@ class Study:
         finish; ``resume=True`` additionally requires the store to
         exist and re-executes only the scenarios it is missing —
         bit-identical to an uninterrupted run.
+
+        ``shard=(index, num_shards)`` runs only that content-hash-stable
+        slice of the grid (each host gets its own ``out`` store;
+        recombine with :meth:`~repro.runtime.sweep_store.SweepStore.merge`).
+        ``cache`` overrides the config's ``execution.cache_dir``
+        (``False`` disables caching even when the config or the
+        ``REPRO_SWEEP_CACHE`` environment variable names one).
         """
         cfg = self.config
         out = str(out) if out is not None else cfg.store.out
@@ -258,27 +279,31 @@ class Study:
         keep = cfg.store.keep_traces if keep_traces is None else bool(keep_traces)
         chosen_executor = executor if executor is not None else cfg.execution.executor
         workers = max_workers if max_workers is not None else cfg.execution.max_workers
+        chunks = chunk_size if chunk_size is not None else cfg.execution.chunk_size
+        if cache is None:
+            cache = cfg.execution.cache_dir
 
-        specs = self.specs()
+        specs = self.shard_specs(shard)
         store: SweepStore | None = None
         if out is not None:
             # Resuming demands an existing store: a typo'd path must
             # error, not silently re-run the whole study.
             store = SweepStore(out, create=not do_resume)
-            fleet = run_grid(
-                specs,
-                store=store,
-                resume=store if do_resume else None,
-                keep_traces=keep,
-                executor=chosen_executor,
-                max_workers=workers,
-            )
         else:
             if keep:
                 raise ValueError("keep_traces requires an out directory")
             if do_resume:
                 raise ValueError("resume requires an out directory")
-            fleet = run_fleet(specs, executor=chosen_executor, max_workers=workers)
+        fleet = run_grid(
+            specs,
+            store=store,
+            resume=store if do_resume else None,
+            cache=cache,
+            keep_traces=keep,
+            executor=chosen_executor,
+            max_workers=workers,
+            chunk_size=chunks,
+        )
         return StudyResult(config=cfg, fleet=fleet, store=store)
 
     def resume(self, *, out: "str | pathlib.Path | None" = None, **kwargs: Any) -> "StudyResult":
@@ -448,12 +473,16 @@ def sweep(
     keep_traces: bool = False,
     executor: str = "auto",
     max_workers: "int | None" = None,
+    chunk_size: "int | str" = "auto",
+    cache: "str | pathlib.Path | None" = None,
 ) -> StudyResult:
     """Build a :class:`StudyConfig` from keywords and run it.
 
     The keyword surface mirrors the ``python -m repro sweep`` flags;
     the CLI is a thin shim over exactly this path.  ``kind`` defaults
     to whatever the ``backends`` imply (engine when unspecified).
+    ``cache`` names a cross-study result cache directory (default:
+    the ``REPRO_SWEEP_CACHE`` environment variable).
     """
     from repro.api.config import (
         ExecutionSpec,
@@ -484,7 +513,12 @@ def sweep(
             resume=resume,
             keep_traces=keep_traces,
         ),
-        execution=ExecutionSpec(executor=executor, max_workers=max_workers),
+        execution=ExecutionSpec(
+            executor=executor,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+            cache_dir=None if cache is None else str(cache),
+        ),
     )
     return Study(config).run()
 

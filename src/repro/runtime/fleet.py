@@ -18,17 +18,27 @@ finish*, keyed by the spec's content hash — so a sweep killed at
 scenario 180/200 resumes with ``run_grid(..., resume=store)`` and only
 executes the missing twenty.
 
+Pool dispatch is *chunked*: specs are packed into per-task chunks
+balanced by expected cost (``chunk_size="auto"`` targets about
+``4 × workers`` tasks), so one pickle/IPC round-trip amortizes over
+many scenarios and a pool ``initializer`` pre-imports the registries
+and backends once per worker instead of once per task.  Grids of many
+small scenarios stop being dominated by dispatch overhead; results
+still stream to the store per scenario.
+
 Determinism: every spec carries its own integer seed (spawned
 independently by the grid), and results are returned in submission
 order — so the ``FleetResult`` is bit-identical whether scenarios ran
-serially, on a thread pool, on a process pool, or across an
-interrupted-and-resumed pair of invocations.
+serially, on a thread pool, on a process pool, chunked or per-task, or
+across an interrupted-and-resumed pair of invocations.
 """
 
 from __future__ import annotations
 
 import functools
+import heapq
 import json
+import math
 import os
 import pathlib
 import shutil
@@ -46,9 +56,10 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from repro.scenarios.spec import ScenarioSpec
-from repro.utils.serialization import json_safe
+from repro.utils.serialization import json_safe, strict_finite
 
 __all__ = [
+    "CACHE_ENV_VAR",
     "ScenarioResult",
     "FleetResult",
     "execute_scenario",
@@ -59,11 +70,40 @@ __all__ = [
 
 _EXECUTORS = ("auto", "serial", "thread", "process")
 
+#: Environment variable naming the default cross-study result cache
+#: directory consulted by :func:`run_grid` when ``cache=`` is unset.
+CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
+
 #: Metrics exposed by :meth:`FleetResult.group_medians` / ``to_rows``.
 #: Boolean-valued metrics (``converged``) aggregate as rates, numeric
 #: ones as medians.
 METRIC_FIELDS = ("iterations", "converged", "final_residual", "final_error",
                  "sim_time", "time_to_tol", "wall_time")
+
+#: ScenarioResult fields that may legitimately hold non-finite floats
+#: (a diverged residual is ``inf``, a crashed row's is ``nan``).  They
+#: persist as the JSON-string sentinels below — strictly valid JSON
+#: that still round-trips the inf/nan distinction exactly, unlike a
+#: lossy ``null``.
+_NONFINITE_FIELDS = ("final_residual", "final_error", "sim_time", "time_to_tol")
+_NONFINITE_SENTINELS = {"NaN": float("nan"), "Infinity": float("inf"),
+                        "-Infinity": float("-inf")}
+
+
+def _encode_nonfinite(value: Any) -> Any:
+    """Non-finite float -> its JSON-string sentinel; all else unchanged."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _decode_nonfinite(value: Any) -> Any:
+    """Inverse of :func:`_encode_nonfinite` (sentinel string -> float)."""
+    if isinstance(value, str):
+        return _NONFINITE_SENTINELS.get(value, value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -100,17 +140,26 @@ class ScenarioResult:
 
     # -- persistence --------------------------------------------------
     def to_json_dict(self) -> dict[str, Any]:
-        """Plain-JSON record of this result (specs as field dicts).
+        """Strict-JSON record of this result (specs as field dicts).
 
         The spec persists as its canonical form — the same document
         its content hash digests — so a loaded result reconstructs a
         spec with the *same* content hash as the one that ran (plain
         ``json_safe`` would silently mangle array-valued params).
+        Non-finite floats persist without the non-standard
+        ``NaN``/``Infinity`` literals: the summary fields that
+        legitimately go non-finite (a diverged residual is ``inf``, a
+        crashed one ``nan``) use string sentinels that restore the
+        exact value on load, and anything non-finite buried in the
+        free-form ``info`` stats becomes ``null`` — either way the
+        record stays valid for strict JSON parsers, not just Python's.
         """
         record = asdict(self)
         record["spec"] = self.spec.canonical()
         record["info"] = json_safe(self.info) or {}
-        return json_safe(record)
+        for f in _NONFINITE_FIELDS:
+            record[f] = _encode_nonfinite(record[f])
+        return strict_finite(json_safe(record))
 
     @classmethod
     def from_json_dict(cls, record: "dict[str, Any]") -> "ScenarioResult":
@@ -118,10 +167,18 @@ class ScenarioResult:
 
         The spec is re-validated against the current registries;
         records persisted before the ``info``/``trace_path`` fields
-        existed load with empty defaults.
+        existed load with empty defaults.  Non-finite sentinels
+        (``"NaN"``/``"Infinity"``/``"-Infinity"``) restore to the
+        exact float they encoded; a legacy ``final_residual: null``
+        restores as ``nan`` so the field keeps its ``float`` type.
         """
         record = dict(record)
         spec = ScenarioSpec(**record.pop("spec"))
+        for f in _NONFINITE_FIELDS:
+            if f in record:
+                record[f] = _decode_nonfinite(record[f])
+        if record.get("final_residual") is None:
+            record["final_residual"] = float("nan")
         return cls(spec=spec, **record)
 
 
@@ -146,6 +203,15 @@ class FleetResult:
 
     @property
     def scenarios_per_sec(self) -> float:
+        """Throughput; ``0.0`` for an empty fleet (no work, no rate).
+
+        Store-reassembled fleets carry the *cumulative* per-row wall
+        time (see :meth:`~repro.runtime.sweep_store.SweepStore.fleet_result`),
+        so this stays finite for partial stores instead of fabricating
+        an infinite rate.
+        """
+        if self.scenario_count == 0:
+            return 0.0
         if self.wall_time <= 0:
             return float("inf")
         return self.scenario_count / self.wall_time
@@ -182,6 +248,12 @@ class FleetResult:
         ``None``/non-finite values are skipped and a group whose values
         all vanish reports ``nan``.
         """
+        # Validate metric names before grouping: a typo must raise even
+        # on an empty or all-failed fleet (zero groups would otherwise
+        # skip the loop and pass silently).
+        for m in metrics:
+            if m not in METRIC_FIELDS:
+                raise KeyError(f"unknown metric {m!r}; choose from {METRIC_FIELDS}")
         if not callable(by):
             fields = tuple(by)
             by = lambda r: tuple(getattr(r.spec, f) for f in fields)  # noqa: E731
@@ -193,8 +265,6 @@ class FleetResult:
             rows = groups[gkey]
             agg: dict[str, float] = {"count": float(len(rows))}
             for m in metrics:
-                if m not in METRIC_FIELDS:
-                    raise KeyError(f"unknown metric {m!r}; choose from {METRIC_FIELDS}")
                 raw = [getattr(r, m) for r in rows if getattr(r, m) is not None]
                 if raw and all(isinstance(v, (bool, np.bool_)) for v in raw):
                     agg[m] = sum(map(bool, raw)) / len(raw)
@@ -230,7 +300,14 @@ class FleetResult:
 
     # -- persistence --------------------------------------------------
     def to_json(self) -> str:
-        """JSON document with per-scenario records and fleet stats."""
+        """Strictly valid JSON document with per-scenario records and stats.
+
+        Non-finite values (an unknown throughput, a failed row's
+        ``nan`` residual) serialize as ``null``, never as the
+        non-standard ``NaN``/``Infinity`` literals — the document must
+        parse under ``json.loads`` with a strict ``parse_constant``
+        and under non-Python consumers.
+        """
         doc = {
             "executor": self.executor,
             "max_workers": self.max_workers,
@@ -239,7 +316,7 @@ class FleetResult:
             "scenarios_per_sec": self.scenarios_per_sec,
             "results": [r.to_json_dict() for r in self.results],
         }
-        return json.dumps(doc, indent=2)
+        return json.dumps(strict_finite(doc), indent=2, allow_nan=False)
 
     @classmethod
     def from_json(cls, doc: "str | dict[str, Any]") -> "FleetResult":
@@ -431,13 +508,110 @@ def execute_scenario(
 def _resolve_executor(executor: str, max_workers: int | None) -> tuple[str, int]:
     if executor not in _EXECUTORS:
         raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+    # Same rule, same message as api.config.ExecutionSpec: a zero or
+    # negative pool width is a caller error, not a request for 1.
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
     cpus = os.cpu_count() or 1
     if executor == "auto":
         executor = "process" if cpus > 1 else "serial"
     # An explicit max_workers is honored as given; the default pool
     # width is the core count.
-    workers = cpus if max_workers is None else max(1, max_workers)
+    workers = cpus if max_workers is None else max_workers
     return executor, workers
+
+
+#: ``chunk_size="auto"`` packs the specs into about this many tasks
+#: per pool worker — few enough to amortize pickle/IPC round-trips,
+#: many enough that one slow chunk cannot idle the rest of the pool.
+_AUTO_CHUNKS_PER_WORKER = 4
+
+
+def _worker_init() -> None:
+    """Pool initializer: import the heavy modules once per worker.
+
+    Every scenario needs the backend registry, the ingredient
+    registries and the rate-fit helpers; importing them at worker
+    startup (instead of lazily inside the first task) takes the import
+    cost out of every chunk's critical path.
+    """
+    import repro.analysis.rates  # noqa: F401
+    import repro.runtime.backends  # noqa: F401
+    import repro.scenarios.registry  # noqa: F401
+
+
+def _check_chunk_size(chunk_size: "int | str") -> "int | str":
+    if chunk_size == "auto":
+        return chunk_size
+    if isinstance(chunk_size, bool) or not isinstance(chunk_size, int):
+        raise ValueError(f'chunk_size must be "auto" or a positive int, got {chunk_size!r}')
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return chunk_size
+
+
+def _spec_cost(spec: ScenarioSpec) -> float:
+    """Expected-cost proxy for chunk balancing.
+
+    The dominant per-scenario cost is iterations of the problem's
+    update map, so the iteration budget is the packing weight (cf. the
+    bar-charts packing view of batch balancing: pack by height, not by
+    bar count).  Exact runtimes differ across problems, but a proxy
+    only has to keep one chunk from hoarding all the long scenarios.
+    """
+    return float(spec.max_iterations)
+
+
+def _pack_chunks(
+    indexed: "list[tuple[int, ScenarioSpec]]",
+    chunk_size: "int | str",
+    workers: int,
+) -> "list[list[tuple[int, ScenarioSpec]]]":
+    """Pack ``(index, spec)`` pairs into cost-balanced dispatch chunks.
+
+    ``"auto"`` targets ``_AUTO_CHUNKS_PER_WORKER × workers`` chunks; an
+    explicit ``chunk_size`` is a *hard* upper bound on scenarios per
+    chunk (a full chunk stops accepting, whatever its cost — callers
+    cap chunk size to bound per-task memory and kill-loss granularity).
+    Packing is greedy longest-processing-time: specs sorted by
+    descending :func:`_spec_cost` land in the currently lightest chunk,
+    so heterogeneous budgets spread instead of stacking into one
+    straggler task.  Within a chunk, submission order is restored —
+    the store sees rows in a deterministic order per chunk.
+    """
+    capacity = None
+    if chunk_size == "auto":
+        n_chunks = min(len(indexed), _AUTO_CHUNKS_PER_WORKER * max(1, workers))
+    else:
+        capacity = chunk_size
+        n_chunks = min(len(indexed), math.ceil(len(indexed) / chunk_size))
+    if n_chunks <= 1:
+        return [list(indexed)] if indexed else []
+    chunks: list[list[tuple[int, ScenarioSpec]]] = [[] for _ in range(n_chunks)]
+    heap = [(0.0, b) for b in range(n_chunks)]
+    heapq.heapify(heap)
+    # Sort by cost descending, submission index ascending — fully
+    # deterministic, so the chunk layout (and thus store write order
+    # within a chunk) never depends on dict/hash ordering.
+    for idx, spec in sorted(indexed, key=lambda p: (-_spec_cost(p[1]), p[0])):
+        load, b = heapq.heappop(heap)
+        chunks[b].append((idx, spec))
+        if capacity is None or len(chunks[b]) < capacity:
+            # A chunk at explicit capacity leaves the heap for good;
+            # total capacity is >= the spec count by construction, so
+            # the heap never runs dry.
+            heapq.heappush(heap, (load + _spec_cost(spec), b))
+    for chunk in chunks:
+        chunk.sort(key=lambda p: p[0])
+    return [c for c in chunks if c]
+
+
+def _run_chunk(
+    runner: Callable[[ScenarioSpec], ScenarioResult],
+    specs: "list[ScenarioSpec]",
+) -> "list[ScenarioResult]":
+    """Execute one dispatch chunk inside a worker (top-level: picklable)."""
+    return [runner(spec) for spec in specs]
 
 
 def _execute_specs(
@@ -446,11 +620,15 @@ def _execute_specs(
     chosen: str,
     workers: int,
     on_result: Callable[[ScenarioResult], None] | None = None,
+    chunk_size: "int | str" = "auto",
 ) -> "dict[int, ScenarioResult]":
     """Run ``(index, spec)`` pairs, invoking ``on_result`` as each finishes.
 
-    Completion order drives the callback (that's what makes aggregation
-    incremental); the returned mapping restores submission order.
+    Pool executors dispatch cost-balanced *chunks* (one future per
+    chunk, see :func:`_pack_chunks`), so per-task pickle/IPC overhead
+    amortizes over many scenarios; ``on_result`` still fires once per
+    scenario, in completion order of the chunks.  The returned mapping
+    restores submission order.
     """
     out: dict[int, ScenarioResult] = {}
     if chosen == "serial" or len(indexed) <= 1:
@@ -461,16 +639,20 @@ def _execute_specs(
                 on_result(r)
         return out
     pool_cls = ThreadPoolExecutor if chosen == "thread" else ProcessPoolExecutor
-    with pool_cls(max_workers=workers) as pool:
-        pending = {pool.submit(runner, spec): idx for idx, spec in indexed}
+    chunks = _pack_chunks(indexed, chunk_size, workers)
+    with pool_cls(max_workers=workers, initializer=_worker_init) as pool:
+        pending = {
+            pool.submit(_run_chunk, runner, [spec for _, spec in chunk]): chunk
+            for chunk in chunks
+        }
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for fut in done:
-                idx = pending.pop(fut)
-                r = fut.result()
-                out[idx] = r
-                if on_result is not None:
-                    on_result(r)
+                chunk = pending.pop(fut)
+                for (idx, _), r in zip(chunk, fut.result()):
+                    out[idx] = r
+                    if on_result is not None:
+                        on_result(r)
     return out
 
 
@@ -479,6 +661,7 @@ def run_fleet(
     *,
     executor: str = "auto",
     max_workers: int | None = None,
+    chunk_size: "int | str" = "auto",
 ) -> FleetResult:
     """Execute a batch of scenarios and aggregate into a :class:`FleetResult`.
 
@@ -492,6 +675,11 @@ def run_fleet(
         are identical across executors; only wall time changes.
     max_workers:
         Pool width cap (defaults to ``os.cpu_count()``).
+    chunk_size:
+        Scenarios per dispatched pool task.  ``"auto"`` (default)
+        packs cost-balanced chunks targeting about 4 tasks per worker;
+        an explicit int bounds the chunk size (``1`` restores per-task
+        dispatch).  Results are bit-identical either way.
 
     The per-scenario results keep submission order regardless of
     completion order.  For persistent/resumable sweeps use
@@ -499,10 +687,13 @@ def run_fleet(
     """
     specs = list(scenarios)
     chosen, workers = _resolve_executor(executor, max_workers)
+    chunk_size = _check_chunk_size(chunk_size)
     if chosen != "serial" and len(specs) <= 1:
         chosen = "serial"
     t0 = time.perf_counter()
-    slots = _execute_specs(list(enumerate(specs)), run_scenario, chosen, workers)
+    slots = _execute_specs(
+        list(enumerate(specs)), run_scenario, chosen, workers, chunk_size=chunk_size
+    )
     return FleetResult(
         results=tuple(slots[i] for i in range(len(specs))),
         wall_time=time.perf_counter() - t0,
@@ -511,15 +702,68 @@ def run_fleet(
     )
 
 
+def _resolve_cache(cache: Any, sweep: Any, resume_store: Any) -> Any:
+    """``cache=`` argument -> an open cache store, or ``None``.
+
+    ``None`` consults the ``REPRO_SWEEP_CACHE`` environment variable;
+    ``False`` disables caching outright (the spelled-out opt-out for
+    environments where the variable is exported globally).  The cache
+    is an ordinary content-addressed :class:`SweepStore` directory —
+    created on first use, never given a manifest — so any finished
+    sweep store also works as a cache.  A cache that aliases the run's
+    own store (or resume source) is dropped: those are already
+    consulted, and double-writing rows to the same files would be pure
+    churn.
+    """
+    from repro.runtime.sweep_store import SweepStore
+
+    if cache is False:
+        return None
+    if cache is None:
+        env = os.environ.get(CACHE_ENV_VAR, "").strip()
+        if not env:
+            return None
+        cache = env
+    if not isinstance(cache, SweepStore):
+        cache = SweepStore(cache)
+    for other in (sweep, resume_store):
+        if other is not None and cache.root.resolve() == other.root.resolve():
+            return None
+    return cache
+
+
+def _adopt_row(src: Any, sweep: Any, loaded: ScenarioResult) -> ScenarioResult:
+    """Copy a row completed in ``src`` (resume source, cache, shard) into ``sweep``.
+
+    The trace file (when present) is copied — atomically, since stores
+    and caches are shared between hosts — and the row's ``trace_path``
+    re-pointed, so the destination store is self-contained: deleting
+    the source later cannot dangle it.
+    """
+    from repro.runtime.sweep_store import _atomic_copy
+
+    h = loaded.content_hash
+    if sweep is None:
+        return loaded
+    if src.has_trace(h):
+        sweep.traces_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_copy(src.trace_path(h), sweep.trace_path(h))
+        loaded = replace(loaded, trace_path=str(sweep.trace_path(h)))
+    sweep.write_result(loaded)
+    return loaded
+
+
 def run_grid(
     grid_or_specs: Any,
     *,
     store: Any = None,
     resume: Any = None,
+    cache: Any = None,
     keep_traces: bool = False,
     trace_chunk_size: int | None = None,
     executor: str = "auto",
     max_workers: int | None = None,
+    chunk_size: "int | str" = "auto",
 ) -> FleetResult:
     """Execute a scenario grid with per-scenario persistence and resume.
 
@@ -547,6 +791,18 @@ def run_grid(
         whose trace file is missing are re-executed so the store ends
         up complete; resuming into a *different* ``store`` copies rows
         and traces over.
+    cache:
+        Cross-study result cache: a content-addressed store (path or
+        :class:`~repro.runtime.sweep_store.SweepStore`) consulted *by
+        content hash* before any scenario executes — after ``resume``
+        — and written back as scenarios finish, so any scenario ever
+        completed through the same cache resolves instantly in every
+        later study.  ``None`` (default) consults the
+        ``REPRO_SWEEP_CACHE`` environment variable; ``False`` disables
+        caching.  Cache hits satisfy the same completeness rule as
+        resume (a ``keep_traces`` run only accepts rows whose trace is
+        cached too) and are bit-identical to executing: the digest of
+        a cached sweep equals the cold one.
     keep_traces:
         Persist each scenario's realized trace into the store.  Traces
         record through a disk-spilling trace store and are saved (and
@@ -556,6 +812,9 @@ def run_grid(
     trace_chunk_size:
         Rows per trace chunk for ``keep_traces`` recording (default
         :attr:`~repro.core.trace.TraceStore.DEFAULT_CHUNK_SIZE`).
+    chunk_size:
+        Scenarios per dispatched pool task (``"auto"``: cost-balanced
+        chunks, about 4 tasks per worker; ``1``: per-task dispatch).
 
     Returns the same :class:`FleetResult` a plain :func:`run_fleet`
     would have produced, with ``trace_path``/``info`` populated.
@@ -599,35 +858,42 @@ def run_grid(
         else:
             same = resume.root.resolve() == sweep.root.resolve()
             resume_store = sweep if same else resume
+    cache_store: SweepStore | None = _resolve_cache(cache, sweep, resume_store)
 
     chosen, workers = _resolve_executor(executor, max_workers)
+    chunk_size = _check_chunk_size(chunk_size)
     t0 = time.perf_counter()
 
+    # Lookup order: the resume store first (it is this sweep's own
+    # history), then the cross-study cache.  Both apply the one
+    # completeness rule (load_complete_result), so a keep_traces run
+    # never accepts a traceless cached row.
+    cache_done: set[str] = cache_store.completed() if cache_store is not None else set()
     slots: dict[int, ScenarioResult] = {}
     to_run: list[tuple[int, ScenarioSpec]] = []
-    if resume_store is not None:
-        for idx, spec in enumerate(specs):
-            # One completeness rule, shared with the CLI banner: rows
-            # from a traceless earlier run (or with a dangling trace
-            # reference) re-run under keep_traces — results are
-            # deterministic, so regenerating costs one scenario, not
-            # correctness.
-            loaded = resume_store.load_complete_result(
-                spec, require_trace=keep_traces
-            )
-            h = spec.content_hash
-            if loaded is None:
-                to_run.append((idx, spec))
-                continue
-            if resume_store is not sweep:
-                if resume_store.has_trace(h):
-                    sweep.traces_dir.mkdir(parents=True, exist_ok=True)
-                    shutil.copyfile(resume_store.trace_path(h), sweep.trace_path(h))
-                    loaded = replace(loaded, trace_path=str(sweep.trace_path(h)))
-                sweep.write_result(loaded)  # new store gets the full set
-            slots[idx] = loaded
-    else:
-        to_run = list(enumerate(specs))
+    for idx, spec in enumerate(specs):
+        h = spec.content_hash
+        loaded = None
+        if resume_store is not None:
+            loaded = resume_store.load_complete_result(spec, require_trace=keep_traces)
+            if loaded is not None and resume_store is not sweep:
+                loaded = _adopt_row(resume_store, sweep, loaded)
+        if loaded is None and cache_store is not None and h in cache_done:
+            loaded = cache_store.load_complete_result(spec, require_trace=keep_traces)
+            if loaded is not None:
+                loaded = _adopt_row(cache_store, sweep, loaded)
+        if loaded is None:
+            to_run.append((idx, spec))
+            continue
+        if cache_store is not None and h not in cache_done:
+            # Resume-loaded rows seed the cache too: "completed
+            # anywhere" includes completed before the cache existed.
+            # Traces ride along (via the same adopt path), so later
+            # keep_traces studies can hit these rows as well.
+            _adopt_row(sweep if sweep is not None else resume_store,
+                       cache_store, loaded)
+            cache_done.add(h)
+        slots[idx] = loaded
 
     runner: Callable[[ScenarioSpec], ScenarioResult] = run_scenario
     if sweep is not None:
@@ -640,10 +906,33 @@ def run_grid(
                 trace_chunk_size=trace_chunk_size,
             )
 
-    on_result = None if sweep is None else sweep.write_result
+    sinks: list[Callable[[ScenarioResult], None]] = []
+    if sweep is not None:
+        sinks.append(sweep.write_result)
+    if cache_store is not None:
+        def _cache_write(r: ScenarioResult) -> None:
+            # Write-back: the scenario is now "completed somewhere",
+            # so every later study sharing this cache skips it.  Kept
+            # traces ride along (copied atomically, trace_path
+            # re-pointed into the cache) so keep_traces runs hit too.
+            if r.error is not None:
+                return  # failures never count as completed work
+            if sweep is not None:
+                _adopt_row(sweep, cache_store, r)
+            else:
+                cache_store.write_result(r)
+        sinks.append(_cache_write)
+
+    def _fanout(r: ScenarioResult) -> None:
+        for sink in sinks:
+            sink(r)
+
+    on_result = _fanout if sinks else None
     if chosen != "serial" and len(to_run) <= 1:
         chosen = "serial"
-    slots.update(_execute_specs(to_run, runner, chosen, workers, on_result))
+    slots.update(
+        _execute_specs(to_run, runner, chosen, workers, on_result, chunk_size=chunk_size)
+    )
 
     fleet = FleetResult(
         results=tuple(slots[i] for i in range(len(specs))),

@@ -28,6 +28,13 @@ materializes a persisted trace, and :meth:`digest` condenses the
 deterministic fields of every completed row into one SHA-256 — the
 equality certificate between an interrupted-and-resumed sweep and an
 uninterrupted one.
+
+Content addressing is also what makes stores *composable*:
+:meth:`merge` recombines the per-host stores of a sharded grid
+(``ScenarioGrid.shard``) into one store whose digest matches a
+single-host run bit for bit, and any store doubles as the cross-study
+result cache ``run_grid(cache=...)`` consults before executing a
+scenario.
 """
 
 from __future__ import annotations
@@ -66,11 +73,19 @@ def digest_rows(pairs: "Iterable[tuple[str, ScenarioResult]]") -> str:
     are hashed in content-hash order, making the digest independent of
     completion/enumeration order.
     """
+    from repro.runtime.fleet import _encode_nonfinite
+
     h = hashlib.sha256()
     for ch, row in sorted(pairs, key=lambda p: p[0]):
-        payload = {f: getattr(row, f) for f in DIGEST_FIELDS}
+        # Non-finite values canonicalize to the same string sentinels
+        # the store persists (and restores exactly), so a live row
+        # with an inf/nan field and its store-loaded twin hash
+        # identically — and inf stays distinct from nan.
+        payload = {
+            f: _encode_nonfinite(getattr(row, f)) for f in DIGEST_FIELDS
+        }
         h.update(ch.encode())
-        h.update(json.dumps(payload, sort_keys=True).encode())
+        h.update(json.dumps(payload, sort_keys=True, allow_nan=False).encode())
     return h.hexdigest()
 
 
@@ -78,6 +93,22 @@ def _atomic_write(path: pathlib.Path, text: str) -> None:
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+def _atomic_copy(src: pathlib.Path, dst: pathlib.Path) -> None:
+    """Copy ``src`` to ``dst`` without ever exposing a torn file.
+
+    Store and cache directories are shared between hosts/processes by
+    design, and a reader recognizes a trace by the file *existing* —
+    so the copy must appear atomically, exactly like row writes
+    (tmp + rename), or a concurrent sweep could adopt a half-written
+    ``.npz``.
+    """
+    import shutil
+
+    tmp = dst.with_name(dst.name + ".tmp")
+    shutil.copyfile(src, tmp)
+    os.replace(tmp, dst)
 
 
 class SweepStore:
@@ -162,7 +193,9 @@ class SweepStore:
         path = self.result_path(result.content_hash)
         if result.error is not None:
             return path
-        _atomic_write(path, json.dumps(result.to_json_dict(), indent=2))
+        _atomic_write(
+            path, json.dumps(result.to_json_dict(), indent=2, allow_nan=False)
+        )
         return path
 
     def load_result(self, spec: "ScenarioSpec") -> "ScenarioResult | None":
@@ -226,9 +259,13 @@ class SweepStore:
         """Reassemble the typed :class:`~repro.runtime.fleet.FleetResult`.
 
         Prefers the final ``fleet.json`` aggregate; for an interrupted
-        sweep (no aggregate yet) the completed per-scenario rows are
-        stitched together in manifest order, so partial stores are
-        still fully analyzable.
+        or merged sweep (no aggregate yet) the completed per-scenario
+        rows are stitched together in manifest order, so partial stores
+        are still fully analyzable.  The stitched fleet's ``wall_time``
+        is the *sum* of the rows' wall times — the real cumulative
+        compute the store holds — never a fabricated ``0.0`` (which
+        would make ``scenarios_per_sec`` infinite and its JSON
+        non-standard).
         """
         from repro.runtime.fleet import FleetResult
 
@@ -241,8 +278,67 @@ class SweepStore:
             if r is not None:
                 results.append(r)
         return FleetResult(
-            results=tuple(results), wall_time=0.0, executor="store", max_workers=0
+            results=tuple(results),
+            wall_time=float(sum(r.wall_time for r in results)),
+            executor="store",
+            max_workers=0,
         )
+
+    # -- merging -------------------------------------------------------
+    def merge(self, *stores: "SweepStore | str | os.PathLike[str]") -> "SweepStore":
+        """Combine shard stores into this one (rows, traces, manifest).
+
+        The sharding workflow's recombine step: ``k`` hosts each run
+        ``grid.shard(k, i)`` into their own store, then one host merges
+        them — ``SweepStore(out).merge(shard0, shard1, ...)`` — and the
+        merged store's :meth:`digest` is bit-identical to a single-host
+        run of the whole grid (row digests are content-addressed and
+        hash-ordered, so neither shard assignment nor merge order can
+        leak into the certificate).
+
+        Every shard's manifest entries are unioned in order (this
+        store's own manifest first, when it has one; duplicate content
+        hashes keep their first occurrence), completed rows and traces
+        are copied in, and copied rows are re-pointed at this store's
+        trace files so the merged store is self-contained.  Merging is
+        idempotent and incremental: re-merging a shard, or merging a
+        later, more complete version of it, only fills in what is
+        missing.
+        """
+        from repro.runtime.fleet import _adopt_row
+
+        opened = [
+            s if isinstance(s, SweepStore) else SweepStore(s, create=False)
+            for s in stores
+        ]
+        scenarios: list[dict[str, Any]] = []
+        seen: set[str] = set()
+        if (self.root / _MANIFEST).is_file():
+            scenarios = list(self.read_manifest()["scenarios"])
+            seen = {s["hash"] for s in scenarios}
+        for shard in opened:
+            for entry in shard.read_manifest()["scenarios"]:
+                if entry["hash"] not in seen:
+                    seen.add(entry["hash"])
+                    scenarios.append(entry)
+            done = self.completed()
+            for h in shard.manifest_hashes():
+                if h in done:
+                    continue
+                row = shard.load_result_by_hash(h)
+                if row is not None:
+                    _adopt_row(shard, self, row)
+        doc = {
+            "format_version": self.FORMAT_VERSION,
+            "scenario_count": len(scenarios),
+            "scenarios": scenarios,
+        }
+        _atomic_write(self.root / _MANIFEST, json.dumps(doc, indent=2))
+        # Any pre-merge fleet.json aggregates fewer scenarios than the
+        # merged manifest describes; drop it so fleet_result() stitches
+        # the full row set instead.
+        (self.root / _FLEET).unlink(missing_ok=True)
+        return self
 
     # -- determinism ---------------------------------------------------
     #: Shared with FleetResult.digest (see module-level DIGEST_FIELDS).

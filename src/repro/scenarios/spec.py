@@ -347,3 +347,35 @@ class ScenarioGrid:
                         )
                     )
         return tuple(specs)
+
+    def shard(self, num_shards: int, index: int) -> tuple[ScenarioSpec, ...]:
+        """Shard ``index`` (0-based) of this grid split ``num_shards`` ways.
+
+        The split is *content-hash-stable*: the full grid is expanded
+        first (so every spec keeps exactly the seed it would have in a
+        single-host run — sharding can never perturb results), then
+        specs are ranked by content hash and dealt round-robin to
+        shards.  Assignment therefore depends only on the set of
+        scenario identities — not on axis declaration order, not on
+        enumeration order, not on ``num_shards``-independent state —
+        and shard sizes differ by at most one even when one axis value
+        dominates the grid.
+
+        ``k`` hosts each running ``grid.shard(k, i)`` into their own
+        :class:`~repro.runtime.sweep_store.SweepStore` cover the grid
+        exactly once; merging the stores
+        (:meth:`~repro.runtime.sweep_store.SweepStore.merge`)
+        reproduces the single-host store's digest bit for bit.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if not 0 <= index < num_shards:
+            raise ValueError(
+                f"shard index must be in [0, {num_shards}), got {index}"
+            )
+        specs = self.expand()
+        ranked = sorted(specs, key=lambda s: s.content_hash)
+        mine = {s.content_hash for s in ranked[index::num_shards]}
+        # Keep submission (enumeration) order within the shard so the
+        # shard's manifest reads like a contiguous slice of the study.
+        return tuple(s for s in specs if s.content_hash in mine)

@@ -10,11 +10,12 @@ stats entry and round-trips stay plain JSON.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
 
-__all__ = ["json_safe"]
+__all__ = ["json_safe", "strict_finite"]
 
 #: Arrays larger than this are dropped rather than inlined into JSON
 #: documents (a stats dict is a summary, not a data channel).
@@ -27,9 +28,8 @@ def _convert(obj: Any, depth: int) -> Any:
     if depth > 8:
         return _SENTINEL
     if obj is None or isinstance(obj, (bool, int, float, str)):
-        # Non-finite floats pass through: ``json`` serializes them as
-        # NaN/Infinity literals and parses them back (the historical
-        # round-trip behavior of FleetResult.to_json).
+        # Non-finite floats pass through here; persistence call sites
+        # apply :func:`strict_finite` so documents stay valid JSON.
         return obj
     if isinstance(obj, (np.bool_, np.integer, np.floating)):
         return obj.item()
@@ -50,6 +50,25 @@ def _convert(obj: Any, depth: int) -> Any:
                 out[str(k)] = cv
         return out
     return _SENTINEL
+
+
+def strict_finite(obj: Any) -> Any:
+    """``obj`` with every non-finite float replaced by ``None``.
+
+    ``json.dumps`` would otherwise emit the ``NaN``/``Infinity``
+    literals, which are not JSON — strict parsers (and every non-Python
+    consumer) reject them.  Persisted documents
+    (:meth:`~repro.runtime.fleet.FleetResult.to_json`, sweep-store
+    rows) pass through this after :func:`json_safe`, so they always
+    survive ``json.loads(..., parse_constant=<raise>)``.
+    """
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, list):
+        return [strict_finite(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: strict_finite(v) for k, v in obj.items()}
+    return obj
 
 
 def json_safe(obj: Any) -> Any:

@@ -212,3 +212,41 @@ class TestCompilation:
         stored = cfg.with_store("out-dir", keep_traces=True)
         assert stored.store == StoreSpec(out="out-dir", keep_traces=True)
         assert dataclasses.replace(stored, store=StoreSpec()) == cfg
+
+
+class TestExecutionSpecSharding:
+    """ISSUE 5: dispatch chunking and the cross-study cache as config."""
+
+    def test_chunk_size_and_cache_dir_round_trip(self, tmp_path):
+        spec = ExecutionSpec(executor="serial", chunk_size=8,
+                             cache_dir=str(tmp_path / "cache"))
+        doc = spec.to_dict()
+        assert doc["chunk_size"] == 8
+        assert doc["cache_dir"] == str(tmp_path / "cache")
+        assert ExecutionSpec(**doc) == spec
+
+    def test_defaults_are_omitted_from_dict(self):
+        # A config that never mentions chunking/caching must hash
+        # identically to one written before the fields existed.
+        doc = ExecutionSpec(executor="serial").to_dict()
+        assert "chunk_size" not in doc
+        assert "cache_dir" not in doc
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ExecutionSpec(chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            ExecutionSpec(chunk_size="big")
+        assert ExecutionSpec(chunk_size="auto").chunk_size == "auto"
+
+    def test_study_config_round_trips_execution_extras(self, tmp_path):
+        cfg = StudyConfig(
+            name="sharded",
+            problems=("jacobi",),
+            execution=ExecutionSpec(executor="serial", chunk_size=4,
+                                    cache_dir=str(tmp_path / "c")),
+        )
+        for back in (StudyConfig.from_json(cfg.to_json()),
+                     StudyConfig.from_toml(cfg.to_toml())):
+            assert back.execution == cfg.execution
+            assert back.content_hash == cfg.content_hash

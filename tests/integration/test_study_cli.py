@@ -185,3 +185,109 @@ class TestSweepIsAStudyShim:
         assert main(["study", "run", str(study_file)]) == 0
         digest = _digest_from(capsys.readouterr().out)
         assert SweepStore(sweep_store, create=False).digest() == digest
+
+
+class TestShardAndMerge:
+    """`study run --shard i/k` + `store merge`: the multi-host workflow."""
+
+    def test_sharded_run_merges_to_single_host_digest(self, study_file, tmp_path, capsys):
+        path, cfg = study_file
+        assert main(["study", "run", str(path)]) == 0
+        single_digest = _digest_from(capsys.readouterr().out)
+
+        shard_dirs = [str(tmp_path / f"host{i}") for i in (1, 2)]
+        for i, d in enumerate(shard_dirs, start=1):
+            assert main(["study", "run", str(path), "--shard", f"{i}/2",
+                         "--out", d]) == 0
+            out = capsys.readouterr().out
+            assert f"shard {i}/2" in out
+
+        merged = str(tmp_path / "merged")
+        assert main(["store", "merge", "--out", merged, *shard_dirs]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 scenarios complete" in out
+        assert _digest_from(out.replace("determinism digest",
+                                        "determinism digest")) == single_digest
+
+        assert main(["store", "digest", merged]) == 0
+        assert capsys.readouterr().out.strip() == single_digest
+
+    def test_shard_flag_validation(self, study_file, capsys):
+        path, _ = study_file
+        with pytest.raises(SystemExit):
+            main(["study", "run", str(path), "--shard", "4"])
+        with pytest.raises(SystemExit):
+            main(["study", "run", str(path), "--shard", "3/2"])
+        with pytest.raises(SystemExit):
+            main(["study", "run", str(path), "--shard", "0/2"])
+
+    def test_shard_rejected_for_report(self, study_file, capsys):
+        path, _ = study_file
+        assert main(["study", "report", str(path), "--shard", "1/2"]) == 2
+        assert "--shard applies to run/resume" in capsys.readouterr().err
+
+    def test_store_merge_missing_shard_errors(self, tmp_path, capsys):
+        assert main(["store", "merge", "--out", str(tmp_path / "m"),
+                     str(tmp_path / "ghost")]) == 2
+        assert "no sweep store" in capsys.readouterr().err
+
+    def test_store_digest_missing_store_errors(self, tmp_path, capsys):
+        assert main(["store", "digest", str(tmp_path / "ghost")]) == 2
+        assert "no sweep store" in capsys.readouterr().err
+
+
+class TestCacheFlags:
+    """`--cache` / `--no-cache` / REPRO_SWEEP_CACHE on the CLI."""
+
+    def test_cache_flag_makes_second_study_instant(self, study_file, tmp_path,
+                                                   capsys, monkeypatch):
+        import repro.runtime.fleet as fleet_mod
+
+        path, _ = study_file
+        cache = str(tmp_path / "cache")
+        calls: list[str] = []
+        inner = fleet_mod._run_scenario_inner
+
+        def counting(spec, **kwargs):
+            calls.append(spec.key)
+            return inner(spec, **kwargs)
+
+        monkeypatch.setattr(fleet_mod, "_run_scenario_inner", counting)
+        assert main(["study", "run", str(path), "--cache", cache,
+                     "--out", str(tmp_path / "a")]) == 0
+        first = len(calls)
+        assert first == 4
+        d1 = _digest_from(capsys.readouterr().out)
+        assert main(["study", "run", str(path), "--cache", cache,
+                     "--out", str(tmp_path / "b")]) == 0
+        assert len(calls) == first  # all four were cache hits
+        assert _digest_from(capsys.readouterr().out) == d1
+
+    def test_no_cache_overrides_env(self, study_file, tmp_path, capsys, monkeypatch):
+        import repro.runtime.fleet as fleet_mod
+        from repro.runtime.fleet import CACHE_ENV_VAR
+
+        path, _ = study_file
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "envcache"))
+        calls: list[str] = []
+        inner = fleet_mod._run_scenario_inner
+
+        def counting(spec, **kwargs):
+            calls.append(spec.key)
+            return inner(spec, **kwargs)
+
+        monkeypatch.setattr(fleet_mod, "_run_scenario_inner", counting)
+        assert main(["study", "run", str(path), "--no-cache",
+                     "--out", str(tmp_path / "a")]) == 0
+        assert main(["study", "run", str(path), "--no-cache",
+                     "--out", str(tmp_path / "b")]) == 0
+        assert len(calls) == 8  # no cache: both runs executed everything
+
+    def test_sweep_accepts_dispatch_flags(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--problems", "jacobi", "--delays", "zero",
+            "--steering", "cyclic", "--seeds", "1", "--max-iterations", "50",
+            "--executor", "serial", "--chunk-size", "2",
+            "--cache", str(tmp_path / "cache"), "--out", str(tmp_path / "s"),
+        ]) == 0
+        assert "failures=0" in capsys.readouterr().out

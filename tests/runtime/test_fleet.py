@@ -384,3 +384,96 @@ class TestFleetStress:
         for a, b in zip(serial.results, procs.results):
             assert a.iterations == b.iterations
             assert a.final_residual == b.final_residual
+
+
+class TestResultsLayerFixes:
+    """ISSUE 5 bugfix sweep: validation that used to slip through."""
+
+    def test_metric_typo_raises_on_empty_fleet(self):
+        # Zero groups used to skip the metric check entirely, so a
+        # typo'd metric on an empty/all-failed fleet passed silently.
+        empty = FleetResult(results=(), wall_time=0.0, executor="serial",
+                            max_workers=1)
+        with pytest.raises(KeyError, match="unknown metric"):
+            empty.group_medians(metrics=("iteratons",))
+
+    def test_metric_typo_raises_on_all_failed_fleet(self):
+        fleet = run_fleet(
+            [ScenarioSpec(problem="jacobi", problem_params={"n": -1}, seed=2)],
+            executor="serial",
+        )
+        assert fleet.ok() == ()
+        with pytest.raises(KeyError, match="unknown metric"):
+            fleet.group_medians(metrics=("warp",))
+
+    def test_empty_fleet_rate_is_zero_not_inf(self):
+        empty = FleetResult(results=(), wall_time=0.0, executor="serial",
+                            max_workers=1)
+        assert empty.scenarios_per_sec == 0.0
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_max_workers_below_one_raises(self, bad):
+        # Used to clamp silently to 1 — inconsistent with
+        # api.config.ExecutionSpec, which raises.  Same rule, same
+        # message, both layers.
+        with pytest.raises(ValueError, match="max_workers must be >= 1"):
+            run_fleet(SMALL_ENGINE_GRID.expand()[:1], executor="serial",
+                      max_workers=bad)
+
+    def test_max_workers_message_matches_execution_spec(self):
+        from repro.api.config import ExecutionSpec
+
+        with pytest.raises(ValueError) as fleet_err:
+            run_fleet(SMALL_ENGINE_GRID.expand()[:1], executor="serial",
+                      max_workers=0)
+        with pytest.raises(ValueError) as spec_err:
+            ExecutionSpec(max_workers=0)
+        assert str(fleet_err.value) == str(spec_err.value)
+
+    def test_to_json_is_strict_json_even_with_failures(self):
+        specs = SMALL_ENGINE_GRID.expand()[:1] + (
+            ScenarioSpec(problem="jacobi", problem_params={"n": -1}, seed=2),
+        )
+        fleet = run_fleet(specs, executor="serial")
+        text = fleet.to_json()
+
+        def no_constants(name):
+            raise ValueError(f"non-standard JSON constant {name!r}")
+
+        doc = json.loads(text, parse_constant=no_constants)  # must not raise
+        assert doc["scenario_count"] == 2
+        # The failed row's nan residual persisted as null and restores
+        # as nan, keeping the field's float type.
+        back = FleetResult.from_json(text)
+        failed = [r for r in back.results if r.error is not None]
+        assert failed and repr(failed[0].final_residual) == "nan"
+
+    def test_digest_agrees_between_live_and_roundtripped_nonfinite(self):
+        specs = SMALL_ENGINE_GRID.expand()[:2]
+        fleet = run_fleet(specs, executor="serial")
+        back = FleetResult.from_json(fleet.to_json())
+        assert back.digest() == fleet.digest()
+
+    def test_inf_residual_roundtrips_exactly_and_distinct_from_nan(self):
+        # A diverged scenario's inf residual must survive persistence
+        # as inf (not collapse into nan/null): divergence and crash are
+        # different outcomes.  The sentinel encoding is strict JSON.
+        from repro.runtime.fleet import ScenarioResult
+        from repro.runtime.sweep_store import digest_rows
+
+        inf_row = ScenarioResult(
+            key="diverged", spec=ScenarioSpec(problem="jacobi", seed=1),
+            final_residual=float("inf"), final_error=float("-inf"),
+        )
+        nan_row = ScenarioResult(
+            key="degenerate", spec=ScenarioSpec(problem="jacobi", seed=1),
+            final_residual=float("nan"),
+        )
+        record = json.loads(
+            json.dumps(inf_row.to_json_dict(), allow_nan=False)
+        )
+        back = ScenarioResult.from_json_dict(record)
+        assert back.final_residual == float("inf")
+        assert back.final_error == float("-inf")
+        assert digest_rows([("h", inf_row)]) == digest_rows([("h", back)])
+        assert digest_rows([("h", inf_row)]) != digest_rows([("h", nan_row)])

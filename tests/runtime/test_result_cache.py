@@ -1,0 +1,172 @@
+"""Cross-study result cache: completed-anywhere scenarios never re-run.
+
+``run_grid(cache=...)`` consults a content-addressed store before
+executing any scenario and writes finished rows back, so overlapping
+studies become incremental work.  The contract under test: cache hits
+skip execution while staying bit-identical to a cold run, the
+``REPRO_SWEEP_CACHE`` environment variable supplies the default cache,
+``cache=False`` opts out, and the ``keep_traces`` completeness rule
+holds for cached rows exactly as it does for resumed ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.runtime.fleet as fleet_mod
+from repro.runtime.fleet import CACHE_ENV_VAR, run_grid
+from repro.runtime.sweep_store import SweepStore
+from repro.scenarios.spec import ScenarioGrid
+
+
+def _grid(n_seeds: int = 2, **overrides) -> ScenarioGrid:
+    defaults = dict(
+        problems=(("jacobi", {"n": 8}),),
+        delays=("zero", "uniform"),
+        n_seeds=n_seeds,
+        max_iterations=60,
+        tol=1e-6,
+    )
+    defaults.update(overrides)
+    return ScenarioGrid(**defaults)
+
+
+@pytest.fixture()
+def count_runs(monkeypatch):
+    """Count actual scenario executions (cache hits must not execute)."""
+    calls: list[str] = []
+    inner = fleet_mod._run_scenario_inner
+
+    def counting(spec, **kwargs):
+        calls.append(spec.key)
+        return inner(spec, **kwargs)
+
+    monkeypatch.setattr(fleet_mod, "_run_scenario_inner", counting)
+    return calls
+
+
+class TestCacheHits:
+    def test_warm_cache_skips_all_execution(self, tmp_path, count_runs):
+        grid = _grid()
+        cache = tmp_path / "cache"
+        cold = run_grid(grid.expand(), store=tmp_path / "a", cache=cache,
+                        executor="serial")
+        assert len(count_runs) == grid.size
+        warm = run_grid(grid.expand(), store=tmp_path / "b", cache=cache,
+                        executor="serial")
+        assert len(count_runs) == grid.size  # not one more execution
+        assert warm.digest() == cold.digest()
+        # The second store is complete and self-contained regardless.
+        assert len(SweepStore(tmp_path / "b", create=False).completed()) == grid.size
+
+    def test_overlapping_study_runs_only_new_scenarios(self, tmp_path, count_runs):
+        # Two studies sharing half their scenarios (same content
+        # hashes): the second executes only its unshared half.
+        specs = _grid(n_seeds=3).expand()
+        half, full = specs[: len(specs) // 2], specs
+        cache = tmp_path / "cache"
+        run_grid(half, store=tmp_path / "a", cache=cache, executor="serial")
+        first = len(count_runs)
+        assert first == len(half)
+        run_grid(full, store=tmp_path / "b", cache=cache, executor="serial")
+        assert len(count_runs) - first == len(full) - len(half)
+
+    def test_cache_without_store(self, tmp_path, count_runs):
+        # The cache also serves in-memory runs (no sweep store at all).
+        grid = _grid(n_seeds=1)
+        cache = tmp_path / "cache"
+        a = run_grid(grid.expand(), cache=cache, executor="serial")
+        b = run_grid(grid.expand(), cache=cache, executor="serial")
+        assert len(count_runs) == grid.size
+        assert a.digest() == b.digest()
+
+    def test_any_finished_store_works_as_cache(self, tmp_path, count_runs):
+        # A previous sweep's store *is* a cache: content addressing is
+        # the whole interface.
+        grid = _grid(n_seeds=1)
+        run_grid(grid.expand(), store=tmp_path / "earlier", executor="serial")
+        n = len(count_runs)
+        run_grid(grid.expand(), store=tmp_path / "later",
+                 cache=tmp_path / "earlier", executor="serial")
+        assert len(count_runs) == n
+
+
+class TestCacheResolution:
+    def test_env_var_supplies_default_cache(self, tmp_path, count_runs, monkeypatch):
+        grid = _grid(n_seeds=1)
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "envcache"))
+        run_grid(grid.expand(), store=tmp_path / "a", executor="serial")
+        n = len(count_runs)
+        run_grid(grid.expand(), store=tmp_path / "b", executor="serial")
+        assert len(count_runs) == n  # second run fully cache-hit
+
+    def test_cache_false_disables_even_with_env(self, tmp_path, count_runs, monkeypatch):
+        grid = _grid(n_seeds=1)
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "envcache"))
+        run_grid(grid.expand(), store=tmp_path / "a", cache=False,
+                 executor="serial")
+        run_grid(grid.expand(), store=tmp_path / "b", cache=False,
+                 executor="serial")
+        assert len(count_runs) == 2 * grid.size  # everything executed twice
+
+    def test_cache_aliasing_the_store_is_dropped(self, tmp_path, count_runs):
+        # cache pointing at the run's own store would be pure churn;
+        # it is silently ignored rather than double-written.
+        grid = _grid(n_seeds=1)
+        store = tmp_path / "a"
+        fleet = run_grid(grid.expand(), store=store, cache=store,
+                         executor="serial")
+        assert len(count_runs) == grid.size
+        assert not fleet.failures()
+
+    def test_failed_scenarios_are_not_cached(self, tmp_path):
+        grid = _grid(n_seeds=1, problems=(("jacobi", {"n": 8}),))
+        specs = grid.expand()
+        cache = tmp_path / "cache"
+
+        def boom(spec, **kwargs):
+            raise RuntimeError("injected")
+
+        orig = fleet_mod._run_scenario_inner
+        fleet_mod._run_scenario_inner = boom
+        try:
+            fleet = run_grid(specs, cache=cache, executor="serial")
+        finally:
+            fleet_mod._run_scenario_inner = orig
+        assert len(fleet.failures()) == len(specs)
+        assert SweepStore(cache, create=True).completed() == set()
+        # After the failure the cold scenarios really execute and land
+        # in the cache.
+        ok = run_grid(specs, cache=cache, executor="serial")
+        assert not ok.failures()
+        assert len(SweepStore(cache, create=True).completed()) == len(specs)
+
+
+class TestCacheTraceRule:
+    def test_traceless_cache_rows_do_not_satisfy_keep_traces(
+        self, tmp_path, count_runs
+    ):
+        grid = _grid(n_seeds=1)
+        cache = tmp_path / "cache"
+        run_grid(grid.expand(), store=tmp_path / "a", cache=cache,
+                 executor="serial")  # no traces kept -> cache rows traceless
+        n = len(count_runs)
+        fleet = run_grid(grid.expand(), store=tmp_path / "b", cache=cache,
+                         keep_traces=True, executor="serial")
+        assert len(count_runs) == 2 * n  # every scenario re-ran for its trace
+        store = SweepStore(tmp_path / "b", create=False)
+        assert all(store.has_trace(r.content_hash) for r in fleet.ok())
+
+    def test_traced_cache_rows_satisfy_keep_traces(self, tmp_path, count_runs):
+        grid = _grid(n_seeds=1)
+        cache = tmp_path / "cache"
+        run_grid(grid.expand(), store=tmp_path / "a", cache=cache,
+                 keep_traces=True, executor="serial")
+        n = len(count_runs)
+        fleet = run_grid(grid.expand(), store=tmp_path / "b", cache=cache,
+                         keep_traces=True, executor="serial")
+        assert len(count_runs) == n  # traces came from the cache
+        store = SweepStore(tmp_path / "b", create=False)
+        for r in fleet.ok():
+            assert store.has_trace(r.content_hash)
+            assert r.trace_path == str(store.trace_path(r.content_hash))

@@ -468,3 +468,51 @@ class TestBooleanMedians:
 
     def test_converged_now_a_metric_field(self):
         assert "converged" in fleet_mod.METRIC_FIELDS
+
+
+class TestStoreWallTimeAndStrictJson:
+    """ISSUE 5: partial stores report real cumulative wall time, and
+    every persisted JSON document parses under a strict reader."""
+
+    @staticmethod
+    def _strict(text: str):
+        def no_constants(name):
+            raise ValueError(f"non-standard JSON constant {name!r}")
+
+        return json.loads(text, parse_constant=no_constants)
+
+    def test_partial_store_fleet_wall_time_is_row_sum(self, tmp_path):
+        specs = _grid().expand()
+        store = SweepStore(tmp_path / "s")
+        run_grid(specs, store=store, executor="serial")
+        (tmp_path / "s" / "fleet.json").unlink()  # no final aggregate
+
+        stitched = store.fleet_result()
+        rows_sum = sum(r.wall_time for r in stitched.results)
+        assert stitched.wall_time == pytest.approx(rows_sum)
+        assert stitched.wall_time > 0
+        assert np.isfinite(stitched.scenarios_per_sec)
+
+    def test_store_loaded_fleet_json_is_strict(self, tmp_path):
+        specs = _grid().expand()
+        store = SweepStore(tmp_path / "s")
+        run_grid(specs, store=store, executor="serial")
+        (tmp_path / "s" / "fleet.json").unlink()
+
+        text = store.fleet_result().to_json()
+        doc = self._strict(text)  # Infinity/NaN literals would raise
+        assert doc["scenarios_per_sec"] is not None
+        assert doc["wall_time"] > 0
+
+    def test_persisted_row_files_are_strict_json(self, tmp_path):
+        specs = _grid(n_seeds=1).expand()
+        store = SweepStore(tmp_path / "s")
+        run_grid(specs, store=store, executor="serial")
+        for h in store.completed():
+            self._strict(store.result_path(h).read_text())
+
+    def test_fleet_json_aggregate_is_strict(self, tmp_path):
+        specs = _grid(n_seeds=1).expand()
+        store = SweepStore(tmp_path / "s")
+        run_grid(specs, store=store, executor="serial")
+        self._strict((tmp_path / "s" / "fleet.json").read_text())
