@@ -39,6 +39,16 @@ future bookkeeping dominate) runs once with per-task dispatch
 chunked dispatch (``chunk_size="auto"``) on the same process pool.
 The acceptance bar is >= 1.5x scenarios/sec for chunked dispatch, with
 bit-identical results (equal determinism digests).
+
+The batched lockstep engine (PR 6) attacks the same workload from the
+other side: instead of amortizing dispatch, it *removes* per-scenario
+interpreter work by stacking each homogeneous chunk into one ``(N, n)``
+population advanced in lockstep vectorized kernels
+(``repro.runtime.simulator.batched``).  The legacy strategies run with
+``batch=False`` so their rows keep measuring dispatch alone; the
+batched row is the default path (``batch=True``).  Its acceptance bar
+is >= 5x scenarios/sec over per-task dispatch on this workload — again
+with equal digests, since batching is bit-identical per scenario.
 """
 
 from __future__ import annotations
@@ -104,13 +114,16 @@ def run_dispatch():
     from repro.runtime.fleet import run_fleet
 
     specs = MANY_SMALL.expand()
-    serial = run_fleet(specs, executor="serial")
-    per_task = run_fleet(specs, executor="process", chunk_size=1)
-    chunked = run_fleet(specs, executor="process", chunk_size="auto")
-    # Same specs, same seeds: dispatch strategy must never leak into
-    # the results.
-    assert serial.digest() == per_task.digest() == chunked.digest()
-    return serial, per_task, chunked
+    serial = run_fleet(specs, executor="serial", batch=False)
+    per_task = run_fleet(specs, executor="process", chunk_size=1, batch=False)
+    chunked = run_fleet(specs, executor="process", chunk_size="auto",
+                        batch=False)
+    batched = run_fleet(specs, executor="serial", chunk_size="auto")
+    # Same specs, same seeds: neither dispatch strategy nor scenario
+    # batching may ever leak into the results.
+    assert (serial.digest() == per_task.digest() == chunked.digest()
+            == batched.digest())
+    return serial, per_task, chunked, batched
 
 
 def run_results_layer():
@@ -181,15 +194,19 @@ def test_fleet_throughput(benchmark):
         title=f"streaming results layer, same {baseline.scenario_count}-scenario workload",
     )
 
-    d_serial, d_per_task, d_chunked = dispatch
+    d_serial, d_per_task, d_chunked, d_batched = dispatch
     chunked_speedup = compare_throughput(d_per_task, d_chunked).speedup
+    batched_speedup = compare_throughput(d_per_task, d_batched).speedup
+    batched_vs_chunked = compare_throughput(d_chunked, d_batched).speedup
     dispatch_rows = [
-        ["serial (no pool, no dispatch cost)", d_serial.wall_time,
+        ["serial, solo engine (no pool, no dispatch cost)", d_serial.wall_time,
          d_serial.scenarios_per_sec, "-"],
         ["process pool, per-task dispatch (chunk_size=1)", d_per_task.wall_time,
          d_per_task.scenarios_per_sec, 1.0],
         ["process pool, chunked dispatch (chunk_size=auto)", d_chunked.wall_time,
          d_chunked.scenarios_per_sec, chunked_speedup],
+        ["serial, batched lockstep engine (default)", d_batched.wall_time,
+         d_batched.scenarios_per_sec, batched_speedup],
     ]
     dispatch_table = render_table(
         ["dispatch strategy", "wall s", "scenarios/s", "vs per-task"],
@@ -226,7 +243,10 @@ def test_fleet_throughput(benchmark):
             "serial_scenarios_per_sec": d_serial.scenarios_per_sec,
             "per_task_scenarios_per_sec": d_per_task.scenarios_per_sec,
             "chunked_scenarios_per_sec": d_chunked.scenarios_per_sec,
+            "batched_scenarios_per_sec": d_batched.scenarios_per_sec,
             "chunked_vs_per_task_speedup": chunked_speedup,
+            "batched_vs_per_task_speedup": batched_speedup,
+            "batched_vs_chunked_speedup": batched_vs_chunked,
         },
     }
     TRAJECTORY_FILE.write_text(json.dumps(payload, indent=2) + "\n")
@@ -236,8 +256,12 @@ def test_fleet_throughput(benchmark):
         assert rb.iterations == rf.iterations, (rb.key, rf.key)
         assert rb.final_residual == rf.final_residual, (rb.key, rf.key)
     # The acceptance bars: the fleet at least doubles scenarios/sec,
-    # and chunked dispatch buys >= 1.5x on many small scenarios.
+    # chunked dispatch buys >= 1.5x on many small scenarios, and the
+    # batched lockstep engine buys >= 5x on the same workload.
     assert cmp_total.speedup >= 2.0, f"fleet speedup {cmp_total.speedup:.2f}x < 2x"
     assert chunked_speedup >= 1.5, (
         f"chunked dispatch speedup {chunked_speedup:.2f}x < 1.5x"
+    )
+    assert batched_speedup >= 5.0, (
+        f"batched engine speedup {batched_speedup:.2f}x < 5x"
     )

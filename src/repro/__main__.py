@@ -184,6 +184,8 @@ def _cmd_list_axes() -> int:
     )
     print(
         "dispatch: --chunk-size auto|N (cost-balanced pool chunks), "
+        "batched lockstep execution of homogeneous chunks (default; "
+        "--no-batch for one solo call per scenario), "
         "--cache DIR / REPRO_SWEEP_CACHE (cross-study result cache), "
         "study run --shard i/k + store merge (multi-host sweeps)"
     )
@@ -227,6 +229,7 @@ def _sweep_config(args: argparse.Namespace):
             executor=args.executor,
             max_workers=args.workers,
             chunk_size=args.chunk_size,
+            batch=not args.no_batch,
             cache_dir=args.cache,
         ),
     )
@@ -291,7 +294,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
                 args.out, keep_traces=True if args.keep_traces else None
             )
         overrides = (args.executor, args.workers, args.chunk_size, args.cache)
-        if any(v is not None for v in overrides):
+        if any(v is not None for v in overrides) or args.no_batch:
             config = dataclasses.replace(
                 config,
                 execution=ExecutionSpec(
@@ -304,6 +307,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
                         args.chunk_size if args.chunk_size is not None
                         else config.execution.chunk_size
                     ),
+                    batch=False if args.no_batch else config.execution.batch,
                     cache_dir=(
                         args.cache if args.cache is not None
                         else config.execution.cache_dir
@@ -446,6 +450,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="scenarios per dispatched pool task (default auto: "
                             "cost-balanced chunks, ~4 tasks per worker; 1 = "
                             "per-task dispatch)")
+    sweep.add_argument("--no-batch", action="store_true",
+                       help="disable batched lockstep execution of homogeneous "
+                            "chunks (run one solo call per scenario; results "
+                            "are bit-identical either way)")
     sweep.add_argument("--cache", default=None, metavar="DIR",
                        help="cross-study result cache: completed scenarios are "
                             "looked up there by content hash before executing "
@@ -502,6 +510,9 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="N|auto",
                        help="override the config's dispatch chunk size "
                             "(auto: cost-balanced chunks; 1: per-task dispatch)")
+    study.add_argument("--no-batch", action="store_true",
+                       help="override the config to disable batched lockstep "
+                            "execution (one solo call per scenario)")
     study.add_argument("--shard", type=_shard, default=None, metavar="i/k",
                        help="run only shard i of k (1-based, e.g. 2/4): a "
                             "content-hash-stable, seed-preserving slice of the "

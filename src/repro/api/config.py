@@ -305,18 +305,22 @@ class ExecutionSpec:
 
     ``chunk_size`` controls how many scenarios ride in one dispatched
     pool task (``"auto"``: cost-balanced chunks, ~4 tasks per worker;
-    ``1``: per-task dispatch).  ``cache_dir`` names the cross-study
-    result cache consulted by content hash before any scenario
-    executes (``None`` defers to the ``REPRO_SWEEP_CACHE`` environment
-    variable at run time).  Both change only *how fast* results
-    arrive, never their bits, so neither participates in defaults-only
-    documents: they are omitted from :meth:`to_dict` when unset and
-    old study files load unchanged.
+    ``1``: per-task dispatch).  ``batch`` routes homogeneous spec
+    groups inside each chunk through the scenario-batched lockstep
+    engine (on by default; ``False`` restores one solo call per
+    scenario).  ``cache_dir`` names the cross-study result cache
+    consulted by content hash before any scenario executes (``None``
+    defers to the ``REPRO_SWEEP_CACHE`` environment variable at run
+    time).  All of these change only *how fast* results arrive, never
+    their bits, so none participates in defaults-only documents: they
+    are omitted from :meth:`to_dict` when unset and old study files
+    load unchanged.
     """
 
     executor: str = "auto"
     max_workers: int | None = None
     chunk_size: int | str = "auto"
+    batch: bool = True
     cache_dir: str | None = None
 
     def __post_init__(self) -> None:
@@ -329,6 +333,8 @@ class ExecutionSpec:
         from repro.runtime.fleet import _check_chunk_size
 
         _check_chunk_size(self.chunk_size)
+        if not isinstance(self.batch, bool):
+            raise ValueError(f"batch must be a bool, got {self.batch!r}")
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", str(self.cache_dir))
 
@@ -338,6 +344,8 @@ class ExecutionSpec:
             doc["max_workers"] = int(self.max_workers)
         if self.chunk_size != "auto":
             doc["chunk_size"] = int(self.chunk_size)
+        if not self.batch:
+            doc["batch"] = False
         if self.cache_dir is not None:
             doc["cache_dir"] = self.cache_dir  # TOML has no null: omit when unset
         return doc

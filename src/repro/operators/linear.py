@@ -131,6 +131,64 @@ class AffineOperator(FixedPointOperator):
             self._fp_computed = True
         return None if self._fixed_point is None else self._fixed_point.copy()
 
+    @staticmethod
+    def precompute_batch(ops: "list[AffineOperator]") -> None:
+        """Fill the lazy analysis caches of many same-shape operators at once.
+
+        Populations of small affine operators (scenario batches) pay
+        more for per-call LAPACK dispatch than for the decompositions
+        themselves; stacking them into one ``(B, n, n)`` gufunc call
+        amortizes that dispatch.  LAPACK routines run per matrix inside
+        the gufunc loop, so every cached value is bit-identical to what
+        the lazy per-operator path would have computed — this is purely
+        a scheduling change (asserted by the batched-engine test suite).
+        """
+        todo = [
+            o for o in ops
+            if type(o) is AffineOperator
+            and not (o._contraction_computed and o._fp_computed)
+        ]
+        if not todo:
+            return
+        n = todo[0].dim
+        if any(o.dim != n for o in todo):
+            raise ValueError("precompute_batch needs operators of one dimension")
+        stackA = np.stack([o.A for o in todo])
+        absA = np.abs(stackA)
+        rhos = np.max(np.abs(np.linalg.eigvals(absA)), axis=1)
+        eps = 1e-12
+        vals, vecs = np.linalg.eig(absA + eps * np.ones((n, n)))
+        for i, op in enumerate(todo):
+            if not op._contraction_computed:
+                contraction: tuple[float, np.ndarray] | None = None
+                if float(rhos[i]) < 1.0:
+                    k = int(np.argmax(vals[i].real))
+                    u = np.abs(vecs[i][:, k].real)
+                    u = np.maximum(u, 1e-300)
+                    u = u / np.max(u)
+                    q = float(np.max((absA[i] @ u) / u))
+                    if q < 1.0:
+                        contraction = (q, u)
+                    else:
+                        q_uniform = float(np.max(absA[i].sum(axis=1)))
+                        if q_uniform < 1.0:
+                            contraction = (q_uniform, np.ones(n))
+                op._contraction = contraction
+                op._contraction_computed = True
+        solve_ops = [o for o in todo if not o._fp_computed]
+        if solve_ops:
+            lhs = np.eye(n) - np.stack([o.A for o in solve_ops])
+            rhs = np.stack([o.b for o in solve_ops])[:, :, None]
+            try:
+                xs = np.linalg.solve(lhs, rhs)[:, :, 0]
+                for i, op in enumerate(solve_ops):
+                    op._fixed_point = xs[i]
+                    op._fp_computed = True
+            except np.linalg.LinAlgError:
+                # One singular system poisons the whole gufunc call;
+                # let each operator fall back to its own lazy solve.
+                pass
+
 
 def _split_diag(M: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Return (diagonal, off-diagonal part) of ``M``; check invertible diag."""

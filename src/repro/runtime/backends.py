@@ -518,6 +518,29 @@ class ReferenceSimulatorBackend(_SimulatorBackend):
 
 
 @register_backend
+class BatchedLockstepBackend(_SimulatorBackend):
+    """The event loop, advertised to the fleet's batched fast path.
+
+    Solo execution delegates to the production event loop, so a single
+    scenario on this backend is *definitionally* bit-identical to
+    ``vectorized``.  What the name adds is intent: fleet chunks on this
+    backend route through the scenario-batched lockstep engine
+    (:mod:`repro.runtime.simulator.batched`), which replays the event
+    loop's round structure for whole ``(N, dim)`` populations whenever
+    the machine's timing is deterministic and round-structured
+    (constant compute, lossless constant sub-round latency — see
+    :func:`~repro.runtime.simulator.batched.lockstep_plan`).  Machines
+    outside that family still run — the batch detects them via
+    :class:`~repro.runtime.simulator.batched.LockstepIncompatible` and
+    falls back to this solo path, keeping the backend total over every
+    machine archetype like its siblings.
+    """
+
+    name = "batched-lockstep"
+    sim_cls = DistributedSimulator
+
+
+@register_backend
 class SharedMemoryBackend(ExecutionBackend):
     """Real Hogwild-style threads on a shared NumPy iterate.
 

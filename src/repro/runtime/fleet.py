@@ -203,17 +203,17 @@ class FleetResult:
 
     @property
     def scenarios_per_sec(self) -> float:
-        """Throughput; ``0.0`` for an empty fleet (no work, no rate).
+        """Throughput; ``0.0`` whenever no rate is measurable.
 
-        Store-reassembled fleets carry the *cumulative* per-row wall
-        time (see :meth:`~repro.runtime.sweep_store.SweepStore.fleet_result`),
-        so this stays finite for partial stores instead of fabricating
-        an infinite rate.
+        That covers the empty fleet (no work, no rate) *and* a
+        zero-duration aggregate — e.g. a grid satisfied entirely from a
+        resume store or cross-study cache, whose reassembled rows can
+        sum to ``wall_time == 0.0``.  Reporting ``0.0`` instead of
+        ``inf`` keeps the value a plain JSON number, so
+        :meth:`to_json` stays strictly valid and round-trips.
         """
-        if self.scenario_count == 0:
+        if self.scenario_count == 0 or self.wall_time <= 0:
             return 0.0
-        if self.wall_time <= 0:
-            return float("inf")
         return self.scenario_count / self.wall_time
 
     def ok(self) -> tuple[ScenarioResult, ...]:
@@ -331,9 +331,13 @@ class FleetResult:
         if isinstance(doc, str):
             doc = json.loads(doc)
         results = tuple(ScenarioResult.from_json_dict(r) for r in doc["results"])
+        # Documents written before scenarios_per_sec went finite could
+        # hold "wall_time": null (a non-finite value nulled by the
+        # strict-JSON encoder); restore it as 0.0 rather than crashing.
+        wall_time = doc["wall_time"]
         return cls(
             results=results,
-            wall_time=float(doc["wall_time"]),
+            wall_time=0.0 if wall_time is None else float(wall_time),
             executor=str(doc["executor"]),
             max_workers=int(doc["max_workers"]),
         )
@@ -609,8 +613,22 @@ def _pack_chunks(
 def _run_chunk(
     runner: Callable[[ScenarioSpec], ScenarioResult],
     specs: "list[ScenarioSpec]",
+    batch: bool = False,
 ) -> "list[ScenarioResult]":
-    """Execute one dispatch chunk inside a worker (top-level: picklable)."""
+    """Execute one dispatch chunk inside a worker (top-level: picklable).
+
+    With ``batch``, homogeneous runs of specs inside the chunk (same
+    problem shape, models, machine kind and iteration budget — see
+    :func:`~repro.runtime.simulator.batched.run_scenario_batch`) advance
+    through one lockstep batched call instead of ``len(specs)`` solo
+    calls; everything unbatchable, and any batch that fails mid-flight,
+    still goes through ``runner`` one spec at a time.  Results are
+    bit-identical either way.
+    """
+    if batch and len(specs) > 1:
+        from repro.runtime.simulator.batched import run_scenario_batch
+
+        return run_scenario_batch(specs, solo=runner)
     return [runner(spec) for spec in specs]
 
 
@@ -621,6 +639,7 @@ def _execute_specs(
     workers: int,
     on_result: Callable[[ScenarioResult], None] | None = None,
     chunk_size: "int | str" = "auto",
+    batch: bool = False,
 ) -> "dict[int, ScenarioResult]":
     """Run ``(index, spec)`` pairs, invoking ``on_result`` as each finishes.
 
@@ -628,10 +647,23 @@ def _execute_specs(
     chunk, see :func:`_pack_chunks`), so per-task pickle/IPC overhead
     amortizes over many scenarios; ``on_result`` still fires once per
     scenario, in completion order of the chunks.  The returned mapping
-    restores submission order.
+    restores submission order.  With ``batch``, each chunk routes its
+    homogeneous spec groups through the lockstep batched engine
+    (:func:`_run_chunk`); the serial path then also runs chunk by chunk
+    so store streaming keeps its per-chunk cadence instead of waiting
+    on the whole grid.
     """
     out: dict[int, ScenarioResult] = {}
     if chosen == "serial" or len(indexed) <= 1:
+        if batch and len(indexed) > 1:
+            for chunk in _pack_chunks(indexed, chunk_size, workers):
+                for (idx, _), r in zip(
+                    chunk, _run_chunk(runner, [spec for _, spec in chunk], True)
+                ):
+                    out[idx] = r
+                    if on_result is not None:
+                        on_result(r)
+            return out
         for idx, spec in indexed:
             r = runner(spec)
             out[idx] = r
@@ -642,7 +674,9 @@ def _execute_specs(
     chunks = _pack_chunks(indexed, chunk_size, workers)
     with pool_cls(max_workers=workers, initializer=_worker_init) as pool:
         pending = {
-            pool.submit(_run_chunk, runner, [spec for _, spec in chunk]): chunk
+            pool.submit(
+                _run_chunk, runner, [spec for _, spec in chunk], batch
+            ): chunk
             for chunk in chunks
         }
         while pending:
@@ -662,6 +696,7 @@ def run_fleet(
     executor: str = "auto",
     max_workers: int | None = None,
     chunk_size: "int | str" = "auto",
+    batch: bool = True,
 ) -> FleetResult:
     """Execute a batch of scenarios and aggregate into a :class:`FleetResult`.
 
@@ -680,6 +715,13 @@ def run_fleet(
         packs cost-balanced chunks targeting about 4 tasks per worker;
         an explicit int bounds the chunk size (``1`` restores per-task
         dispatch).  Results are bit-identical either way.
+    batch:
+        Route homogeneous spec groups inside each chunk through the
+        scenario-batched lockstep engine
+        (:mod:`repro.runtime.simulator.batched`) instead of one solo
+        call per scenario.  On (default), this changes throughput only:
+        batched results are bit-identical per scenario, and anything
+        the batched engine cannot take falls back to solo execution.
 
     The per-scenario results keep submission order regardless of
     completion order.  For persistent/resumable sweeps use
@@ -692,7 +734,8 @@ def run_fleet(
         chosen = "serial"
     t0 = time.perf_counter()
     slots = _execute_specs(
-        list(enumerate(specs)), run_scenario, chosen, workers, chunk_size=chunk_size
+        list(enumerate(specs)), run_scenario, chosen, workers,
+        chunk_size=chunk_size, batch=batch,
     )
     return FleetResult(
         results=tuple(slots[i] for i in range(len(specs))),
@@ -764,6 +807,7 @@ def run_grid(
     executor: str = "auto",
     max_workers: int | None = None,
     chunk_size: "int | str" = "auto",
+    batch: bool = True,
 ) -> FleetResult:
     """Execute a scenario grid with per-scenario persistence and resume.
 
@@ -815,6 +859,12 @@ def run_grid(
     chunk_size:
         Scenarios per dispatched pool task (``"auto"``: cost-balanced
         chunks, about 4 tasks per worker; ``1``: per-task dispatch).
+    batch:
+        Batch homogeneous spec groups through the lockstep engine (see
+        :func:`run_fleet`); bit-identical, throughput only.  Forced off
+        by ``keep_traces`` — the batched engine summarizes scalars and
+        records no traces, and a trace-keeping sweep must get a trace
+        file per row.
 
     Returns the same :class:`FleetResult` a plain :func:`run_fleet`
     would have produced, with ``trace_path``/``info`` populated.
@@ -931,7 +981,10 @@ def run_grid(
     if chosen != "serial" and len(to_run) <= 1:
         chosen = "serial"
     slots.update(
-        _execute_specs(to_run, runner, chosen, workers, on_result, chunk_size=chunk_size)
+        _execute_specs(
+            to_run, runner, chosen, workers, on_result,
+            chunk_size=chunk_size, batch=batch and not keep_traces,
+        )
     )
 
     fleet = FleetResult(

@@ -7,6 +7,11 @@ the mathematical engines produce, so every theoretical object
 measurable on simulated hardware runs.
 """
 
+from repro.runtime.simulator.batched import (
+    LockstepIncompatible,
+    batchable,
+    run_scenario_batch,
+)
 from repro.runtime.simulator.channel import ChannelSpec, ChannelState
 from repro.runtime.simulator.engine import DistributedSimulator
 from repro.runtime.simulator.network import (
@@ -35,6 +40,7 @@ __all__ = [
     "DurationModel",
     "ExponentialTime",
     "LinearGrowthTime",
+    "LockstepIncompatible",
     "MessageRecord",
     "ParetoTime",
     "PhaseRecord",
@@ -42,6 +48,8 @@ __all__ = [
     "ReferenceSimulator",
     "SimulationResult",
     "UniformTime",
+    "batchable",
+    "run_scenario_batch",
     "shared_memory_network",
     "two_cluster_grid",
     "uniform_cluster",

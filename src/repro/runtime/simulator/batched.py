@@ -1,0 +1,791 @@
+"""Scenario-batched lockstep execution of homogeneous spec groups.
+
+The fleet's per-scenario cost floor is Python dispatch: one
+:func:`~repro.runtime.fleet.run_scenario` call per grid point pays for
+backend lookup, engine construction, trace bookkeeping and per-iteration
+interpreter overhead even when the scenario itself is six floats wide
+and four iterations deep.  The paper's delay-regime sweeps are exactly
+such populations — thousands of *same-shape* scenarios differing only
+in their RNG seed — so this module stacks N of them into ``(N, dim)``
+arrays and advances all N through one shared iteration loop.
+
+Two substrates batch:
+
+* **engine-kind, ``exact`` backend** — Definition 1's global iteration
+  *is* the lockstep clock: every scenario advances one ``j`` per round.
+* **simulator-kind, lockstep-compatible machines** — machines whose
+  timing consumes no randomness (constant compute ``c``, constant
+  channel latency ``0 < l < c``, no loss, single inner steps) induce a
+  value-independent event schedule: all ``P`` processors commit once
+  per round in pid order, and every phase reads its own components one
+  round stale and remote components two rounds stale.  The recurrence
+  below replays that schedule directly, round by round, without a heap.
+
+Three invariants make the results *bit-identical* to solo runs:
+
+1. **RNG stream preservation** — every scenario keeps the exact
+   ingredient objects a solo run would build from its own
+   :meth:`~repro.scenarios.spec.ScenarioSpec.spawn_seeds`; stochastic
+   steering/delay models are stepped per scenario, in the same call
+   order, on the same per-scenario streams.  Deterministic models
+   (cyclic steering, zero/constant delays) are evaluated once per
+   iteration and shared across the batch.
+2. **No cross-scenario arithmetic** — matvecs
+   (``apply_block``/``apply``) stay per-scenario calls (batched GEMM is
+   not bit-equal to N GEMVs); only element gathers/scatters and
+   max-based norms — which are exact under any regrouping — vectorize
+   across the batch.
+3. **Divergence masking** — a scenario that terminates (tolerance
+   reached, budget exhausted) freezes: its final state is snapshotted
+   and it stops consuming its streams, exactly where the solo loop
+   would have stopped, while the rest of the batch continues.
+
+Batches are grouped by :attr:`ScenarioSpec.batch_key` (the canonical
+identity minus the seed), so every member shares problem shape, model
+ingredients, backend, budget and tolerance.  Anything unbatchable — and
+any batch that raises mid-flight — falls back to the solo runner, so
+batching can change throughput but never results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # registry -> simulator package -> here: keep lazy
+    from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "LockstepIncompatible",
+    "batchable",
+    "run_scenario_batch",
+]
+
+#: History memory cap per engine batch: ``(J+1, B, dim)`` float64 slabs
+#: are windowed so one batch never allocates more than this.
+_MAX_BATCH_BYTES = 64 * 2**20
+
+#: Steering policies whose active sets depend only on ``j`` — shared
+#: across the batch instead of stepped per scenario.
+_DETERMINISTIC_STEERING: tuple[type, ...] = ()
+#: Delay models whose labels depend only on ``j``.
+_DETERMINISTIC_DELAYS: tuple[type, ...] = ()
+
+
+def _det_classes() -> "tuple[tuple[type, ...], tuple[type, ...]]":
+    """Lazy import of the deterministic model whitelists (no import cycles)."""
+    global _DETERMINISTIC_STEERING, _DETERMINISTIC_DELAYS
+    if not _DETERMINISTIC_STEERING:
+        from repro.delays.bounded import ConstantDelay, ZeroDelay
+        from repro.steering.policies import AllComponents, BlockCyclic, CyclicSingle
+
+        _DETERMINISTIC_STEERING = (AllComponents, CyclicSingle, BlockCyclic)
+        _DETERMINISTIC_DELAYS = (ZeroDelay, ConstantDelay)
+    return _DETERMINISTIC_STEERING, _DETERMINISTIC_DELAYS
+
+
+class LockstepIncompatible(ValueError):
+    """A machine description cannot be executed as deterministic lockstep rounds."""
+
+
+def _spawn_seeds(spec: ScenarioSpec, count: int) -> "list[Any]":
+    """First ``count`` of the spec's five child seeds, skipping the rest.
+
+    ``SeedSequence.spawn(k)`` children are prefix-stable: child ``i``
+    is keyed by ``spawn_key == (i,)`` regardless of ``k``, so spawning
+    only the streams a batch actually consumes yields the same seed
+    objects :meth:`ScenarioSpec.spawn_seeds` would return at those
+    positions, for a fraction of the hashing cost.
+    """
+    return np.random.SeedSequence(spec.seed).spawn(count)
+
+
+# ----------------------------------------------------------------------
+# Eligibility and grouping
+# ----------------------------------------------------------------------
+
+#: Simulator backends whose solo semantics the lockstep recurrence
+#: reproduces (the two event-loop twins and the batched front itself).
+_SIM_BACKENDS = ("vectorized", "reference", "batched-lockstep")
+
+
+def batchable(spec: ScenarioSpec) -> bool:
+    """Whether ``spec`` is *eligible* for batched execution.
+
+    Engine scenarios batch on the ``exact`` backend (the ``flexible``
+    engine draws backend-internal randomness per update and stays
+    solo).  Simulator scenarios are eligible on the event-loop
+    backends; whether their machine really is lockstep-compatible is
+    only decidable after building it, so that check happens inside the
+    batch (incompatible groups fall back to solo, once per group).
+    """
+    if spec.kind == "engine":
+        return spec.backend == "exact"
+    return spec.backend in _SIM_BACKENDS
+
+
+def _fast_key(spec: ScenarioSpec) -> "tuple[Any, ...]":
+    """Cheap stand-in for :attr:`ScenarioSpec.batch_key` in the hot path.
+
+    ``repr`` of the param dicts is order-sensitive where the canonical
+    JSON is not, so two equal-content specs built with different dict
+    orderings may land in *separate* groups — a lost batching
+    opportunity, never a wrong merge (distinct contents never repr
+    equal).  Grids enumerate params identically, so in practice the
+    partition matches ``batch_key`` at a fraction of its cost.
+    """
+    return (
+        spec.problem, spec.kind, spec.steering, spec.delays, spec.machine,
+        spec.backend, int(spec.max_iterations), float(spec.tol),
+        repr(spec.problem_params), repr(spec.steering_params),
+        repr(spec.delay_params), repr(spec.machine_params),
+    )
+
+
+def _group(specs: Sequence[ScenarioSpec]) -> "list[list[int]]":
+    """Indices of ``specs`` grouped by homogeneity key, order preserved."""
+    groups: dict[Any, list[int]] = {}
+    order: list[Any] = []
+    for i, spec in enumerate(specs):
+        key = _fast_key(spec) if batchable(spec) else f"solo:{i}"
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(i)
+    return [groups[k] for k in order]
+
+
+def run_scenario_batch(
+    specs: Sequence[ScenarioSpec],
+    *,
+    solo: "Callable[[ScenarioSpec], Any] | None" = None,
+) -> "list[Any]":
+    """Execute a chunk of specs, batching homogeneous groups in lockstep.
+
+    Results come back in input order and are bit-identical (per
+    scenario) to ``[solo(s) for s in specs]`` — groups of fewer than
+    two batchable specs, ineligible specs, and any group whose batch
+    raises run through ``solo`` (default
+    :func:`~repro.runtime.fleet.run_scenario`).  This is the unit the
+    fleet's chunk dispatch routes through one worker task.
+    """
+    if solo is None:
+        from repro.runtime.fleet import run_scenario as solo  # type: ignore[no-redef]
+
+    out: list[Any] = [None] * len(specs)
+    for indices in _group(specs):
+        group = [specs[i] for i in indices]
+        results: "list[Any] | None" = None
+        if len(group) >= 2 and batchable(group[0]):
+            try:
+                if group[0].kind == "engine":
+                    results = _run_engine_batch(group)
+                else:
+                    results = _run_lockstep_batch(group)
+            except Exception:  # noqa: BLE001 - solo is the behavioural oracle
+                results = None
+        if results is None:
+            results = [solo(s) for s in group]
+        for i, r in zip(indices, results):
+            out[i] = r
+    return out
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+def _precompute_analysis(ops: "Sequence[Any]") -> None:
+    """Batch the operators' lazy LAPACK work when the family supports it.
+
+    Purely a scheduling change: the stacked gufunc calls run the same
+    routine per matrix, so cached values match the lazy path bit for
+    bit (see :meth:`AffineOperator.precompute_batch`).
+    """
+    from repro.operators.linear import AffineOperator
+
+    if all(type(op) is AffineOperator for op in ops):
+        AffineOperator.precompute_batch(list(ops))
+
+
+def _comp_of_elem(block_spec: Any, dim: int) -> np.ndarray:
+    """Element index -> owning component index."""
+    owners = np.empty(dim, dtype=np.intp)
+    for i in range(block_spec.n_blocks):
+        sl = block_spec.slice(i)
+        owners[sl.start: sl.stop] = i
+    return owners
+
+
+class _BatchedNorm:
+    """Vectorized twin of N per-scenario :class:`WeightedMaxNorm` calls.
+
+    Weighted block-max norms are eligible for cross-scenario batching
+    because every operation — ``abs``, per-block ``maximum.reduceat``,
+    elementwise division by the (per-scenario) weights, and the final
+    max — is bit-exact under regrouping.  ``None`` when any norm is not
+    a plain :class:`~repro.utils.norms.WeightedMaxNorm` or the block
+    structures differ (callers then loop the norm objects).
+    """
+
+    def __init__(self, spec: Any, weights: np.ndarray) -> None:
+        self._spec = spec
+        self._weights = weights  # (B, n_blocks)
+
+    @classmethod
+    def build(cls, norms: "Sequence[Any]") -> "_BatchedNorm | None":
+        from repro.utils.norms import WeightedMaxNorm
+
+        if any(type(nm) is not WeightedMaxNorm for nm in norms):
+            return None
+        spec = norms[0].spec
+        for nm in norms[1:]:
+            if nm.spec.n_blocks != spec.n_blocks or not np.array_equal(
+                nm.spec._starts, spec._starts
+            ):
+                return None
+        return cls(spec, np.stack([nm.weights for nm in norms]))
+
+    @classmethod
+    def build_from_ops(cls, ops: "Sequence[Any]") -> "_BatchedNorm | None":
+        """Like :meth:`build` on ``[op.norm() for op in ops]``, but reading
+        :class:`AffineOperator` contraction caches directly — same weight
+        values without constructing ``B`` norm objects."""
+        from repro.operators.linear import AffineOperator
+
+        if not all(
+            type(op) is AffineOperator and op._contraction_computed for op in ops
+        ):
+            return cls.build([op.norm() for op in ops])
+        spec = ops[0].block_spec
+        starts = spec._starts
+        for op in ops[1:]:
+            if not np.array_equal(op.block_spec._starts, starts):
+                return cls.build([op.norm() for op in ops])
+        weights = np.empty((len(ops), spec.n_blocks))
+        ones = np.ones(spec.n_blocks)
+        for k, op in enumerate(ops):
+            # Mirrors AffineOperator.norm(): Perron weights when the
+            # contraction exists on scalar blocks, uniform otherwise.
+            if op._contraction is None or not spec.is_scalar:
+                weights[k] = ones
+            else:
+                weights[k] = op._contraction[1]
+        return cls(spec, weights)
+
+    def __call__(self, X: np.ndarray, rows: "np.ndarray | None" = None) -> np.ndarray:
+        """Per-row norms of ``X`` (``(B', dim)``); ``rows`` selects weights."""
+        W = self._weights if rows is None else self._weights[rows]
+        A = np.asarray(X, dtype=np.float64)
+        if self._spec.is_scalar:
+            A = np.abs(A)
+        else:
+            # block_euclidean_norms, row-wise: same sequential reduceat
+            # sums per segment, so bits match the 1-D evaluation.
+            A = np.sqrt(np.add.reduceat(A * A, self._spec._starts[:-1], axis=1))
+        return (A / W).max(axis=1)
+
+
+def _build_residual(ops: "Sequence[Any]", batched_norm: "_BatchedNorm | None"):
+    """Per-scenario residual evaluator, vectorizing the norm when exact.
+
+    When the operator type keeps the base-class residual definition
+    (``||F(x) - x||_u``) and the norm batches, residuals for many rows
+    evaluate as per-scenario ``apply`` calls (matvecs stay solo) plus
+    one batched norm.  Otherwise every row is a plain
+    ``op.residual(x)`` call — always bit-identical, just slower.
+    """
+    from repro.operators.base import FixedPointOperator
+
+    plain = all(
+        type(op).residual is FixedPointOperator.residual for op in ops
+    )
+    if plain and batched_norm is not None:
+        def residuals(X: np.ndarray, rows: np.ndarray) -> np.ndarray:
+            V = np.empty_like(X)
+            for k, b in enumerate(rows):
+                V[k] = ops[b].apply(X[k]) - X[k]
+            return batched_norm(V, rows)
+    else:
+        def residuals(X: np.ndarray, rows: np.ndarray) -> np.ndarray:
+            return np.array(
+                [ops[b].residual(X[k]) for k, b in enumerate(rows)], dtype=np.float64
+            )
+    return residuals
+
+
+def _summaries(
+    specs: Sequence[ScenarioSpec],
+    ops: "Sequence[Any]",
+    refs: "Sequence[Any]",
+    batched_norm: "_BatchedNorm | None",
+    x_final: np.ndarray,
+    iterations: np.ndarray,
+    converged: np.ndarray,
+    residuals: np.ndarray,
+    sim_time: "np.ndarray | None",
+    time_to_tol: "Sequence[Any] | None",
+    info: "Sequence[dict[str, Any]] | None",
+    wall_each: float,
+) -> "list[Any]":
+    """Assemble per-scenario :class:`ScenarioResult` rows from batch state."""
+    from repro.runtime.fleet import ScenarioResult
+
+    B = len(specs)
+    # Final error ||x - x*||_u, exactly the last entry of the solo
+    # trace's error series.  Batched when the norm allows, per-scenario
+    # norm calls otherwise; None wherever there is no reference.
+    errors: list[float | None] = [None] * B
+    have_ref = [b for b in range(B) if refs[b] is not None]
+    if have_ref:
+        D = np.stack([x_final[b] - refs[b] for b in have_ref])
+        if batched_norm is not None:
+            vals = batched_norm(D, np.asarray(have_ref))
+            for k, b in enumerate(have_ref):
+                errors[b] = float(vals[k])
+        else:
+            for k, b in enumerate(have_ref):
+                errors[b] = float(ops[b].norm()(D[k]))
+
+    out = []
+    for b, spec in enumerate(specs):
+        out.append(
+            ScenarioResult(
+                key=spec.key,
+                spec=spec,
+                iterations=int(iterations[b]),
+                converged=bool(converged[b]),
+                final_residual=float(residuals[b]),
+                final_error=errors[b],
+                sim_time=None if sim_time is None else float(sim_time[b]),
+                time_to_tol=None if time_to_tol is None else time_to_tol[b],
+                wall_time=wall_each,
+                info=dict(info[b]) if info is not None else {},
+                trace_path=None,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Engine-kind batches: Definition 1 in lockstep over j
+# ----------------------------------------------------------------------
+
+def _run_engine_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
+    """Run one homogeneous group of ``exact``-backend engine scenarios.
+
+    Replicates :meth:`AsyncIterationEngine.run` (with the fleet's
+    request: ``x0 = 0``, ``residual_every = 1``, no trace sink) for all
+    scenarios under one iteration counter.  The dense history slab
+    ``H[j]`` holds the full iterate after iteration ``j`` — the full
+    iterate at label ``m`` *is* every component's most recent value at
+    or before ``m``, so one fancy gather reproduces
+    ``VectorHistory.assemble`` exactly.
+    """
+    from repro.scenarios import registry
+
+    t0 = time.perf_counter()
+    B = len(specs)
+    head = specs[0]
+    J = head.max_iterations
+    tol = head.tol
+    det_steer, det_delay = _det_classes()
+
+    # Deterministic model classes hold no per-scenario stream (outputs
+    # are pure functions of j, constructors draw nothing), so the first
+    # spec's instance serves the whole batch — solo runs build B
+    # identical copies.
+    ops: list[Any] = []
+    steerings: list[Any] = []
+    delay_models: list[Any] = []
+    shared_steering = shared_delays = False
+    for bi, spec in enumerate(specs):
+        seeds = _spawn_seeds(spec, 3)  # problem / steering / delays streams
+        op = registry.make_problem(spec.problem, seeds[0], **spec.problem_params)
+        n = op.n_components
+        if bi == 0:
+            st = registry.make_steering(spec.steering, n, seeds[1], **spec.steering_params)
+            dl = registry.make_delays(spec.delays, n, seeds[2], **spec.delay_params)
+            shared_steering = isinstance(st, det_steer)
+            shared_delays = isinstance(dl, det_delay)
+        else:
+            st = steerings[0] if shared_steering else registry.make_steering(
+                spec.steering, n, seeds[1], **spec.steering_params
+            )
+            dl = delay_models[0] if shared_delays else registry.make_delays(
+                spec.delays, n, seeds[2], **spec.delay_params
+            )
+        st.reset()
+        dl.reset()
+        ops.append(op)
+        steerings.append(st)
+        delay_models.append(dl)
+
+    dim = ops[0].dim
+    n = ops[0].n_components
+    for op in ops[1:]:
+        if op.dim != dim or op.n_components != n:
+            raise LockstepIncompatible(
+                "operators in one batch group must share their shape; got "
+                f"dim {op.dim} vs {dim}"
+            )
+    block = ops[0].block_spec
+    slices = [block.slice(i) for i in range(n)]
+    comp_map = _comp_of_elem(block, dim)
+    elem_range = np.arange(dim, dtype=np.intp)
+    _precompute_analysis(ops)
+    refs = [op.fixed_point() for op in ops]
+    batched_norm = _BatchedNorm.build_from_ops(ops)
+    residual_of = _build_residual(ops, batched_norm)
+
+    # Window the batch so the (J+1, B, dim) history slab stays bounded.
+    window = max(2, int(_MAX_BATCH_BYTES // ((J + 1) * dim * 8)))
+
+    X_parts: list[np.ndarray] = []
+    it_parts: list[np.ndarray] = []
+    cv_parts: list[np.ndarray] = []
+    fr_parts: list[np.ndarray] = []
+    for w0 in range(0, B, window):
+        wB = min(B, w0 + window) - w0
+
+        H = np.zeros((J + 1, wB, dim))  # H[0] = x0 = 0, the fleet's start
+        flatH = H.reshape(-1)
+        live = list(range(wB))
+        iterations = np.full(wB, 0, dtype=np.int64)
+        converged = np.zeros(wB, dtype=bool)
+        x_final = np.zeros((wB, dim))
+        final_res = np.zeros(wB)
+        j_done = 0
+
+        for j in range(1, J + 1):
+            j_done = j
+            live_arr = np.asarray(live, dtype=np.intp)
+            # Labels l_i(j): shared when the model is a pure function
+            # of j, stepped on each scenario's own stream otherwise.
+            if shared_delays:
+                lab = delay_models[w0 + live[0]].labels(j)
+                elem_lab = lab[comp_map][None, :]
+            else:
+                lab_mat = np.stack(
+                    [delay_models[w0 + b].labels(j) for b in live]
+                )
+                elem_lab = lab_mat[:, comp_map]
+            gather = (elem_lab * wB + live_arr[:, None]) * dim + elem_range
+            delayed = flatH[gather.reshape(-1)].reshape(len(live), dim)
+
+            H[j] = H[j - 1]
+            if shared_steering:
+                S = steerings[w0 + live[0]].active_set(j)
+                if len(S) == 0:
+                    raise RuntimeError(f"steering produced empty S_{j}")
+                for k, b in enumerate(live):
+                    row = delayed[k]
+                    hb = H[j, b]
+                    for i in S:
+                        hb[slices[i]] = ops[w0 + b].apply_block(row, i)
+            else:
+                for k, b in enumerate(live):
+                    S = steerings[w0 + b].active_set(j)
+                    if len(S) == 0:
+                        raise RuntimeError(f"steering produced empty S_{j}")
+                    row = delayed[k]
+                    hb = H[j, b]
+                    for i in S:
+                        hb[slices[i]] = ops[w0 + b].apply_block(row, i)
+
+            if tol > 0.0:
+                # residual_every = 1 (the exact backend's fleet default):
+                # the stopping test sees a fresh residual every j.
+                res = residual_of(H[j, live_arr], live_arr + w0)
+                frozen = []
+                for k, b in enumerate(live):
+                    if res[k] < tol:
+                        converged[b] = True
+                        iterations[b] = j
+                        x_final[b] = H[j, b]
+                        final_res[b] = res[k]
+                        frozen.append(b)
+                if frozen:
+                    live = [b for b in live if b not in set(frozen)]
+                    if not live:
+                        break
+
+        if live:
+            live_arr = np.asarray(live, dtype=np.intp)
+            iterations[live_arr] = j_done
+            x_final[live_arr] = H[j_done, live_arr]
+        # Solo recomputes the residual at the final iterate even when
+        # the loop already measured it (same call, same bits).
+        all_rows = np.arange(wB, dtype=np.intp)
+        final_res = residual_of(x_final, all_rows + w0)
+
+        X_parts.append(x_final)
+        it_parts.append(iterations)
+        cv_parts.append(converged)
+        fr_parts.append(final_res)
+
+    wall_each = (time.perf_counter() - t0) / B
+    return _summaries(
+        list(specs), ops, refs, batched_norm,
+        np.concatenate(X_parts), np.concatenate(it_parts),
+        np.concatenate(cv_parts), np.concatenate(fr_parts),
+        None, None, None, wall_each,
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulator-kind batches: deterministic lockstep rounds
+# ----------------------------------------------------------------------
+
+class _LockstepPlan:
+    """Validated round structure of a lockstep-compatible machine."""
+
+    __slots__ = ("P", "components", "compute", "n_peers")
+
+    def __init__(self, P: int, components: "list[tuple[int, ...]]",
+                 compute: float, n_peers: int) -> None:
+        self.P = P
+        self.components = components
+        self.compute = compute
+        self.n_peers = n_peers
+
+
+def lockstep_plan(processors: "Sequence[Any]", channels: Any) -> _LockstepPlan:
+    """Validate that a machine induces deterministic lockstep rounds.
+
+    Requirements (each named on failure): every processor computes in
+    :class:`ConstantTime` with one shared duration ``c``, runs a single
+    inner step with no partial publishing, read refreshing or think
+    time; every channel is lossless :class:`ConstantTime` latency
+    ``0 < l < c``.  Under these, the event schedule is value- and
+    RNG-independent: all ``P`` processors commit at ``t = r·c`` (pid
+    order), and all round-``r`` messages arrive strictly inside
+    ``(r·c, (r+1)·c)`` — own reads are one round stale, remote reads
+    two rounds stale, every round, every scenario.
+    """
+    from repro.runtime.simulator.channel import ChannelSpec
+    from repro.runtime.simulator.timing import ConstantTime
+
+    if not processors:
+        raise LockstepIncompatible("lockstep needs at least one processor")
+    compute = None
+    for pid, ps in enumerate(processors):
+        if type(ps.compute_time) is not ConstantTime:
+            raise LockstepIncompatible(
+                f"processor {pid} compute_time must be ConstantTime, got "
+                f"{type(ps.compute_time).__name__}"
+            )
+        if compute is None:
+            compute = ps.compute_time.value
+        elif ps.compute_time.value != compute:
+            raise LockstepIncompatible(
+                f"processor {pid} compute_time {ps.compute_time.value} breaks the "
+                f"shared round duration {compute}"
+            )
+        if ps.inner_steps != 1:
+            raise LockstepIncompatible(
+                f"processor {pid} inner_steps must be 1, got {ps.inner_steps}"
+            )
+        if ps.publish_partials or ps.refresh_reads:
+            raise LockstepIncompatible(
+                f"processor {pid} uses flexible communication "
+                "(publish_partials/refresh_reads)"
+            )
+        if ps.think_time is not None:
+            raise LockstepIncompatible(f"processor {pid} has think_time")
+
+    P = len(processors)
+    if isinstance(channels, ChannelSpec) or channels is None:
+        pair_specs = {
+            (s, d): (channels if channels is not None else ChannelSpec())
+            for s in range(P) for d in range(P) if s != d
+        }
+    else:
+        fallback = ChannelSpec()
+        pair_specs = {
+            (s, d): channels.get((s, d), fallback)
+            for s in range(P) for d in range(P) if s != d
+        }
+    for pair, cs in pair_specs.items():
+        if type(cs.latency) is not ConstantTime:
+            raise LockstepIncompatible(
+                f"channel {pair} latency must be ConstantTime, got "
+                f"{type(cs.latency).__name__}"
+            )
+        if cs.drop_prob != 0.0:
+            raise LockstepIncompatible(f"channel {pair} has drop_prob {cs.drop_prob}")
+        if not cs.latency.value < compute:
+            raise LockstepIncompatible(
+                f"channel {pair} latency {cs.latency.value} must be strictly "
+                f"below the round duration {compute}"
+            )
+    return _LockstepPlan(
+        P, [tuple(ps.components) for ps in processors], float(compute), P - 1
+    )
+
+
+#: The simulator backends' stopping-test cadence (see
+#: ``_SimulatorBackend.execute``): residuals refresh every 10 commits.
+_SIM_RESIDUAL_EVERY = 10
+
+
+def _run_lockstep_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
+    """Run one homogeneous group of lockstep-machine simulator scenarios.
+
+    Replays the event loop's round structure (see :func:`lockstep_plan`)
+    per scenario without a heap: round ``r`` commits iteration
+    ``j = (r-1)·P + pid + 1`` at time ``r·c`` from a snapshot whose own
+    components are round ``r-1`` values and whose remote components are
+    round ``r-2`` values.  Residual cadence, convergence-carry
+    semantics, message counts and the residual/time series feeding
+    ``time_to_tol`` all follow ``DistributedSimulator.run`` with the
+    fleet's options (``record_messages=False``, ``residual_every=10``,
+    ``max_time=inf``).
+    """
+    from repro.analysis.rates import time_to_tolerance
+    from repro.scenarios import registry
+
+    t0 = time.perf_counter()
+    B = len(specs)
+    head = specs[0]
+    max_iterations = head.max_iterations
+    tol = head.tol
+
+    # The built-in "lockstep" archetype consumes no machine RNG, so one
+    # build serves the batch; unknown machine factories rebuild per
+    # scenario in case construction drew from the per-spec stream.
+    share_machine = head.machine == "lockstep"
+    ops: list[Any] = []
+    plans: list[_LockstepPlan] = []
+    for spec in specs:
+        seeds = _spawn_seeds(spec, 4)  # problem stream + machine stream
+        op = registry.make_problem(spec.problem, seeds[0], **spec.problem_params)
+        if share_machine and plans:
+            plans.append(plans[0])
+        else:
+            procs, channels = registry.make_machine(
+                spec.machine, op.n_components, seeds[3], **spec.machine_params
+            )
+            plans.append(lockstep_plan(procs, channels))
+        ops.append(op)
+
+    plan = plans[0]
+    dim = ops[0].dim
+    n = ops[0].n_components
+    for op, pl in zip(ops, plans):
+        if op.dim != dim or op.n_components != n or pl.components != plan.components:
+            raise LockstepIncompatible("batch group mixes machine shapes")
+
+    block = ops[0].block_spec
+    slices = [block.slice(i) for i in range(n)]
+    elem_idx = [np.arange(s.start, s.stop, dtype=np.intp) for s in slices]
+    own_elems = [
+        np.concatenate([elem_idx[c] for c in comps]) for comps in plan.components
+    ]
+    _precompute_analysis(ops)
+    refs = [op.fixed_point() for op in ops]
+    batched_norm = _BatchedNorm.build_from_ops(ops)
+    residual_of = _build_residual(ops, batched_norm)
+    all_rows = np.arange(B, dtype=np.intp)
+
+    P = plan.P
+    c = plan.compute
+    msgs_per_commit = [plan.n_peers * len(comps) for comps in plan.components]
+
+    # Committed full iterates: V1 after round r-1, V2 after round r-2.
+    V1 = np.zeros((B, dim))
+    V2 = np.zeros((B, dim))
+    global_x = np.zeros((B, dim))
+    x_final = np.zeros((B, dim))
+    iterations = np.zeros(B, dtype=np.int64)
+    converged = np.zeros(B, dtype=bool)
+    final_time = np.zeros(B)
+    messages_sent = np.zeros(B, dtype=np.int64)
+
+    # The event loop computes the initial residual unconditionally; it
+    # seeds the carried stopping value and the trace's residual series.
+    last_res = residual_of(global_x, all_rows) if tol > 0.0 else None
+    res_series: "list[list[float]] | None" = None
+    time_series: "list[list[float]] | None" = None
+    if tol > 0.0:
+        res_series = [[float(last_res[b])] for b in range(B)]
+        time_series = [[] for _ in range(B)]
+
+    live = list(range(B))
+    r = 0
+    while live:
+        r += 1
+        end_t = r * c
+        for pid in range(P):
+            if not live:
+                break
+            live_arr = np.asarray(live, dtype=np.intp)
+            oe = own_elems[pid]
+            # Phase snapshots: own components one round stale, remote
+            # components two rounds stale (messages of round r-1 land
+            # after these phases started).
+            snaps = V2[live_arr].copy()
+            snaps[:, oe] = V1[live_arr][:, oe]
+            for k, b in enumerate(live):
+                snap = snaps[k]
+                for comp in plan.components[pid]:
+                    # Gauss-Seidel within the phase, as in the event loop.
+                    snap[slices[comp]] = ops[b].apply_block(snap, comp)
+            global_x[live_arr[:, None], oe[None, :]] = snaps[:, oe]
+
+            frozen: list[int] = []
+            check_rows = []
+            for b in live:
+                j = int(iterations[b]) + 1
+                iterations[b] = j
+                messages_sent[b] += msgs_per_commit[pid]
+                if tol > 0.0 and (j % _SIM_RESIDUAL_EVERY == 0 or j >= max_iterations):
+                    check_rows.append(b)
+            if check_rows:
+                ck = np.asarray(check_rows, dtype=np.intp)
+                fresh = residual_of(global_x[ck], ck)
+                for k, b in enumerate(check_rows):
+                    last_res[b] = fresh[k]
+            for b in live:
+                j = int(iterations[b])
+                if tol > 0.0:
+                    res_series[b].append(float(last_res[b]))
+                    time_series[b].append(end_t)
+                if tol > 0.0 and last_res[b] < tol:
+                    converged[b] = True
+                elif j < max_iterations:
+                    continue
+                x_final[b] = global_x[b]
+                final_time[b] = end_t
+                frozen.append(b)
+            if frozen:
+                dead = set(frozen)
+                live = [b for b in live if b not in dead]
+        if live:
+            live_arr = np.asarray(live, dtype=np.intp)
+            V2[live_arr] = V1[live_arr]
+            V1[live_arr] = global_x[live_arr]
+
+    final_res = residual_of(x_final, all_rows)
+    ttt: list[Any] = [None] * B
+    if tol > 0.0:
+        for b in range(B):
+            ttt[b] = time_to_tolerance(
+                np.asarray(res_series[b]), np.asarray(time_series[b]), tol
+            )
+    info = [
+        {
+            "messages_sent": float(messages_sent[b]),
+            "messages_dropped": 0.0,
+            "phases_completed": float(iterations[b]),
+        }
+        for b in range(B)
+    ]
+
+    wall_each = (time.perf_counter() - t0) / B
+    return _summaries(
+        list(specs), ops, refs, batched_norm, x_final, iterations, converged,
+        final_res, final_time, ttt, info, wall_each,
+    )

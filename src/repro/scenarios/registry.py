@@ -481,6 +481,29 @@ def _machine_wan(n: int, seed: Any, *, n_processors: int = 4,
     return procs, channels
 
 
+@register("machine", "lockstep")
+def _machine_lockstep(n: int, seed: Any, *, n_processors: int = 4,
+                      compute: float = 1.0, latency: float = 0.05) -> Any:
+    """Deterministic lockstep rounds: constant compute, sub-round latency.
+
+    Every processor takes exactly ``compute`` per phase and every
+    channel delivers in exactly ``latency`` (``0 < latency < compute``),
+    so the event schedule is value- and RNG-independent — the machine
+    archetype the batched scenario engine executes whole populations of
+    (see :mod:`repro.runtime.simulator.batched`).
+    """
+    if not 0.0 < latency < compute:
+        raise ValueError(
+            f"lockstep needs 0 < latency < compute, got latency={latency}, "
+            f"compute={compute}"
+        )
+    procs = [
+        ProcessorSpec(components=comps, compute_time=ConstantTime(compute))
+        for comps in _partition(n, n_processors)
+    ]
+    return procs, uniform_cluster(n_processors, latency=latency)
+
+
 @register("machine", "lossy")
 def _machine_lossy(n: int, seed: Any, *, n_processors: int = 4,
                    drop_prob: float = 0.05) -> Any:

@@ -217,6 +217,21 @@ class ScenarioSpec:
         doc = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(doc.encode()).hexdigest()[:16]
 
+    @property
+    def batch_key(self) -> str:
+        """Homogeneity key for batched lockstep execution.
+
+        The canonical identity minus the seed: two specs with equal
+        batch keys share problem family and parameters (hence shape),
+        ingredient models, backend, budget and tolerance — differing
+        only in their RNG streams — and may therefore advance through
+        one shared iteration clock (see
+        :mod:`repro.runtime.simulator.batched`).
+        """
+        doc = self.canonical()
+        del doc["seed"]
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
     def spawn_seeds(self) -> list[np.random.SeedSequence]:
         """Five independent child streams: problem, steering, delays, machine, backend.
 

@@ -170,3 +170,49 @@ class TestChunkedBitIdentity:
         serial = run_fleet(specs, executor="serial")
         chunked = run_fleet(specs, executor="process", max_workers=2, chunk_size="auto")
         assert chunked.digest() == serial.digest()
+
+
+class TestPackingEdges:
+    """ISSUE 6 bugfix: degenerate packings never emit empty chunks."""
+
+    def test_auto_on_single_scenario_grid(self):
+        specs = _grid(n_seeds=1, delays=("zero",)).expand()
+        assert len(specs) == 1
+        chunks = _pack_chunks(_indexed(specs), "auto", workers=4)
+        assert chunks == [[(0, specs[0])]]
+
+    def test_explicit_size_larger_than_grid_has_no_empty_chunks(self):
+        specs = _grid(n_seeds=1).expand()  # 2 scenarios
+        for size in (3, 10, 10_000):
+            chunks = _pack_chunks(_indexed(specs), size, workers=3)
+            assert all(chunk for chunk in chunks), size
+            covered = sorted(i for chunk in chunks for i, _ in chunk)
+            assert covered == list(range(len(specs)))
+
+    @pytest.mark.parametrize("chunk_size", ["auto", 1, 7, 10_000])
+    @pytest.mark.parametrize("workers", [1, 3, 16])
+    def test_never_any_empty_chunk(self, chunk_size, workers):
+        specs = _grid(n_seeds=2).expand()  # 4 scenarios
+        chunks = _pack_chunks(_indexed(specs), chunk_size, workers=workers)
+        assert all(len(chunk) >= 1 for chunk in chunks)
+        covered = sorted(i for chunk in chunks for i, _ in chunk)
+        assert covered == list(range(len(specs)))
+
+    def test_oversized_explicit_chunk_runs_end_to_end(self, tmp_path):
+        # chunk_size far beyond the grid used to be an easy way to get
+        # a degenerate packing; the fleet must run it like any other.
+        specs = _grid(n_seeds=1).expand()
+        big = run_fleet(specs, executor="thread", max_workers=2,
+                        chunk_size=10_000)
+        ref = run_fleet(specs, executor="serial", chunk_size=1)
+        assert not big.failures()
+        assert big.digest() == ref.digest()
+
+    def test_validation_errors_name_the_argument(self):
+        specs = _grid(n_seeds=1).expand()
+        with pytest.raises(ValueError, match=r'chunk_size must be "auto"'):
+            run_fleet(specs, executor="serial", chunk_size="huge")
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            run_fleet(specs, executor="serial", chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_fleet(specs, executor="serial", chunk_size=2.5)

@@ -477,3 +477,68 @@ class TestResultsLayerFixes:
         assert back.final_error == float("-inf")
         assert digest_rows([("h", inf_row)]) == digest_rows([("h", back)])
         assert digest_rows([("h", inf_row)]) != digest_rows([("h", nan_row)])
+
+
+class TestZeroDurationFleets:
+    """ISSUE 6 bugfix: empty / all-cache-hit fleets stay finite JSON.
+
+    A grid satisfied entirely from a resume store or cross-study cache
+    reassembles a ``FleetResult`` whose ``wall_time`` can be ``0.0``
+    while ``results`` is non-empty; dividing through used to make
+    ``scenarios_per_sec`` ``inf``, which ``to_json`` then nulled — and
+    older documents on disk still carry that ``"wall_time": null``.
+    """
+
+    def _cached_fleet(self):
+        spec = SMALL_ENGINE_GRID.expand()[0]
+        live = run_fleet([spec], executor="serial")
+        return FleetResult(results=live.results, wall_time=0.0,
+                           executor="store", max_workers=0)
+
+    def test_nonempty_zero_wall_time_rate_is_zero(self):
+        fleet = self._cached_fleet()
+        assert fleet.scenario_count == 1
+        assert fleet.scenarios_per_sec == 0.0
+
+    def test_zero_wall_time_to_json_is_strict_and_roundtrips(self):
+        fleet = self._cached_fleet()
+
+        def no_constants(name):
+            raise ValueError(f"non-standard JSON constant {name!r}")
+
+        text = fleet.to_json()
+        doc = json.loads(text, parse_constant=no_constants)  # must not raise
+        assert doc["scenarios_per_sec"] == 0.0
+        back = FleetResult.from_json(text)
+        assert back.wall_time == 0.0
+        assert back.digest() == fleet.digest()
+
+    def test_empty_fleet_to_json_roundtrips(self):
+        empty = FleetResult(results=(), wall_time=0.0, executor="serial",
+                            max_workers=1)
+        back = FleetResult.from_json(empty.to_json())
+        assert back.results == ()
+        assert back.scenarios_per_sec == 0.0
+        assert back.digest() == empty.digest()
+
+    def test_legacy_null_wall_time_restores_as_zero(self):
+        # Documents written while the rate could go inf persisted
+        # "wall_time": null; they must still load.
+        fleet = self._cached_fleet()
+        doc = json.loads(fleet.to_json())
+        doc["wall_time"] = None
+        back = FleetResult.from_json(doc)
+        assert back.wall_time == 0.0
+        assert back.scenarios_per_sec == 0.0
+
+    def test_all_cache_hit_grid_reports_finite_rate(self, tmp_path):
+        # End to end: a store-resumed grid re-runs nothing, and the
+        # stitched result still serializes finitely.
+        from repro.runtime.fleet import run_grid
+
+        specs = SMALL_ENGINE_GRID.expand()[:2]
+        run_grid(specs, store=tmp_path / "s", executor="serial")
+        warm = run_grid(specs, store=tmp_path / "s", executor="serial")
+        assert warm.scenario_count == 2
+        assert np.isfinite(warm.scenarios_per_sec)
+        json.loads(warm.to_json())  # strict by construction

@@ -33,15 +33,34 @@ def _grid(n_seeds: int = 2, **overrides) -> ScenarioGrid:
 
 @pytest.fixture()
 def count_runs(monkeypatch):
-    """Count actual scenario executions (cache hits must not execute)."""
+    """Count actual scenario executions (cache hits must not execute).
+
+    Counts both execution routes — solo calls and batched lockstep
+    groups — without double-counting scenarios a batch hands back to
+    the solo fallback.
+    """
+    import repro.runtime.simulator.batched as batched_mod
+
     calls: list[str] = []
     inner = fleet_mod._run_scenario_inner
+    batch = batched_mod.run_scenario_batch
+    in_batch = [False]
 
     def counting(spec, **kwargs):
-        calls.append(spec.key)
+        if not in_batch[0]:
+            calls.append(spec.key)
         return inner(spec, **kwargs)
 
+    def counting_batch(specs, **kwargs):
+        calls.extend(s.key for s in specs)
+        in_batch[0] = True
+        try:
+            return batch(specs, **kwargs)
+        finally:
+            in_batch[0] = False
+
     monkeypatch.setattr(fleet_mod, "_run_scenario_inner", counting)
+    monkeypatch.setattr(batched_mod, "run_scenario_batch", counting_batch)
     return calls
 
 
@@ -170,3 +189,56 @@ class TestCacheTraceRule:
         for r in fleet.ok():
             assert store.has_trace(r.content_hash)
             assert r.trace_path == str(store.trace_path(r.content_hash))
+
+
+class TestCacheShardInteraction:
+    """ISSUE 6: the cache composes with multi-host sharding.
+
+    One host arrives with a warm cross-study cache (its shard fully
+    satisfied without executing), the other runs cold; the merged store
+    must certify bit-identically with an uncached single-host sweep.
+    """
+
+    def test_warm_and_cold_shards_merge_to_single_host_digest(
+        self, tmp_path, count_runs
+    ):
+        grid = _grid(n_seeds=2)  # 4 scenarios, 2 per shard
+        shard0, shard1 = grid.shard(2, 0), grid.shard(2, 1)
+
+        # Uncached single-host reference.
+        run_grid(grid.expand(), store=tmp_path / "single", cache=False,
+                 executor="serial")
+        baseline = len(count_runs)
+        single = SweepStore(tmp_path / "single", create=False)
+
+        # An earlier, unrelated study happens to have computed shard 0's
+        # scenarios into the shared cache.
+        cache = tmp_path / "cache"
+        run_grid(shard0, cache=cache, executor="serial")
+        warm_fill = len(count_runs) - baseline
+        assert warm_fill == len(shard0)
+
+        # Host 0 is fully cache-hit, host 1 runs cold.
+        run_grid(shard0, store=tmp_path / "h0", cache=cache, executor="serial")
+        assert len(count_runs) - baseline == warm_fill  # zero new executions
+        run_grid(shard1, store=tmp_path / "h1", cache=False, executor="serial")
+        assert len(count_runs) - baseline == warm_fill + len(shard1)
+
+        merged = SweepStore(tmp_path / "merged").merge(
+            tmp_path / "h0", tmp_path / "h1"
+        )
+        assert merged.digest() == single.digest()
+        assert merged.fleet_result().scenario_count == grid.size
+
+    def test_cache_hit_shard_store_is_complete_for_merge(self, tmp_path):
+        # The cache-satisfied host's store must be self-contained: rows
+        # present on disk, not references into the cache directory.
+        grid = _grid(n_seeds=1)
+        shard0 = grid.shard(2, 0)
+        cache = tmp_path / "cache"
+        run_grid(shard0, cache=cache, executor="serial")
+        run_grid(shard0, store=tmp_path / "h0", cache=cache, executor="serial")
+        store = SweepStore(tmp_path / "h0", create=False)
+        assert len(store.completed()) == len(shard0)
+        for spec in shard0:
+            assert store.result_path(spec.content_hash).exists()

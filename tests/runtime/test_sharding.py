@@ -250,3 +250,47 @@ class TestTwoShardAcceptance:
         merged = SweepStore(tmp_path / "merged").merge(d0, d1)
         assert merged.digest() == single.digest()
         assert merged.fleet_result().scenario_count == grid.size
+
+
+class TestOversharding:
+    """ISSUE 6 bugfix: more hosts than scenarios must degrade gracefully.
+
+    ``grid.shard(k, i)`` with ``k`` above the scenario count deals some
+    hosts an empty shard; those hosts still have to run, write a store
+    that :meth:`SweepStore.merge` accepts (manifest included), and stay
+    out of the merged digest's way.
+    """
+
+    def test_empty_shards_are_legal_and_disjoint(self):
+        grid = _grid(n_seeds=1)  # 2 scenarios
+        shards = [grid.shard(5, i) for i in range(5)]
+        assert sorted(len(s) for s in shards) == [0, 0, 0, 1, 1]
+        hashes = [s.content_hash for shard in shards for s in shard]
+        assert set(hashes) == {s.content_hash for s in grid.expand()}
+
+    def test_empty_shard_runs_and_writes_mergeable_store(self, tmp_path):
+        grid = _grid(n_seeds=1)
+        empty = grid.shard(5, 4)
+        assert empty == ()
+        fleet = run_grid(empty, store=tmp_path / "empty", executor="serial")
+        assert fleet.scenario_count == 0
+        assert fleet.scenarios_per_sec == 0.0
+        store = SweepStore(tmp_path / "empty", create=False)
+        assert store.completed() == set()
+        # Merging the empty store is a no-op, not a crash.
+        merged = SweepStore(tmp_path / "merged").merge(tmp_path / "empty")
+        assert merged.completed() == set()
+
+    def test_oversharded_merge_matches_single_host_digest(self, tmp_path):
+        grid = _grid(n_seeds=1)  # 2 scenarios across 5 "hosts"
+        run_grid(grid.expand(), store=tmp_path / "single", executor="serial")
+        single = SweepStore(tmp_path / "single", create=False)
+
+        dirs = []
+        for i in range(5):
+            d = tmp_path / f"host{i}"
+            run_grid(grid.shard(5, i), store=d, executor="serial")
+            dirs.append(d)
+        merged = SweepStore(tmp_path / "merged").merge(*dirs)
+        assert merged.digest() == single.digest()
+        assert merged.fleet_result().scenario_count == grid.size
