@@ -46,9 +46,18 @@ interpreter work by stacking each homogeneous chunk into one ``(N, n)``
 population advanced in lockstep vectorized kernels
 (``repro.runtime.simulator.batched``).  The legacy strategies run with
 ``batch=False`` so their rows keep measuring dispatch alone; the
-batched row is the default path (``batch=True``).  Its acceptance bar
-is >= 5x scenarios/sec over per-task dispatch on this workload — again
-with equal digests, since batching is bit-identical per scenario.
+batched row is the default path (``batch=True``).  Phase 2 batches the
+*construction* side as well (stacked problem factories via
+``registry.build_batch``, shared deterministic models, prefix-stable
+seed spawning), so the batched row also reports
+``construction_overhead`` — the fraction of its wall spent in
+per-scenario setup, measured by the batch engine's own cumulative
+counter under the serial executor.  The acceptance bar is >= 8x
+scenarios/sec over per-task dispatch on the numpy path (the trajectory
+target is >= 10x) — again with equal digests, since batching is
+bit-identical per scenario.  When numba is installed and ``REPRO_JIT``
+is set the compiled kernel raises the batched row further; the
+recorded ``jit`` status says which path produced the numbers.
 """
 
 from __future__ import annotations
@@ -109,21 +118,35 @@ def run_throughput():
     return baseline, fleet, fleet_serial, results_layer, dispatch
 
 
+def _jit_status():
+    """Which inner-loop path produced the batched numbers (for the record)."""
+    from repro.runtime.simulator.kernels import jit_status, resolve_kernel
+
+    resolve_kernel()  # resolve under the ambient REPRO_JIT setting
+    return jit_status()
+
+
 def run_dispatch():
     """Chunked vs per-task dispatch on the many-small-scenarios workload."""
     from repro.runtime.fleet import run_fleet
+    from repro.runtime.simulator import batched as batched_mod
 
     specs = MANY_SMALL.expand()
     serial = run_fleet(specs, executor="serial", batch=False)
     per_task = run_fleet(specs, executor="process", chunk_size=1, batch=False)
     chunked = run_fleet(specs, executor="process", chunk_size="auto",
                         batch=False)
+    # Serial executor so the batch engine's in-process construction
+    # counter sees every batch this run creates.
+    c0 = batched_mod.construction_seconds()
     batched = run_fleet(specs, executor="serial", chunk_size="auto")
+    construction = batched_mod.construction_seconds() - c0
+    construction_overhead = construction / batched.wall_time
     # Same specs, same seeds: neither dispatch strategy nor scenario
     # batching may ever leak into the results.
     assert (serial.digest() == per_task.digest() == chunked.digest()
             == batched.digest())
-    return serial, per_task, chunked, batched
+    return serial, per_task, chunked, batched, construction_overhead
 
 
 def run_results_layer():
@@ -194,7 +217,7 @@ def test_fleet_throughput(benchmark):
         title=f"streaming results layer, same {baseline.scenario_count}-scenario workload",
     )
 
-    d_serial, d_per_task, d_chunked, d_batched = dispatch
+    d_serial, d_per_task, d_chunked, d_batched, construction_overhead = dispatch
     chunked_speedup = compare_throughput(d_per_task, d_chunked).speedup
     batched_speedup = compare_throughput(d_per_task, d_batched).speedup
     batched_vs_chunked = compare_throughput(d_chunked, d_batched).speedup
@@ -207,6 +230,9 @@ def test_fleet_throughput(benchmark):
          d_chunked.scenarios_per_sec, chunked_speedup],
         ["serial, batched lockstep engine (default)", d_batched.wall_time,
          d_batched.scenarios_per_sec, batched_speedup],
+        [f"  of which per-scenario construction "
+         f"({construction_overhead:.0%} of batched wall)",
+         construction_overhead * d_batched.wall_time, "-", "-"],
     ]
     dispatch_table = render_table(
         ["dispatch strategy", "wall s", "scenarios/s", "vs per-task"],
@@ -247,6 +273,8 @@ def test_fleet_throughput(benchmark):
             "chunked_vs_per_task_speedup": chunked_speedup,
             "batched_vs_per_task_speedup": batched_speedup,
             "batched_vs_chunked_speedup": batched_vs_chunked,
+            "construction_overhead": construction_overhead,
+            "jit": _jit_status(),
         },
     }
     TRAJECTORY_FILE.write_text(json.dumps(payload, indent=2) + "\n")
@@ -262,6 +290,6 @@ def test_fleet_throughput(benchmark):
     assert chunked_speedup >= 1.5, (
         f"chunked dispatch speedup {chunked_speedup:.2f}x < 1.5x"
     )
-    assert batched_speedup >= 5.0, (
-        f"batched engine speedup {batched_speedup:.2f}x < 5x"
+    assert batched_speedup >= 8.0, (
+        f"batched engine speedup {batched_speedup:.2f}x < 8x"
     )

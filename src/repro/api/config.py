@@ -308,7 +308,11 @@ class ExecutionSpec:
     ``1``: per-task dispatch).  ``batch`` routes homogeneous spec
     groups inside each chunk through the scenario-batched lockstep
     engine (on by default; ``False`` restores one solo call per
-    scenario).  ``cache_dir`` names the cross-study result cache
+    scenario).  ``jit`` opts the batched engine into the compiled numba
+    kernel (``None`` defers to the ``REPRO_JIT`` environment variable;
+    the kernel auto-disables, reason recorded, when numba is absent or
+    its bit-identity probe fails).  ``cache_dir`` names the cross-study
+    result cache
     consulted by content hash before any scenario executes (``None``
     defers to the ``REPRO_SWEEP_CACHE`` environment variable at run
     time).  All of these change only *how fast* results arrive, never
@@ -321,6 +325,7 @@ class ExecutionSpec:
     max_workers: int | None = None
     chunk_size: int | str = "auto"
     batch: bool = True
+    jit: bool | None = None
     cache_dir: str | None = None
 
     def __post_init__(self) -> None:
@@ -335,6 +340,8 @@ class ExecutionSpec:
         _check_chunk_size(self.chunk_size)
         if not isinstance(self.batch, bool):
             raise ValueError(f"batch must be a bool, got {self.batch!r}")
+        if self.jit is not None and not isinstance(self.jit, bool):
+            raise ValueError(f"jit must be a bool or None, got {self.jit!r}")
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", str(self.cache_dir))
 
@@ -346,6 +353,8 @@ class ExecutionSpec:
             doc["chunk_size"] = int(self.chunk_size)
         if not self.batch:
             doc["batch"] = False
+        if self.jit is not None:
+            doc["jit"] = self.jit  # tri-state: omitted means "env decides"
         if self.cache_dir is not None:
             doc["cache_dir"] = self.cache_dir  # TOML has no null: omit when unset
         return doc

@@ -21,6 +21,7 @@ from repro.utils.validation import check_finite_array, check_vector
 __all__ = [
     "AffineOperator",
     "jacobi_operator",
+    "jacobi_operator_batch",
     "jor_operator",
     "richardson_operator",
 ]
@@ -131,8 +132,33 @@ class AffineOperator(FixedPointOperator):
             self._fp_computed = True
         return None if self._fixed_point is None else self._fixed_point.copy()
 
+    @classmethod
+    def _from_parts(
+        cls, A: np.ndarray, b: np.ndarray, block_spec: BlockSpec
+    ) -> "AffineOperator":
+        """Validation-free constructor for batch-built operator stacks.
+
+        The stacked factories (:func:`jacobi_operator_batch` and the
+        registry's ``build_batch`` path) validate finiteness and shapes
+        once per ``(B, n, n)`` stack, so re-checking each slice here
+        would only re-pay the per-instance overhead the batch removed.
+        ``A``/``b`` may be views into the shared stack and the
+        ``block_spec`` may be one shared instance (it is immutable).
+        """
+        self = object.__new__(cls)
+        FixedPointOperator.__init__(self, A.shape[0], block_spec)
+        self.A = A
+        self.b = b
+        self._fixed_point = None
+        self._fp_computed = False
+        self._contraction = None
+        self._contraction_computed = False
+        return self
+
     @staticmethod
-    def precompute_batch(ops: "list[AffineOperator]") -> None:
+    def precompute_batch(
+        ops: "list[AffineOperator]", *, A_stack: np.ndarray | None = None
+    ) -> None:
         """Fill the lazy analysis caches of many same-shape operators at once.
 
         Populations of small affine operators (scenario batches) pay
@@ -142,6 +168,10 @@ class AffineOperator(FixedPointOperator):
         the gufunc loop, so every cached value is bit-identical to what
         the lazy per-operator path would have computed — this is purely
         a scheduling change (asserted by the batched-engine test suite).
+
+        ``A_stack`` lets a batched constructor that already produced the
+        ``(len(ops), n, n)`` stack (with ``ops[k].A`` the ``k``-th
+        slice) hand it over directly instead of paying a re-stack.
         """
         todo = [
             o for o in ops
@@ -153,7 +183,10 @@ class AffineOperator(FixedPointOperator):
         n = todo[0].dim
         if any(o.dim != n for o in todo):
             raise ValueError("precompute_batch needs operators of one dimension")
-        stackA = np.stack([o.A for o in todo])
+        if A_stack is not None and len(todo) == len(ops):
+            stackA = A_stack
+        else:
+            stackA = np.stack([o.A for o in todo])
         absA = np.abs(stackA)
         rhos = np.max(np.abs(np.linalg.eigvals(absA)), axis=1)
         eps = 1e-12
@@ -177,7 +210,10 @@ class AffineOperator(FixedPointOperator):
                 op._contraction_computed = True
         solve_ops = [o for o in todo if not o._fp_computed]
         if solve_ops:
-            lhs = np.eye(n) - np.stack([o.A for o in solve_ops])
+            if len(solve_ops) == len(todo):
+                lhs = np.eye(n) - stackA
+            else:
+                lhs = np.eye(n) - np.stack([o.A for o in solve_ops])
             rhs = np.stack([o.b for o in solve_ops])[:, :, None]
             try:
                 xs = np.linalg.solve(lhs, rhs)[:, :, 0]
@@ -218,6 +254,48 @@ def jacobi_operator(
     A = -R / d[:, None]
     b = c / d
     return AffineOperator(A, b, block_spec)
+
+
+def jacobi_operator_batch(
+    Ms: np.ndarray,
+    cs: np.ndarray,
+    block_spec: BlockSpec | None = None,
+) -> list[AffineOperator]:
+    """Jacobi operators for a stack of systems, bit-identical per slice.
+
+    ``Ms`` is ``(B, n, n)``, ``cs`` is ``(B, n)``; the result matches
+    ``[jacobi_operator(Ms[k], cs[k], block_spec) for k in range(B)]``
+    bit for bit: the splitting ``A = -R / d``, ``b = c / d`` is purely
+    elementwise (exact under stacking) and the lazy analysis caches are
+    filled through :meth:`AffineOperator.precompute_batch`, whose
+    stacked LAPACK gufuncs run the same routine per matrix.  Validation
+    happens once on the stack, so the per-instance constructor overhead
+    a solo loop pays ``B`` times is paid once.
+    """
+    Ms = np.asarray(Ms, dtype=np.float64)
+    cs = np.asarray(cs, dtype=np.float64)
+    if Ms.ndim != 3 or Ms.shape[1] != Ms.shape[2]:
+        raise ValueError(f"Ms must be a (B, n, n) stack, got shape {Ms.shape}")
+    B, n = Ms.shape[0], Ms.shape[1]
+    if cs.shape != (B, n):
+        raise ValueError(f"cs must have shape ({B}, {n}), got {cs.shape}")
+    if not np.isfinite(Ms).all() or not np.isfinite(cs).all():
+        raise ValueError("Ms and cs must be finite")
+    idx = np.arange(n)
+    ds = Ms[:, idx, idx].copy()
+    if np.any(ds == 0.0):
+        raise ValueError("M must have a nonzero diagonal for Jacobi-type splittings")
+    # Mirrors _split_diag + jacobi_operator elementwise: R = M - diag(d),
+    # A = -R / d, b = c / d.  Subtracting the diagonal gives an exact
+    # 0.0 there (x - x), identical to the solo splitting's R.
+    Rs = Ms.copy()
+    Rs[:, idx, idx] -= ds
+    As = -Rs / ds[:, :, None]
+    bs = cs / ds
+    spec = block_spec if block_spec is not None else BlockSpec.scalar(n)
+    ops = [AffineOperator._from_parts(As[k], bs[k], spec) for k in range(B)]
+    AffineOperator.precompute_batch(ops, A_stack=As)
+    return ops
 
 
 def jor_operator(

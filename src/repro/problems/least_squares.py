@@ -15,7 +15,13 @@ from repro.problems.base import CompositeProblem, SmoothProblem
 from repro.problems.datasets import RegressionData
 from repro.utils.validation import check_finite_array, check_nonnegative, check_vector
 
-__all__ = ["LeastSquaresProblem", "make_ridge", "make_lasso", "make_elastic_net"]
+__all__ = [
+    "LeastSquaresProblem",
+    "batch_least_squares",
+    "make_ridge",
+    "make_lasso",
+    "make_elastic_net",
+]
 
 
 class LeastSquaresProblem(SmoothProblem):
@@ -49,6 +55,38 @@ class LeastSquaresProblem(SmoothProblem):
         self._Ytz = (Y.T @ z) / m
         self._sol: np.ndarray | None = None
 
+    @classmethod
+    def _from_precomputed(
+        cls,
+        Y: np.ndarray,
+        z: np.ndarray,
+        l2: float,
+        gram: np.ndarray,
+        eigs: np.ndarray,
+    ) -> "LeastSquaresProblem":
+        """Constructor taking the eigendecomposition from a batched caller.
+
+        :func:`batch_least_squares` computes the Gram spectra of many
+        instances through one stacked ``eigvalsh`` gufunc (the same
+        LAPACK routine per matrix, so values are bit-identical to the
+        per-instance path); everything else mirrors ``__init__``.
+        """
+        mu = float(eigs[0]) + l2
+        L = float(eigs[-1]) + l2
+        if mu <= 0:
+            raise ValueError(
+                "smooth part is not strongly convex; increase l2 (Gram matrix is singular)"
+            )
+        self = object.__new__(cls)
+        SmoothProblem.__init__(self, Y.shape[1], mu, L)
+        self.features = Y
+        self.targets = z
+        self.l2 = l2
+        self._gram = gram
+        self._Ytz = (Y.T @ z) / Y.shape[0]
+        self._sol = None
+        return self
+
     def objective(self, x: np.ndarray) -> float:
         x = np.asarray(x, dtype=np.float64)
         r = self.features @ x - self.targets
@@ -69,6 +107,35 @@ class LeastSquaresProblem(SmoothProblem):
         if self._sol is None:
             self._sol = np.linalg.solve(self.hessian(np.zeros(self.dim)), self._Ytz)
         return self._sol.copy()
+
+
+def batch_least_squares(
+    datas: "list[RegressionData]", l2: float = 0.0
+) -> "list[LeastSquaresProblem]":
+    """Smooth parts for many regression datasets, analysis batched.
+
+    Bit-identical per dataset to
+    ``[LeastSquaresProblem(d.features, d.targets, l2=l2) for d in datas]``:
+    each Gram matrix is the same two-dimensional BLAS product a solo
+    constructor computes (cross-dataset GEMM is never used), and the
+    spectra come from one stacked ``eigvalsh`` call, which runs the
+    identical LAPACK routine per matrix.
+    """
+    l2 = check_nonnegative(l2, "l2")
+    checked: list[tuple[np.ndarray, np.ndarray]] = []
+    grams = []
+    for d in datas:
+        Y = check_finite_array(d.features, "features")
+        if Y.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {Y.shape}")
+        z = check_vector(d.targets, "targets", dim=Y.shape[0])
+        checked.append((Y, z))
+        grams.append((Y.T @ Y) / Y.shape[0])
+    eig_stack = np.linalg.eigvalsh(np.stack(grams))
+    return [
+        LeastSquaresProblem._from_precomputed(Y, z, l2, grams[k], eig_stack[k])
+        for k, (Y, z) in enumerate(checked)
+    ]
 
 
 def make_ridge(data: RegressionData, l2: float = 0.1) -> CompositeProblem:

@@ -15,7 +15,14 @@ from repro.operators.linear import AffineOperator, jacobi_operator
 from repro.utils.norms import BlockSpec
 from repro.utils.rng import as_generator
 
-__all__ = ["random_dominant_system", "tridiagonal_system", "make_jacobi_instance"]
+__all__ = [
+    "random_dominant_system",
+    "random_dominant_system_batch",
+    "tridiagonal_system",
+    "make_jacobi_instance",
+    "make_jacobi_batch",
+    "make_tridiagonal_batch",
+]
 
 
 def random_dominant_system(
@@ -64,6 +71,50 @@ def random_dominant_system(
     return M, c
 
 
+def random_dominant_system_batch(
+    dim: int,
+    dominance: float = 0.5,
+    *,
+    seeds: "list[int | np.random.Generator | np.random.SeedSequence | None]",
+) -> tuple[np.ndarray, np.ndarray]:
+    """A ``(B, dim, dim), (B, dim)`` stack of :func:`random_dominant_system` draws.
+
+    Bit-identical per slice to
+    ``[random_dominant_system(dim, dominance, seed=s) for s in seeds]``:
+    each scenario's raw Gaussians are drawn from its own stream in solo
+    order (``M`` then ``c``; the rescaling consumes no randomness), and
+    the dominance rescaling itself is purely elementwise/row-wise
+    arithmetic, which is exact under stacking.  Only the default dense
+    ``density=1.0`` form batches — the sparsity mask would interleave a
+    third draw, which solo order still permits, but no registry factory
+    requests it.
+    """
+    if not 0.0 < dominance <= 1.0:
+        raise ValueError(f"dominance must lie in (0, 1], got {dominance}")
+    B = len(seeds)
+    Ms = np.empty((B, dim, dim))
+    cs = np.empty((B, dim))
+    for k, seed in enumerate(seeds):
+        rng = as_generator(seed)
+        Ms[k] = rng.standard_normal((dim, dim))
+        cs[k] = rng.standard_normal(dim)
+    idx = np.arange(dim)
+    Ms[:, idx, idx] = 0.0
+    row_sums = np.sum(np.abs(Ms), axis=2)
+    target = 1.0 - dominance
+    diag = np.where(row_sums > 0, row_sums / max(target, 1e-300), 1.0)
+    if target == 0.0:
+        Ms[:] = 0.0
+        diag = np.ones((B, dim))
+    else:
+        scale = np.where(
+            row_sums > 0, (target * diag) / np.maximum(row_sums, 1e-300), 0.0
+        )
+        Ms *= scale[:, :, None]
+    Ms[:, idx, idx] = diag
+    return Ms, cs
+
+
 def tridiagonal_system(
     dim: int,
     off_diag: float = -1.0,
@@ -99,3 +150,49 @@ def make_jacobi_instance(
     M, c = random_dominant_system(dim, dominance, seed=seed)
     spec = None if n_blocks is None else BlockSpec.uniform(dim, n_blocks)
     return jacobi_operator(M, c, spec)
+
+
+def make_jacobi_batch(
+    dim: int,
+    dominance: float = 0.5,
+    *,
+    n_blocks: int | None = None,
+    seeds: "list[int | np.random.Generator | np.random.SeedSequence | None]",
+) -> "list[AffineOperator]":
+    """Batched :func:`make_jacobi_instance`, bit-identical per scenario.
+
+    Stacks the instance generation (per-scenario draws in solo order,
+    one vectorized rescale) and hands the ``(B, n, n)`` stack to
+    :func:`~repro.operators.linear.jacobi_operator_batch`, which fills
+    the fixed-point/contraction caches through one stacked gufunc call.
+    """
+    from repro.operators.linear import jacobi_operator_batch
+
+    Ms, cs = random_dominant_system_batch(dim, dominance, seeds=seeds)
+    spec = None if n_blocks is None else BlockSpec.uniform(dim, n_blocks)
+    return jacobi_operator_batch(Ms, cs, spec)
+
+
+def make_tridiagonal_batch(
+    dim: int,
+    off_diag: float = -1.0,
+    diag: float = 4.0,
+    *,
+    seeds: "list[int | np.random.Generator | np.random.SeedSequence | None]",
+) -> "list[AffineOperator]":
+    """Batched ``jacobi_operator(*tridiagonal_system(...))`` construction.
+
+    The matrix is deterministic (shared across the batch); only the
+    right-hand side ``c`` is drawn, per scenario, in solo order.
+    Bit-identical per scenario to building each instance alone.
+    """
+    from repro.operators.linear import jacobi_operator_batch
+
+    if dim < 2:
+        raise ValueError("tridiagonal_system needs dim >= 2")
+    M = diag * np.eye(dim) + off_diag * (np.eye(dim, k=1) + np.eye(dim, k=-1))
+    cs = np.empty((len(seeds), dim))
+    for k, seed in enumerate(seeds):
+        cs[k] = as_generator(seed).standard_normal(dim)
+    Ms = np.broadcast_to(M, (len(seeds), dim, dim)).copy()
+    return jacobi_operator_batch(Ms, cs, None)

@@ -526,11 +526,13 @@ class BatchedLockstepBackend(_SimulatorBackend):
     ``vectorized``.  What the name adds is intent: fleet chunks on this
     backend route through the scenario-batched lockstep engine
     (:mod:`repro.runtime.simulator.batched`), which replays the event
-    loop's round structure for whole ``(N, dim)`` populations whenever
-    the machine's timing is deterministic and round-structured
-    (constant compute, lossless constant sub-round latency — see
-    :func:`~repro.runtime.simulator.batched.lockstep_plan`).  Machines
-    outside that family still run — the batch detects them via
+    loop's schedule for whole ``(N, dim)`` populations whenever the
+    machine's timing is deterministic: per-processor constant compute
+    durations sharing a common base period (the homogeneous
+    ``lockstep`` archetype and the heterogeneous ``lockstep-tiered``
+    both qualify) with lossless constant latency below the fastest
+    phase — see :func:`~repro.runtime.simulator.batched.lockstep_plan`.
+    Machines outside that family still run — the batch detects them via
     :class:`~repro.runtime.simulator.batched.LockstepIncompatible` and
     falls back to this solo path, keeping the backend total over every
     machine archetype like its siblings.

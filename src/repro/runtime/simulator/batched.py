@@ -14,12 +14,29 @@ Two substrates batch:
 * **engine-kind, ``exact`` backend** — Definition 1's global iteration
   *is* the lockstep clock: every scenario advances one ``j`` per round.
 * **simulator-kind, lockstep-compatible machines** — machines whose
-  timing consumes no randomness (constant compute ``c``, constant
-  channel latency ``0 < l < c``, no loss, single inner steps) induce a
-  value-independent event schedule: all ``P`` processors commit once
-  per round in pid order, and every phase reads its own components one
-  round stale and remote components two rounds stale.  The recurrence
-  below replays that schedule directly, round by round, without a heap.
+  timing consumes no randomness (per-processor constant compute
+  durations sharing a common base period, constant lossless channel
+  latency below the fastest phase, single inner steps) induce a
+  value-independent event schedule.  A value-free replay of the event
+  loop's heap (:func:`_lockstep_schedule`) transcribes that schedule
+  once per group; the batch then executes the resulting op-list —
+  snapshot, deliver, commit — over ``(P, N, dim)`` state.
+
+Phase 2 pushes the remaining per-scenario floor out of the batch path:
+
+* **batched construction** — homogeneous groups build their operators
+  through :func:`repro.scenarios.registry.build_batch` (stacked RNG
+  draws per chunk, one stacked LAPACK/gufunc analysis pass), falling
+  back to per-spec factories for families without a batched twin;
+* **wider whitelist** — even-odd steering and the deterministic
+  log/power delay-growth families join the shared-model fast path, and
+  ``lockstep_plan`` admits per-processor constant durations with a
+  common period (e.g. the ``lockstep-tiered`` archetype) instead of one
+  all-equal duration;
+* **compiled kernel** — an optional numba implementation of the fused
+  gather-update-residual loop (:mod:`repro.runtime.simulator.kernels`),
+  behind ``REPRO_JIT`` / ``ExecutionSpec.jit``, probe-verified for
+  bit-identity at resolve time and auto-disabled when numba is absent.
 
 Three invariants make the results *bit-identical* to solo runs:
 
@@ -27,9 +44,11 @@ Three invariants make the results *bit-identical* to solo runs:
    ingredient objects a solo run would build from its own
    :meth:`~repro.scenarios.spec.ScenarioSpec.spawn_seeds`; stochastic
    steering/delay models are stepped per scenario, in the same call
-   order, on the same per-scenario streams.  Deterministic models
-   (cyclic steering, zero/constant delays) are evaluated once per
-   iteration and shared across the batch.
+   order, on the same per-scenario streams; batched factories draw each
+   scenario's stream in solo order from its own SeedSequence child.
+   Deterministic models (cyclic/block/even-odd steering, zero/constant/
+   log-growth/power delays) are evaluated once per iteration and shared
+   across the batch.
 2. **No cross-scenario arithmetic** — matvecs
    (``apply_block``/``apply``) stay per-scenario calls (batched GEMM is
    not bit-equal to N GEMVs); only element gathers/scatters and
@@ -49,6 +68,8 @@ batching can change throughput but never results.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import time
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
@@ -60,6 +81,7 @@ if TYPE_CHECKING:  # registry -> simulator package -> here: keep lazy
 __all__ = [
     "LockstepIncompatible",
     "batchable",
+    "construction_seconds",
     "run_scenario_batch",
 ]
 
@@ -75,19 +97,48 @@ _DETERMINISTIC_DELAYS: tuple[type, ...] = ()
 
 
 def _det_classes() -> "tuple[tuple[type, ...], tuple[type, ...]]":
-    """Lazy import of the deterministic model whitelists (no import cycles)."""
+    """Lazy import of the deterministic model whitelists (no import cycles).
+
+    A class is admissible here iff its registry factory consumes no
+    per-scenario randomness *and* its outputs are pure functions of
+    ``j`` — then the head spec's instance is interchangeable with every
+    scenario's own.  ``BaudetSqrtDelay`` is deterministic per instance
+    but its factory draws the slow set from the scenario stream, so it
+    stays on the per-scenario path.
+    """
     global _DETERMINISTIC_STEERING, _DETERMINISTIC_DELAYS
     if not _DETERMINISTIC_STEERING:
         from repro.delays.bounded import ConstantDelay, ZeroDelay
-        from repro.steering.policies import AllComponents, BlockCyclic, CyclicSingle
+        from repro.delays.unbounded import LogGrowthDelay, PowerGrowthDelay
+        from repro.steering.policies import (
+            AllComponents,
+            BlockCyclic,
+            CyclicSingle,
+            EvenOddSweeps,
+        )
 
-        _DETERMINISTIC_STEERING = (AllComponents, CyclicSingle, BlockCyclic)
-        _DETERMINISTIC_DELAYS = (ZeroDelay, ConstantDelay)
+        _DETERMINISTIC_STEERING = (
+            AllComponents, CyclicSingle, BlockCyclic, EvenOddSweeps,
+        )
+        _DETERMINISTIC_DELAYS = (
+            ZeroDelay, ConstantDelay, LogGrowthDelay, PowerGrowthDelay,
+        )
     return _DETERMINISTIC_STEERING, _DETERMINISTIC_DELAYS
 
 
 class LockstepIncompatible(ValueError):
     """A machine description cannot be executed as deterministic lockstep rounds."""
+
+
+#: Cumulative wall seconds batches spent constructing problems, models
+#: and operator analysis (read by the bench harness to attribute
+#: construction overhead; meaningful under the serial executor only).
+_construction_seconds = 0.0
+
+
+def construction_seconds() -> float:
+    """Total in-process wall time batches spent in per-scenario setup."""
+    return _construction_seconds
 
 
 def _spawn_seeds(spec: ScenarioSpec, count: int) -> "list[Any]":
@@ -106,7 +157,7 @@ def _spawn_seeds(spec: ScenarioSpec, count: int) -> "list[Any]":
 # Eligibility and grouping
 # ----------------------------------------------------------------------
 
-#: Simulator backends whose solo semantics the lockstep recurrence
+#: Simulator backends whose solo semantics the lockstep replay
 #: reproduces (the two event-loop twins and the batched front itself).
 _SIM_BACKENDS = ("vectorized", "reference", "batched-lockstep")
 
@@ -161,6 +212,7 @@ def run_scenario_batch(
     specs: Sequence[ScenarioSpec],
     *,
     solo: "Callable[[ScenarioSpec], Any] | None" = None,
+    jit: "bool | None" = None,
 ) -> "list[Any]":
     """Execute a chunk of specs, batching homogeneous groups in lockstep.
 
@@ -168,7 +220,11 @@ def run_scenario_batch(
     scenario) to ``[solo(s) for s in specs]`` — groups of fewer than
     two batchable specs, ineligible specs, and any group whose batch
     raises run through ``solo`` (default
-    :func:`~repro.runtime.fleet.run_scenario`).  This is the unit the
+    :func:`~repro.runtime.fleet.run_scenario`).  ``jit`` forwards the
+    compiled-kernel switch (``None`` defers to ``REPRO_JIT``; the
+    kernel only engages when numba is present and the resolve-time
+    bit-identity probe passes — see
+    :mod:`repro.runtime.simulator.kernels`).  This is the unit the
     fleet's chunk dispatch routes through one worker task.
     """
     if solo is None:
@@ -181,7 +237,7 @@ def run_scenario_batch(
         if len(group) >= 2 and batchable(group[0]):
             try:
                 if group[0].kind == "engine":
-                    results = _run_engine_batch(group)
+                    results = _run_engine_batch(group, jit=jit)
                 else:
                     results = _run_lockstep_batch(group)
             except Exception:  # noqa: BLE001 - solo is the behavioural oracle
@@ -208,6 +264,28 @@ def _precompute_analysis(ops: "Sequence[Any]") -> None:
 
     if all(type(op) is AffineOperator for op in ops):
         AffineOperator.precompute_batch(list(ops))
+
+
+def _build_problems(specs: Sequence[ScenarioSpec]) -> "list[Any]":
+    """Operators for one homogeneous group, batch-constructed when possible.
+
+    :func:`repro.scenarios.registry.build_batch` stacks the instance
+    generation for whitelisted families (each scenario's stream drawn
+    in solo order from its own SeedSequence child, so results are
+    bit-identical to per-spec builds); families without a batched twin
+    construct one spec at a time exactly as before.
+    """
+    from repro.scenarios import registry
+
+    ops = registry.build_batch(list(specs))
+    if ops is None:
+        ops = [
+            registry.make_problem(
+                spec.problem, _spawn_seeds(spec, 1)[0], **spec.problem_params
+            )
+            for spec in specs
+        ]
+    return ops
 
 
 def _comp_of_elem(block_spec: Any, dim: int) -> np.ndarray:
@@ -373,7 +451,9 @@ def _summaries(
 # Engine-kind batches: Definition 1 in lockstep over j
 # ----------------------------------------------------------------------
 
-def _run_engine_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
+def _run_engine_batch(
+    specs: Sequence[ScenarioSpec], jit: "bool | None" = None
+) -> "list[Any]":
     """Run one homogeneous group of ``exact``-backend engine scenarios.
 
     Replicates :meth:`AsyncIterationEngine.run` (with the fleet's
@@ -383,9 +463,19 @@ def _run_engine_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
     iterate at label ``m`` *is* every component's most recent value at
     or before ``m``, so one fancy gather reproduces
     ``VectorHistory.assemble`` exactly.
+
+    When the compiled kernel is active (``jit``) and the group is
+    kernel-shaped — shared deterministic steering, scalar blocks,
+    :class:`AffineOperator` stack, plain residual — the whole window
+    loop runs fused in :mod:`~repro.runtime.simulator.kernels`;
+    otherwise the numpy loop below executes unchanged.
     """
+    from repro.delays.base import DelayModel
+    from repro.operators.base import FixedPointOperator
+    from repro.operators.linear import AffineOperator
     from repro.scenarios import registry
 
+    global _construction_seconds
     t0 = time.perf_counter()
     B = len(specs)
     head = specs[0]
@@ -393,38 +483,57 @@ def _run_engine_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
     tol = head.tol
     det_steer, det_delay = _det_classes()
 
+    ops = _build_problems(specs)
+    n = ops[0].n_components
+
     # Deterministic model classes hold no per-scenario stream (outputs
     # are pure functions of j, constructors draw nothing), so the first
     # spec's instance serves the whole batch — solo runs build B
-    # identical copies.
-    ops: list[Any] = []
+    # identical copies.  Seed children are spawned per scenario only
+    # for the streams actually consumed (steering = child 1, delays =
+    # child 2; prefix-stable spawning keeps them bit-equal to solo).
     steerings: list[Any] = []
     delay_models: list[Any] = []
     shared_steering = shared_delays = False
     for bi, spec in enumerate(specs):
-        seeds = _spawn_seeds(spec, 3)  # problem / steering / delays streams
-        op = registry.make_problem(spec.problem, seeds[0], **spec.problem_params)
-        n = op.n_components
         if bi == 0:
+            seeds = _spawn_seeds(spec, 3)
             st = registry.make_steering(spec.steering, n, seeds[1], **spec.steering_params)
             dl = registry.make_delays(spec.delays, n, seeds[2], **spec.delay_params)
             shared_steering = isinstance(st, det_steer)
             shared_delays = isinstance(dl, det_delay)
         else:
-            st = steerings[0] if shared_steering else registry.make_steering(
-                spec.steering, n, seeds[1], **spec.steering_params
-            )
-            dl = delay_models[0] if shared_delays else registry.make_delays(
-                spec.delays, n, seeds[2], **spec.delay_params
-            )
+            if shared_steering and shared_delays:
+                st = steerings[0]
+                dl = delay_models[0]
+            elif shared_steering:
+                st = steerings[0]
+                dl = registry.make_delays(
+                    spec.delays, n, _spawn_seeds(spec, 3)[2], **spec.delay_params
+                )
+            elif shared_delays:
+                st = registry.make_steering(
+                    spec.steering, n, _spawn_seeds(spec, 2)[1], **spec.steering_params
+                )
+                dl = delay_models[0]
+            else:
+                seeds = _spawn_seeds(spec, 3)
+                st = registry.make_steering(spec.steering, n, seeds[1], **spec.steering_params)
+                dl = registry.make_delays(spec.delays, n, seeds[2], **spec.delay_params)
         st.reset()
         dl.reset()
-        ops.append(op)
         steerings.append(st)
         delay_models.append(dl)
 
+    # Stochastic delay models that keep the base-class ``labels`` can
+    # batch their per-iteration clipping: raw delays are drawn per
+    # scenario on its own stream (same call order as solo), then one
+    # vectorized clip replaces B Python-level label conversions.
+    batch_labels = not shared_delays and all(
+        type(m).labels is DelayModel.labels for m in delay_models
+    )
+
     dim = ops[0].dim
-    n = ops[0].n_components
     for op in ops[1:]:
         if op.dim != dim or op.n_components != n:
             raise LockstepIncompatible(
@@ -439,6 +548,39 @@ def _run_engine_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
     refs = [op.fixed_point() for op in ops]
     batched_norm = _BatchedNorm.build_from_ops(ops)
     residual_of = _build_residual(ops, batched_norm)
+    _construction_seconds += time.perf_counter() - t0
+
+    # Compiled-kernel eligibility: the kernel reproduces exactly the
+    # shared-steering scalar-block AffineOperator loop (probe-verified
+    # bit-identity); everything else keeps the numpy path.
+    kern = None
+    if jit is not False:
+        from repro.runtime.simulator.kernels import resolve_kernel
+
+        kern = resolve_kernel(jit)
+    plain_residual = all(
+        type(op).residual is FixedPointOperator.residual for op in ops
+    )
+    use_kernel = (
+        kern is not None
+        and shared_steering
+        and (shared_delays or batch_labels)
+        and block.is_scalar
+        and all(type(op) is AffineOperator for op in ops)
+        and (tol == 0.0 or (plain_residual and batched_norm is not None))
+    )
+    act_flat = act_off = None
+    if use_kernel:
+        sets = []
+        off = [0]
+        for j in range(1, J + 1):
+            S = steerings[0].active_set(j)
+            if len(S) == 0:
+                raise RuntimeError(f"steering produced empty S_{j}")
+            sets.append(np.asarray(S, dtype=np.int64))
+            off.append(off[-1] + len(S))
+        act_flat = np.concatenate(sets)
+        act_off = np.asarray(off, dtype=np.int64)
 
     # Window the batch so the (J+1, B, dim) history slab stays bounded.
     window = max(2, int(_MAX_BATCH_BYTES // ((J + 1) * dim * 8)))
@@ -451,71 +593,107 @@ def _run_engine_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
         wB = min(B, w0 + window) - w0
 
         H = np.zeros((J + 1, wB, dim))  # H[0] = x0 = 0, the fleet's start
-        flatH = H.reshape(-1)
-        live = list(range(wB))
         iterations = np.full(wB, 0, dtype=np.int64)
         converged = np.zeros(wB, dtype=bool)
         x_final = np.zeros((wB, dim))
-        final_res = np.zeros(wB)
-        j_done = 0
 
-        for j in range(1, J + 1):
-            j_done = j
-            live_arr = np.asarray(live, dtype=np.intp)
-            # Labels l_i(j): shared when the model is a pure function
-            # of j, stepped on each scenario's own stream otherwise.
-            if shared_delays:
-                lab = delay_models[w0 + live[0]].labels(j)
-                elem_lab = lab[comp_map][None, :]
-            else:
-                lab_mat = np.stack(
-                    [delay_models[w0 + b].labels(j) for b in live]
-                )
-                elem_lab = lab_mat[:, comp_map]
-            gather = (elem_lab * wB + live_arr[:, None]) * dim + elem_range
-            delayed = flatH[gather.reshape(-1)].reshape(len(live), dim)
+        if use_kernel:
+            # Labels precompute consumes each stochastic model's stream
+            # in solo per-j order; draws past a row's freeze point are
+            # simply discarded with the model, as in a solo early stop.
+            labels_elem = np.empty((J, wB, dim), dtype=np.int64)
+            for j in range(1, J + 1):
+                if shared_delays:
+                    labels_elem[j - 1] = delay_models[w0].labels(j)[comp_map][None, :]
+                else:
+                    d = np.stack(
+                        [delay_models[w0 + k].raw_delays(j) for k in range(wB)]
+                    ).astype(np.int64, copy=False)
+                    if d.shape[1] != n or np.any(d < 0):
+                        raise RuntimeError("raw_delays contract violation")
+                    labels_elem[j - 1] = np.clip((j - 1) - d, 0, j - 1)[:, comp_map]
+            A_stack = np.stack([ops[w0 + k].A for k in range(wB)])
+            b_stack = np.stack([ops[w0 + k].b for k in range(wB)])
+            W = (
+                batched_norm._weights[w0: w0 + wB]
+                if batched_norm is not None
+                else np.ones((wB, dim))
+            )
+            kern(
+                H, A_stack, b_stack, act_flat, act_off, labels_elem,
+                float(tol), W, iterations, converged, x_final,
+            )
+        else:
+            flatH = H.reshape(-1)
+            live = list(range(wB))
+            final_res = np.zeros(wB)
+            j_done = 0
 
-            H[j] = H[j - 1]
-            if shared_steering:
-                S = steerings[w0 + live[0]].active_set(j)
-                if len(S) == 0:
-                    raise RuntimeError(f"steering produced empty S_{j}")
-                for k, b in enumerate(live):
-                    row = delayed[k]
-                    hb = H[j, b]
-                    for i in S:
-                        hb[slices[i]] = ops[w0 + b].apply_block(row, i)
-            else:
-                for k, b in enumerate(live):
-                    S = steerings[w0 + b].active_set(j)
+            for j in range(1, J + 1):
+                j_done = j
+                live_arr = np.asarray(live, dtype=np.intp)
+                # Labels l_i(j): shared when the model is a pure function
+                # of j, stepped on each scenario's own stream otherwise.
+                if shared_delays:
+                    lab = delay_models[w0 + live[0]].labels(j)
+                    elem_lab = lab[comp_map][None, :]
+                elif batch_labels:
+                    d = np.stack(
+                        [delay_models[w0 + b].raw_delays(j) for b in live]
+                    ).astype(np.int64, copy=False)
+                    if d.shape[1] != n or np.any(d < 0):
+                        raise RuntimeError("raw_delays contract violation")
+                    elem_lab = np.clip((j - 1) - d, 0, j - 1)[:, comp_map]
+                else:
+                    lab_mat = np.stack(
+                        [delay_models[w0 + b].labels(j) for b in live]
+                    )
+                    elem_lab = lab_mat[:, comp_map]
+                gather = (elem_lab * wB + live_arr[:, None]) * dim + elem_range
+                delayed = flatH[gather.reshape(-1)].reshape(len(live), dim)
+
+                H[j] = H[j - 1]
+                if shared_steering:
+                    S = steerings[w0 + live[0]].active_set(j)
                     if len(S) == 0:
                         raise RuntimeError(f"steering produced empty S_{j}")
-                    row = delayed[k]
-                    hb = H[j, b]
-                    for i in S:
-                        hb[slices[i]] = ops[w0 + b].apply_block(row, i)
+                    for k, b in enumerate(live):
+                        row = delayed[k]
+                        hb = H[j, b]
+                        for i in S:
+                            hb[slices[i]] = ops[w0 + b].apply_block(row, i)
+                else:
+                    for k, b in enumerate(live):
+                        S = steerings[w0 + b].active_set(j)
+                        if len(S) == 0:
+                            raise RuntimeError(f"steering produced empty S_{j}")
+                        row = delayed[k]
+                        hb = H[j, b]
+                        for i in S:
+                            hb[slices[i]] = ops[w0 + b].apply_block(row, i)
 
-            if tol > 0.0:
-                # residual_every = 1 (the exact backend's fleet default):
-                # the stopping test sees a fresh residual every j.
-                res = residual_of(H[j, live_arr], live_arr + w0)
-                frozen = []
-                for k, b in enumerate(live):
-                    if res[k] < tol:
-                        converged[b] = True
-                        iterations[b] = j
-                        x_final[b] = H[j, b]
-                        final_res[b] = res[k]
-                        frozen.append(b)
-                if frozen:
-                    live = [b for b in live if b not in set(frozen)]
-                    if not live:
-                        break
+                if tol > 0.0:
+                    # residual_every = 1 (the exact backend's fleet default):
+                    # the stopping test sees a fresh residual every j.
+                    res = residual_of(H[j, live_arr], live_arr + w0)
+                    frozen = []
+                    for k, b in enumerate(live):
+                        if res[k] < tol:
+                            converged[b] = True
+                            iterations[b] = j
+                            x_final[b] = H[j, b]
+                            final_res[b] = res[k]
+                            frozen.append(b)
+                    if frozen:
+                        live = [b for b in live if b not in set(frozen)]
+                        if not live:
+                            break
 
-        if live:
-            live_arr = np.asarray(live, dtype=np.intp)
-            iterations[live_arr] = j_done
-            x_final[live_arr] = H[j_done, live_arr]
+            if live:
+                live_arr = np.asarray(live, dtype=np.intp)
+                iterations[live_arr] = j_done
+                x_final[live_arr] = H[j_done, live_arr]
+
         # Solo recomputes the residual at the final iterate even when
         # the loop already measured it (same call, same bits).
         all_rows = np.arange(wB, dtype=np.intp)
@@ -536,65 +714,108 @@ def _run_engine_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
 
 
 # ----------------------------------------------------------------------
-# Simulator-kind batches: deterministic lockstep rounds
+# Simulator-kind batches: deterministic lockstep schedules
 # ----------------------------------------------------------------------
 
+#: Named in every ``lockstep_plan`` rejection so callers know what the
+#: fast path *does* admit next to what their machine violated.
+_ADMISSIBLE = (
+    "admissible for lockstep batching: ConstantTime compute (constant per "
+    "processor, every duration an integer multiple of a common base round "
+    "duration), single inner steps without partial publishing / read "
+    "refreshing / think time, and lossless ConstantTime channel latency "
+    "strictly below the fastest compute duration; deterministic steering "
+    "(all/cyclic/block-cyclic/even-odd) and delay models (zero/constant/"
+    "log-growth/power) additionally share one instance per batch"
+)
+
+
 class _LockstepPlan:
-    """Validated round structure of a lockstep-compatible machine."""
+    """Validated schedule structure of a lockstep-compatible machine."""
 
-    __slots__ = ("P", "components", "compute", "n_peers")
+    __slots__ = ("P", "components", "computes", "latencies", "n_peers")
 
-    def __init__(self, P: int, components: "list[tuple[int, ...]]",
-                 compute: float, n_peers: int) -> None:
+    def __init__(
+        self,
+        P: int,
+        components: "list[tuple[int, ...]]",
+        computes: "list[float]",
+        latencies: "dict[tuple[int, int], float]",
+        n_peers: int,
+    ) -> None:
         self.P = P
         self.components = components
-        self.compute = compute
+        self.computes = computes
+        self.latencies = latencies
         self.n_peers = n_peers
+
+    @property
+    def compute(self) -> float:
+        """The base round duration (fastest processor's phase length)."""
+        return min(self.computes)
+
+    def matches(self, other: "_LockstepPlan") -> bool:
+        return (
+            self.components == other.components
+            and self.computes == other.computes
+            and self.latencies == other.latencies
+        )
 
 
 def lockstep_plan(processors: "Sequence[Any]", channels: Any) -> _LockstepPlan:
-    """Validate that a machine induces deterministic lockstep rounds.
+    """Validate that a machine induces a deterministic lockstep schedule.
 
-    Requirements (each named on failure): every processor computes in
-    :class:`ConstantTime` with one shared duration ``c``, runs a single
-    inner step with no partial publishing, read refreshing or think
-    time; every channel is lossless :class:`ConstantTime` latency
-    ``0 < l < c``.  Under these, the event schedule is value- and
-    RNG-independent: all ``P`` processors commit at ``t = r·c`` (pid
-    order), and all round-``r`` messages arrive strictly inside
-    ``(r·c, (r+1)·c)`` — own reads are one round stale, remote reads
-    two rounds stale, every round, every scenario.
+    Requirements (each named on failure, alongside the admissible
+    alternatives): every processor computes in :class:`ConstantTime` —
+    durations may differ per processor but must all be integer
+    multiples of the fastest one (the common base period) — with a
+    single inner step and no partial publishing, read refreshing or
+    think time; every channel is lossless :class:`ConstantTime` latency
+    strictly below the base period.  Under these, the event schedule is
+    value- and RNG-independent: commit order, commit times and message
+    arrivals are fixed by the durations alone, so one value-free replay
+    of the event loop (:func:`_lockstep_schedule`) serves every
+    scenario in the batch.
     """
     from repro.runtime.simulator.channel import ChannelSpec
     from repro.runtime.simulator.timing import ConstantTime
 
     if not processors:
         raise LockstepIncompatible("lockstep needs at least one processor")
-    compute = None
+    computes: list[float] = []
     for pid, ps in enumerate(processors):
         if type(ps.compute_time) is not ConstantTime:
             raise LockstepIncompatible(
                 f"processor {pid} compute_time must be ConstantTime, got "
-                f"{type(ps.compute_time).__name__}"
+                f"{type(ps.compute_time).__name__}; {_ADMISSIBLE}"
             )
-        if compute is None:
-            compute = ps.compute_time.value
-        elif ps.compute_time.value != compute:
-            raise LockstepIncompatible(
-                f"processor {pid} compute_time {ps.compute_time.value} breaks the "
-                f"shared round duration {compute}"
-            )
+        computes.append(float(ps.compute_time.value))
         if ps.inner_steps != 1:
             raise LockstepIncompatible(
-                f"processor {pid} inner_steps must be 1, got {ps.inner_steps}"
+                f"processor {pid} inner_steps must be 1, got {ps.inner_steps}; "
+                f"{_ADMISSIBLE}"
             )
         if ps.publish_partials or ps.refresh_reads:
             raise LockstepIncompatible(
                 f"processor {pid} uses flexible communication "
-                "(publish_partials/refresh_reads)"
+                f"(publish_partials/refresh_reads); {_ADMISSIBLE}"
             )
         if ps.think_time is not None:
-            raise LockstepIncompatible(f"processor {pid} has think_time")
+            raise LockstepIncompatible(
+                f"processor {pid} has think_time; {_ADMISSIBLE}"
+            )
+    base = min(computes)
+    if base <= 0.0:
+        raise LockstepIncompatible(
+            f"compute durations must be positive, got {base}; {_ADMISSIBLE}"
+        )
+    for pid, c in enumerate(computes):
+        ratio = c / base
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise LockstepIncompatible(
+                f"processor {pid} compute_time {c} is not an integer multiple "
+                f"of the base round duration {base}; {_ADMISSIBLE}"
+            )
 
     P = len(processors)
     if isinstance(channels, ChannelSpec) or channels is None:
@@ -608,95 +829,167 @@ def lockstep_plan(processors: "Sequence[Any]", channels: Any) -> _LockstepPlan:
             (s, d): channels.get((s, d), fallback)
             for s in range(P) for d in range(P) if s != d
         }
+    latencies: dict[tuple[int, int], float] = {}
     for pair, cs in pair_specs.items():
         if type(cs.latency) is not ConstantTime:
             raise LockstepIncompatible(
                 f"channel {pair} latency must be ConstantTime, got "
-                f"{type(cs.latency).__name__}"
+                f"{type(cs.latency).__name__}; {_ADMISSIBLE}"
             )
         if cs.drop_prob != 0.0:
-            raise LockstepIncompatible(f"channel {pair} has drop_prob {cs.drop_prob}")
-        if not cs.latency.value < compute:
+            raise LockstepIncompatible(
+                f"channel {pair} has drop_prob {cs.drop_prob}; {_ADMISSIBLE}"
+            )
+        if not cs.latency.value < base:
             raise LockstepIncompatible(
                 f"channel {pair} latency {cs.latency.value} must be strictly "
-                f"below the round duration {compute}"
+                f"below the base round duration {base}; {_ADMISSIBLE}"
             )
+        latencies[pair] = float(cs.latency.value)
     return _LockstepPlan(
-        P, [tuple(ps.components) for ps in processors], float(compute), P - 1
+        P, [tuple(ps.components) for ps in processors], computes, latencies, P - 1
     )
+
+
+#: Op-list opcodes emitted by the schedule replay.
+_OP_SNAP, _OP_DELIVER, _OP_COMMIT = 0, 1, 2
+
+
+def _lockstep_schedule(
+    plan: _LockstepPlan, max_iterations: int
+) -> "list[tuple[int, int, int, int, float]]":
+    """Value-free replay of :meth:`DistributedSimulator.run`'s event loop.
+
+    Transcribes the heap mechanics exactly — priming in pid order,
+    ``(t, seq)`` tie-breaking, per-destination burst pushes in
+    ascending-destination order before the next phase start, identical
+    float time arithmetic (``start + duration``, ``end + latency``) —
+    for a machine admitted by :func:`lockstep_plan`, whose schedule is
+    value-independent.  Returns ops ``(opcode, a, b, j, t)``:
+
+    * ``(_OP_SNAP, pid, -, -, -)`` — phase start: snapshot the view;
+    * ``(_OP_DELIVER, dst, src, -, -)`` — a burst arrives: overwrite
+      ``dst``'s view of ``src``'s components (the latest-label mask is
+      always all-true here: labels strictly increase per sender and
+      constant-latency FIFO channels deliver in order);
+    * ``(_OP_COMMIT, pid, -, j, end)`` — the phase completes as global
+      iteration ``j`` at time ``end``.
+
+    The replay stops where every solo run has certainly stopped: at
+    commit ``j = max_iterations`` (tolerance stops are per scenario and
+    earlier; value-independence makes the schedule prefix identical).
+    """
+    heap: "list[tuple[float, int, int, int]]" = []
+    seq = itertools.count()
+    ops: "list[tuple[int, int, int, int, float]]" = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    def start_phase(pid: int, t: float) -> None:
+        ops.append((_OP_SNAP, pid, 0, 0, 0.0))
+        heappush(heap, (t + plan.computes[pid], next(seq), 1, pid))
+
+    for pid in range(plan.P):
+        start_phase(pid, 0.0)
+
+    j = 0
+    while heap:
+        t, _, kind, a = heappop(heap)
+        if kind == 0:  # delivery: a encodes dst * P + src
+            ops.append((_OP_DELIVER, a // plan.P, a % plan.P, 0, 0.0))
+            continue
+        pid = a
+        j += 1
+        end = t
+        ops.append((_OP_COMMIT, pid, 0, j, end))
+        for dst in range(plan.P):
+            if dst != pid:
+                heappush(
+                    heap,
+                    (end + plan.latencies[(pid, dst)], next(seq), 0, dst * plan.P + pid),
+                )
+        if j >= max_iterations:
+            break
+        start_phase(pid, end)
+    return ops
 
 
 #: The simulator backends' stopping-test cadence (see
 #: ``_SimulatorBackend.execute``): residuals refresh every 10 commits.
 _SIM_RESIDUAL_EVERY = 10
 
+#: Machine archetypes whose factories consume no per-scenario RNG, so
+#: one build (and one plan) serves the whole batch.
+_DETERMINISTIC_MACHINES = ("lockstep", "lockstep-tiered")
+
 
 def _run_lockstep_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
     """Run one homogeneous group of lockstep-machine simulator scenarios.
 
-    Replays the event loop's round structure (see :func:`lockstep_plan`)
-    per scenario without a heap: round ``r`` commits iteration
-    ``j = (r-1)·P + pid + 1`` at time ``r·c`` from a snapshot whose own
-    components are round ``r-1`` values and whose remote components are
-    round ``r-2`` values.  Residual cadence, convergence-carry
+    Executes the value-free schedule from :func:`_lockstep_schedule`
+    over ``(P, B, dim)`` state: snapshots and deliveries are batched
+    scatters, commits run each live scenario's Gauss-Seidel
+    ``apply_block`` phase on its snapshot row.  Residual cadence
+    (every ``10`` commits or at the budget), convergence-carry
     semantics, message counts and the residual/time series feeding
     ``time_to_tol`` all follow ``DistributedSimulator.run`` with the
     fleet's options (``record_messages=False``, ``residual_every=10``,
-    ``max_time=inf``).
+    ``max_time=inf``); a scenario that stops (tolerance or budget)
+    freezes at its own commit while the rest continue down the shared
+    schedule.
     """
     from repro.analysis.rates import time_to_tolerance
     from repro.scenarios import registry
 
+    global _construction_seconds
     t0 = time.perf_counter()
     B = len(specs)
     head = specs[0]
     max_iterations = head.max_iterations
     tol = head.tol
 
-    # The built-in "lockstep" archetype consumes no machine RNG, so one
-    # build serves the batch; unknown machine factories rebuild per
-    # scenario in case construction drew from the per-spec stream.
-    share_machine = head.machine == "lockstep"
-    ops: list[Any] = []
+    ops_list = _build_problems(specs)
+    n = ops_list[0].n_components
+    share_machine = head.machine in _DETERMINISTIC_MACHINES
     plans: list[_LockstepPlan] = []
     for spec in specs:
-        seeds = _spawn_seeds(spec, 4)  # problem stream + machine stream
-        op = registry.make_problem(spec.problem, seeds[0], **spec.problem_params)
         if share_machine and plans:
             plans.append(plans[0])
         else:
             procs, channels = registry.make_machine(
-                spec.machine, op.n_components, seeds[3], **spec.machine_params
+                spec.machine, n, _spawn_seeds(spec, 4)[3], **spec.machine_params
             )
             plans.append(lockstep_plan(procs, channels))
-        ops.append(op)
 
     plan = plans[0]
-    dim = ops[0].dim
-    n = ops[0].n_components
-    for op, pl in zip(ops, plans):
-        if op.dim != dim or op.n_components != n or pl.components != plan.components:
+    dim = ops_list[0].dim
+    for op, pl in zip(ops_list, plans):
+        if op.dim != dim or op.n_components != n or not pl.matches(plan):
             raise LockstepIncompatible("batch group mixes machine shapes")
 
-    block = ops[0].block_spec
+    block = ops_list[0].block_spec
     slices = [block.slice(i) for i in range(n)]
     elem_idx = [np.arange(s.start, s.stop, dtype=np.intp) for s in slices]
     own_elems = [
         np.concatenate([elem_idx[c] for c in comps]) for comps in plan.components
     ]
-    _precompute_analysis(ops)
-    refs = [op.fixed_point() for op in ops]
-    batched_norm = _BatchedNorm.build_from_ops(ops)
-    residual_of = _build_residual(ops, batched_norm)
+    _precompute_analysis(ops_list)
+    refs = [op.fixed_point() for op in ops_list]
+    batched_norm = _BatchedNorm.build_from_ops(ops_list)
+    residual_of = _build_residual(ops_list, batched_norm)
     all_rows = np.arange(B, dtype=np.intp)
+    _construction_seconds += time.perf_counter() - t0
 
     P = plan.P
-    c = plan.compute
     msgs_per_commit = [plan.n_peers * len(comps) for comps in plan.components]
+    schedule = _lockstep_schedule(plan, max_iterations)
 
-    # Committed full iterates: V1 after round r-1, V2 after round r-2.
-    V1 = np.zeros((B, dim))
-    V2 = np.zeros((B, dim))
+    # Per-processor views and in-flight phase snapshots; one payload
+    # buffer per sender (its next burst is only created after every
+    # previous arrival, since latency < base round duration).
+    V = np.zeros((P, B, dim))
+    S = np.zeros((P, B, dim))
+    payloads = [np.zeros((B, oe.size)) for oe in own_elems]
     global_x = np.zeros((B, dim))
     x_final = np.zeros((B, dim))
     iterations = np.zeros(B, dtype=np.int64)
@@ -714,59 +1007,50 @@ def _run_lockstep_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
         time_series = [[] for _ in range(B)]
 
     live = list(range(B))
-    r = 0
-    while live:
-        r += 1
-        end_t = r * c
-        for pid in range(P):
-            if not live:
-                break
-            live_arr = np.asarray(live, dtype=np.intp)
-            oe = own_elems[pid]
-            # Phase snapshots: own components one round stale, remote
-            # components two rounds stale (messages of round r-1 land
-            # after these phases started).
-            snaps = V2[live_arr].copy()
-            snaps[:, oe] = V1[live_arr][:, oe]
-            for k, b in enumerate(live):
-                snap = snaps[k]
-                for comp in plan.components[pid]:
-                    # Gauss-Seidel within the phase, as in the event loop.
-                    snap[slices[comp]] = ops[b].apply_block(snap, comp)
-            global_x[live_arr[:, None], oe[None, :]] = snaps[:, oe]
+    live_arr = np.asarray(live, dtype=np.intp)
+    for op in schedule:
+        if not live:
+            break
+        code, a, b_, j, end_t = op
+        if code == _OP_SNAP:
+            S[a][live_arr] = V[a][live_arr]
+            continue
+        if code == _OP_DELIVER:
+            oe = own_elems[b_]
+            V[a][np.ix_(live_arr, oe)] = payloads[b_][live_arr]
+            continue
+        pid = a
+        oe = own_elems[pid]
+        for b in live:
+            snap = S[pid][b]
+            for comp in plan.components[pid]:
+                # Gauss-Seidel within the phase, as in the event loop.
+                snap[slices[comp]] = ops_list[b].apply_block(snap, comp)
+        committed = S[pid][np.ix_(live_arr, oe)]
+        payloads[pid][live_arr] = committed
+        V[pid][np.ix_(live_arr, oe)] = committed
+        global_x[np.ix_(live_arr, oe)] = committed
+        messages_sent[live_arr] += msgs_per_commit[pid]
 
-            frozen: list[int] = []
-            check_rows = []
-            for b in live:
-                j = int(iterations[b]) + 1
-                iterations[b] = j
-                messages_sent[b] += msgs_per_commit[pid]
-                if tol > 0.0 and (j % _SIM_RESIDUAL_EVERY == 0 or j >= max_iterations):
-                    check_rows.append(b)
-            if check_rows:
-                ck = np.asarray(check_rows, dtype=np.intp)
-                fresh = residual_of(global_x[ck], ck)
-                for k, b in enumerate(check_rows):
-                    last_res[b] = fresh[k]
-            for b in live:
-                j = int(iterations[b])
-                if tol > 0.0:
-                    res_series[b].append(float(last_res[b]))
-                    time_series[b].append(end_t)
-                if tol > 0.0 and last_res[b] < tol:
-                    converged[b] = True
-                elif j < max_iterations:
-                    continue
-                x_final[b] = global_x[b]
-                final_time[b] = end_t
-                frozen.append(b)
-            if frozen:
-                dead = set(frozen)
-                live = [b for b in live if b not in dead]
-        if live:
+        if tol > 0.0 and (j % _SIM_RESIDUAL_EVERY == 0 or j >= max_iterations):
+            last_res[live_arr] = residual_of(global_x[live_arr], live_arr)
+        frozen: list[int] = []
+        for b in live:
+            if tol > 0.0:
+                res_series[b].append(float(last_res[b]))
+                time_series[b].append(end_t)
+            if tol > 0.0 and last_res[b] < tol:
+                converged[b] = True
+            elif j < max_iterations:
+                continue
+            iterations[b] = j
+            x_final[b] = global_x[b]
+            final_time[b] = end_t
+            frozen.append(b)
+        if frozen:
+            dead = set(frozen)
+            live = [b for b in live if b not in dead]
             live_arr = np.asarray(live, dtype=np.intp)
-            V2[live_arr] = V1[live_arr]
-            V1[live_arr] = global_x[live_arr]
 
     final_res = residual_of(x_final, all_rows)
     ttt: list[Any] = [None] * B
@@ -786,6 +1070,6 @@ def _run_lockstep_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
 
     wall_each = (time.perf_counter() - t0) / B
     return _summaries(
-        list(specs), ops, refs, batched_norm, x_final, iterations, converged,
+        list(specs), ops_list, refs, batched_norm, x_final, iterations, converged,
         final_res, final_time, ttt, info, wall_each,
     )

@@ -1,0 +1,304 @@
+"""Optional compiled inner kernel for the batched lockstep engine.
+
+The batched engine's hot loop — gather delayed rows, update the active
+components, test residuals — is plain numpy plus a Python-level loop
+over scenarios.  When `numba <https://numba.pydata.org>`_ is installed
+and the user opts in (``REPRO_JIT=1`` or ``ExecutionSpec.jit=True``),
+this module compiles a fused version of that loop and hands it to
+:mod:`repro.runtime.simulator.batched`.
+
+Three guarantees keep the switch safe:
+
+* **Opt-in** — with ``REPRO_JIT`` unset and no explicit ``jit=True``,
+  nothing here ever imports numba; tier-1 stays dependency-free.
+* **Auto-disable** — a missing numba wheel, a compilation error, or a
+  kernel whose outputs are not *bit-identical* to the numpy path all
+  disable the JIT (reason recorded, numpy path used) instead of
+  failing the run.
+* **Probe before trust** — the compiled kernel must reproduce a
+  reference fixture bit for bit on *this* host before it is used.  BLAS
+  row-slice matvecs and scalar dots agree on every platform we have
+  measured, but the probe makes that an empirical precondition, not an
+  assumption.
+
+:func:`_engine_kernel_py` is deliberately plain Python (loops and
+``np.dot`` only) so it both compiles under ``numba.njit`` and executes
+as-is in environments without numba — the bit-identity tests run it
+interpreted, pinning the kernel's semantics independently of wheels.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "jit_requested",
+    "jit_status",
+    "resolve_kernel",
+]
+
+#: Truthy spellings accepted for ``REPRO_JIT``.
+_TRUTHY = ("1", "true", "on", "yes")
+
+_status: dict[str, Any] = {
+    "enabled": False,
+    "backend": None,
+    "reason": "not requested",
+}
+
+#: One-shot resolution cache: ``None`` = not resolved yet, otherwise a
+#: 1-tuple holding the kernel callable or ``None`` (disabled).
+_resolved: "tuple[Callable[..., int] | None] | None" = None
+
+
+def jit_requested(override: "bool | None" = None) -> bool:
+    """Whether the JIT path is requested (explicit flag wins over env)."""
+    if override is not None:
+        return bool(override)
+    return os.environ.get("REPRO_JIT", "").strip().lower() in _TRUTHY
+
+
+def jit_status() -> dict[str, Any]:
+    """Introspection snapshot: ``{"enabled", "backend", "reason"}``.
+
+    ``reason`` explains a disabled JIT (not requested, numba missing,
+    compilation failure, probe mismatch) — the nightly CI job logs it
+    so a silently skipped JIT run is visible in the build output.
+    """
+    return dict(_status)
+
+
+def resolve_kernel(override: "bool | None" = None) -> "Callable[..., int] | None":
+    """The compiled engine kernel, or ``None`` (use the numpy path).
+
+    Resolution happens at most once per process: import numba, compile
+    :func:`_engine_kernel_py`, and run the bit-identity probe.  Any
+    failure records its reason in :func:`jit_status` and pins the
+    result to ``None``, so a fleet of batches asks exactly once.
+    """
+    global _resolved
+    if not jit_requested(override):
+        if _status["reason"] == "not requested":
+            _status.update(enabled=False, backend=None, reason="not requested")
+        return None
+    if _resolved is None:
+        _resolved = (_compile_and_probe(),)
+    return _resolved[0]
+
+
+def _compile_and_probe() -> "Callable[..., int] | None":
+    try:
+        import numba
+    except Exception as exc:  # noqa: BLE001 - any import failure disables
+        _status.update(
+            enabled=False, backend=None,
+            reason=f"numba not importable: {exc!r}",
+        )
+        return None
+    try:
+        kernel = numba.njit(cache=False)(_engine_kernel_py)
+        ok = _probe(kernel)  # first call also triggers compilation
+    except Exception as exc:  # noqa: BLE001 - compilation errors disable
+        _status.update(
+            enabled=False, backend=None,
+            reason=f"numba compilation failed: {exc!r}",
+        )
+        return None
+    if not ok:
+        _status.update(
+            enabled=False, backend=None,
+            reason="bit-identity probe failed: compiled kernel diverges "
+            "from the numpy path on this host",
+        )
+        return None
+    _status.update(
+        enabled=True, backend=f"numba {getattr(numba, '__version__', '?')}",
+        reason="probe passed",
+    )
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# The kernel (numba-compilable, plain-Python-executable)
+# ----------------------------------------------------------------------
+
+def _engine_kernel_py(
+    H: np.ndarray,          # (J+1, B, dim) float64; H[0] = x0
+    A: np.ndarray,          # (B, dim, dim) float64 operator stack
+    bvec: np.ndarray,       # (B, dim) float64 offsets
+    act_flat: np.ndarray,   # int64, concatenated active sets for j = 1..J
+    act_off: np.ndarray,    # (J+1,) int64, iteration j's set = act_flat[act_off[j-1]:act_off[j]]
+    labels_elem: np.ndarray,  # (J, B, dim) int64 element labels per iteration
+    tol: float,
+    W: np.ndarray,          # (B, dim) float64 norm weights (scalar blocks)
+    iterations: np.ndarray,  # (B,) int64 out
+    converged: np.ndarray,  # (B,) bool out
+    x_final: np.ndarray,    # (B, dim) float64 out
+) -> int:
+    """Fused gather-update-residual loop over a scenario batch.
+
+    Semantics mirror ``_run_engine_batch``'s numpy window loop exactly:
+    scalar blocks, shared deterministic steering (one active set per
+    iteration), :class:`AffineOperator` updates, plain residual
+    ``max_e |F(x) - x|_e / w_e`` tested every iteration when
+    ``tol > 0``, converged rows frozen where the solo loop would stop.
+    Per-element updates use 1-D dots (bit-equal to the row-slice
+    matvecs ``apply_block`` issues — verified by the resolve-time
+    probe); full-iterate residual matvecs use the same 2-D ``np.dot``
+    BLAS call as ``AffineOperator.apply``.  Returns the last iteration
+    index executed.
+    """
+    J = H.shape[0] - 1
+    B = H.shape[1]
+    dim = H.shape[2]
+    alive = np.ones(B, dtype=np.bool_)
+    n_alive = B
+    j_done = 0
+    row = np.empty(dim, dtype=np.float64)
+    for j in range(1, J + 1):
+        j_done = j
+        H[j, :, :] = H[j - 1, :, :]
+        for b in range(B):
+            if not alive[b]:
+                continue
+            for e in range(dim):
+                row[e] = H[labels_elem[j - 1, b, e], b, e]
+            for s in range(act_off[j - 1], act_off[j]):
+                i = act_flat[s]
+                H[j, b, i] = np.dot(A[b, i], row) + bvec[b, i]
+        if tol > 0.0:
+            for b in range(B):
+                if not alive[b]:
+                    continue
+                x = H[j, b]
+                r = np.dot(A[b], x) + bvec[b] - x
+                m = 0.0
+                for e in range(dim):
+                    v = abs(r[e]) / W[b, e]
+                    if v > m:
+                        m = v
+                if m < tol:
+                    converged[b] = True
+                    iterations[b] = j
+                    x_final[b, :] = H[j, b, :]
+                    alive[b] = False
+                    n_alive -= 1
+            if n_alive == 0:
+                break
+    for b in range(B):
+        if alive[b]:
+            iterations[b] = j_done
+            x_final[b, :] = H[j_done, b, :]
+    return j_done
+
+
+# ----------------------------------------------------------------------
+# Bit-identity probe
+# ----------------------------------------------------------------------
+
+def _reference_loop(
+    H: np.ndarray,
+    A: np.ndarray,
+    bvec: np.ndarray,
+    act_flat: np.ndarray,
+    act_off: np.ndarray,
+    labels_elem: np.ndarray,
+    tol: float,
+    W: np.ndarray,
+    iterations: np.ndarray,
+    converged: np.ndarray,
+    x_final: np.ndarray,
+) -> int:
+    """The numpy path's arithmetic, expression for expression.
+
+    Updates are row-slice matvecs (``A[b, i:i+1, :] @ row``) exactly as
+    :meth:`AffineOperator.apply_block` computes them; residuals are 2-D
+    matvecs plus the batched weighted max norm.  The probe compares the
+    compiled kernel against this, so any BLAS discrepancy on the
+    running host disables the JIT instead of corrupting results.
+    """
+    J = H.shape[0] - 1
+    B = H.shape[1]
+    dim = H.shape[2]
+    flatH = H.reshape(-1)
+    elem_range = np.arange(dim, dtype=np.intp)
+    live = list(range(B))
+    j_done = 0
+    for j in range(1, J + 1):
+        j_done = j
+        live_arr = np.asarray(live, dtype=np.intp)
+        elem_lab = labels_elem[j - 1, live_arr]
+        gather = (elem_lab * B + live_arr[:, None]) * dim + elem_range
+        delayed = flatH[gather.reshape(-1)].reshape(len(live), dim)
+        H[j] = H[j - 1]
+        S = act_flat[act_off[j - 1]: act_off[j]]
+        for k, b in enumerate(live):
+            row = delayed[k]
+            hb = H[j, b]
+            for i in S:
+                hb[i: i + 1] = A[b, i: i + 1, :] @ row + bvec[b, i: i + 1]
+        if tol > 0.0:
+            X = H[j, live_arr]
+            V = np.empty_like(X)
+            for k, b in enumerate(live):
+                V[k] = A[b] @ X[k] + bvec[b] - X[k]
+            res = (np.abs(V) / W[live_arr]).max(axis=1)
+            frozen = []
+            for k, b in enumerate(live):
+                if res[k] < tol:
+                    converged[b] = True
+                    iterations[b] = j
+                    x_final[b] = H[j, b]
+                    frozen.append(b)
+            if frozen:
+                live = [b for b in live if b not in set(frozen)]
+                if not live:
+                    break
+    for b in live:
+        iterations[b] = j_done
+        x_final[b] = H[j_done, b]
+    return j_done
+
+
+def _probe_fixture(seed: int = 0, B: int = 3, dim: int = 5, J: int = 8):
+    """A small contractive batch with nontrivial delays and steering."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((B, dim, dim))
+    A /= 1.5 * np.abs(A).sum(axis=2, keepdims=True)  # max-norm contractive
+    bvec = rng.standard_normal((B, dim))
+    H = np.zeros((J + 1, B, dim))
+    H[0] = rng.standard_normal((B, dim))
+    sets = []
+    off = [0]
+    for j in range(1, J + 1):
+        size = int(rng.integers(1, dim + 1))
+        sets.append(np.sort(rng.choice(dim, size=size, replace=False)).astype(np.int64))
+        off.append(off[-1] + size)
+    act_flat = np.concatenate(sets)
+    act_off = np.asarray(off, dtype=np.int64)
+    labels_elem = np.empty((J, B, dim), dtype=np.int64)
+    for j in range(1, J + 1):
+        labels_elem[j - 1] = rng.integers(0, j, size=(B, dim))
+    W = rng.uniform(0.5, 2.0, size=(B, dim))
+    return H, A, bvec, act_flat, act_off, labels_elem, W
+
+
+def _probe(kernel: Callable[..., int]) -> bool:
+    """Run the kernel against the reference twin; True iff bits agree."""
+    for tol in (0.0, 0.3):
+        H, A, bvec, act_flat, act_off, labels_elem, W = _probe_fixture()
+        B, dim = H.shape[1], H.shape[2]
+        out_k = (np.zeros(B, dtype=np.int64), np.zeros(B, dtype=bool), np.zeros((B, dim)))
+        out_r = (np.zeros(B, dtype=np.int64), np.zeros(B, dtype=bool), np.zeros((B, dim)))
+        Hk = H.copy()
+        jk = kernel(Hk, A, bvec, act_flat, act_off, labels_elem, tol, W, *out_k)
+        jr = _reference_loop(H, A, bvec, act_flat, act_off, labels_elem, tol, W, *out_r)
+        if jk != jr or not np.array_equal(Hk, H):
+            return False
+        for a, b in zip(out_k, out_r):
+            if not np.array_equal(a, b):
+                return False
+    return True

@@ -44,10 +44,17 @@ from repro.delays.unbounded import BaudetSqrtDelay, LogGrowthDelay, PowerGrowthD
 from repro.operators.gradient import GradientStepOperator
 from repro.operators.linear import jacobi_operator
 from repro.operators.prox_gradient import ForwardBackwardOperator
+from repro.operators.proximal import L1Regularizer, ZeroRegularizer
+from repro.problems.base import CompositeProblem
 from repro.problems.datasets import make_classification, make_regression
-from repro.problems.least_squares import make_lasso, make_ridge
-from repro.problems.linear_system import make_jacobi_instance, tridiagonal_system
-from repro.problems.logistic import make_logistic
+from repro.problems.least_squares import batch_least_squares, make_lasso, make_ridge
+from repro.problems.linear_system import (
+    make_jacobi_batch,
+    make_jacobi_instance,
+    make_tridiagonal_batch,
+    tridiagonal_system,
+)
+from repro.problems.logistic import batch_logistic, make_logistic
 from repro.problems.markov import discounted_value_operator, random_markov_chain
 from repro.problems.quadratic import random_quadratic
 from repro.runtime.simulator import (
@@ -62,6 +69,7 @@ from repro.steering.policies import (
     AllComponents,
     BlockCyclic,
     CyclicSingle,
+    EvenOddSweeps,
     PermutationSweeps,
     RandomSubset,
     WeightedRandom,
@@ -79,13 +87,16 @@ __all__ = [
     "DELAY_FACTORIES",
     "MACHINE_FACTORIES",
     "available",
+    "build_batch",
     "describe_axes",
     "entry",
+    "has_batch_factory",
     "make_problem",
     "make_steering",
     "make_delays",
     "make_machine",
     "register",
+    "register_batch",
 ]
 
 SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
@@ -313,6 +324,129 @@ def _problem_logistic(seed: Any, *, n_samples: int = 120, n_features: int = 24,
 
 
 # ----------------------------------------------------------------------
+# Batched problem construction: (seeds, **params) -> list[operator]
+# ----------------------------------------------------------------------
+
+#: ``problem name -> (seeds, **params) -> list[operator]``; the batched
+#: twins of the solo factories above, registered via :func:`register_batch`.
+_BATCH_FACTORIES: dict[str, Callable[..., list]] = {}
+
+
+def register_batch(name: str) -> Callable[[Callable[..., list]], Callable[..., list]]:
+    """Decorator: register a batched twin for problem ``name``.
+
+    The twin takes ``(seeds, **params)`` — a list of per-scenario seeds
+    where the solo factory takes one — and must return operators
+    bit-identical per scenario to ``[solo(seed, **params) for seed in
+    seeds]``.  Registering a twin for an unknown problem is a
+    programming error, reported loudly at import time.
+    """
+    REGISTRY.get("problem", name)
+
+    def deco(factory: Callable[..., list]) -> Callable[..., list]:
+        _BATCH_FACTORIES[name] = factory
+        return factory
+
+    return deco
+
+
+def has_batch_factory(name: str) -> bool:
+    """Whether problem ``name`` has a registered batched twin."""
+    return name in _BATCH_FACTORIES
+
+
+def build_batch(specs: "list[Any]", seeds: "list[Any] | None" = None) -> "list[Any] | None":
+    """Batch-construct the operators of homogeneous scenario specs.
+
+    ``specs`` must agree on problem name and parameters (they are one
+    ``batch_key`` chunk); ``seeds`` overrides the per-spec problem
+    streams — by default each scenario draws from the same
+    ``SeedSequence(spec.seed)`` child :meth:`ScenarioSpec.build_problem`
+    uses, so the results are bit-identical to N solo builds.  Returns
+    ``None`` when the problem has no batched twin (callers fall back to
+    the solo factory per spec), ``[]`` for an empty chunk.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    head = specs[0]
+    params = dict(head.problem_params)
+    for s in specs[1:]:
+        if s.problem != head.problem or dict(s.problem_params) != params:
+            raise ValueError(
+                "build_batch requires homogeneous specs: "
+                f"{s.problem}/{dict(s.problem_params)!r} differs from "
+                f"{head.problem}/{params!r}"
+            )
+    factory = _BATCH_FACTORIES.get(head.problem)
+    if factory is None:
+        return None
+    if seeds is None:
+        # spawn(1)[0] is the spawn(5)[0] problem child (spawning is
+        # prefix-stable), without materializing the unused streams.
+        seeds = [np.random.SeedSequence(s.seed).spawn(1)[0] for s in specs]
+    return factory(seeds, **params)
+
+
+@register_batch("jacobi")
+def _batch_jacobi(seeds: "list[Any]", *, n: int = 24, dominance: float = 0.4) -> list:
+    """Stacked draws + one vectorized rescale + stacked analysis gufuncs."""
+    return make_jacobi_batch(n, dominance, seeds=seeds)
+
+
+@register_batch("tridiagonal")
+def _batch_tridiagonal(seeds: "list[Any]", *, n: int = 24, off_diag: float = -1.0,
+                       diag: float = 2.3) -> list:
+    """Shared deterministic matrix, per-scenario right-hand sides."""
+    return make_tridiagonal_batch(n, off_diag=off_diag, diag=diag, seeds=seeds)
+
+
+@register_batch("lasso")
+def _batch_lasso(seeds: "list[Any]", *, n_samples: int = 120, n_features: int = 32,
+                 sparsity: float = 0.5, l1: float = 0.05, l2: float = 0.05) -> list:
+    """Per-scenario datasets in solo draw order, one stacked Gram eigensolve."""
+    datas = [
+        make_regression(n_samples, n_features, sparsity=sparsity, seed=as_generator(s))
+        for s in seeds
+    ]
+    smooths = batch_least_squares(datas, l2=l2)
+    return [
+        ForwardBackwardOperator(
+            CompositeProblem(smooth, L1Regularizer(l1)), smooth.max_step()
+        )
+        for smooth in smooths
+    ]
+
+
+@register_batch("ridge")
+def _batch_ridge(seeds: "list[Any]", *, n_samples: int = 120, n_features: int = 32,
+                 l2: float = 0.1) -> list:
+    """Per-scenario datasets in solo draw order, one stacked Gram eigensolve."""
+    datas = [make_regression(n_samples, n_features, seed=as_generator(s)) for s in seeds]
+    smooths = batch_least_squares(datas, l2=l2)
+    return [
+        ForwardBackwardOperator(
+            CompositeProblem(smooth, ZeroRegularizer()), smooth.max_step()
+        )
+        for smooth in smooths
+    ]
+
+
+@register_batch("logistic")
+def _batch_logistic(seeds: "list[Any]", *, n_samples: int = 120, n_features: int = 24,
+                    separation: float = 1.5, l2: float = 0.1) -> list:
+    """Per-scenario datasets in solo draw order, one stacked Gram eigensolve."""
+    datas = [
+        make_classification(n_samples, n_features, separation=separation, seed=as_generator(s))
+        for s in seeds
+    ]
+    problems = batch_logistic(datas, l2=l2)
+    return [
+        ForwardBackwardOperator(p, p.smooth.max_step()) for p in problems
+    ]
+
+
+# ----------------------------------------------------------------------
 # Steering policies: (n, seed, **params) -> SteeringPolicy
 # ----------------------------------------------------------------------
 
@@ -332,6 +466,12 @@ def _steer_cyclic(n: int, seed: Any) -> Any:
 def _steer_block_cyclic(n: int, seed: Any, *, group_size: int = 4) -> Any:
     """Contiguous blocks, round-robin."""
     return BlockCyclic(n, min(group_size, n))
+
+
+@register("steering", "even-odd")
+def _steer_even_odd(n: int, seed: Any) -> Any:
+    """Red-black sweeps: even-indexed components, then odd, alternating."""
+    return EvenOddSweeps(n)
 
 
 @register("steering", "random-subset")
@@ -500,6 +640,37 @@ def _machine_lockstep(n: int, seed: Any, *, n_processors: int = 4,
     procs = [
         ProcessorSpec(components=comps, compute_time=ConstantTime(compute))
         for comps in _partition(n, n_processors)
+    ]
+    return procs, uniform_cluster(n_processors, latency=latency)
+
+
+@register("machine", "lockstep-tiered")
+def _machine_lockstep_tiered(n: int, seed: Any, *, n_processors: int = 4,
+                             compute: float = 1.0, tiers: int = 2,
+                             latency: float = 0.05) -> Any:
+    """Lockstep with integer-tiered processor speeds (compute x 1..tiers).
+
+    Processor ``p`` takes exactly ``compute * (1 + p % tiers)`` per
+    phase — constant per processor, all durations integer multiples of
+    the common period ``compute`` — and channels deliver in a constant
+    ``latency`` below the fastest phase.  The schedule stays value- and
+    RNG-independent, so the batched engine's relaxed ``lockstep_plan``
+    admits it (see :mod:`repro.runtime.simulator.batched`), yet slow
+    tiers commit genuinely stale reads like a real straggler cluster.
+    """
+    if tiers < 1:
+        raise ValueError(f"tiers must be >= 1, got {tiers}")
+    if not 0.0 < latency < compute:
+        raise ValueError(
+            f"lockstep-tiered needs 0 < latency < compute, got latency={latency}, "
+            f"compute={compute}"
+        )
+    procs = [
+        ProcessorSpec(
+            components=comps,
+            compute_time=ConstantTime(compute * (1 + p % tiers)),
+        )
+        for p, comps in enumerate(_partition(n, n_processors))
     ]
     return procs, uniform_cluster(n_processors, latency=latency)
 

@@ -11,7 +11,9 @@ Section II); these cover the spectrum used in the experiments:
 * :class:`WeightedRandom` — heterogeneous update frequencies (slow
   workers update their components rarely), also guarded;
 * :class:`PermutationSweeps` — random order within each sweep, every
-  component exactly once per sweep.
+  component exactly once per sweep;
+* :class:`EvenOddSweeps` — red–black relaxation: even-indexed
+  components on odd iterations, odd-indexed on even ones.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ __all__ = [
     "AllComponents",
     "CyclicSingle",
     "BlockCyclic",
+    "EvenOddSweeps",
     "RandomSubset",
     "WeightedRandom",
     "PermutationSweeps",
@@ -63,6 +66,26 @@ class BlockCyclic(SteeringPolicy):
         start = g * self.group_size
         stop = min(start + self.group_size, self.n_components)
         return tuple(range(start, stop))
+
+
+class EvenOddSweeps(SteeringPolicy):
+    """Red–black (odd–even) relaxation ordering, deterministic.
+
+    Odd iterations relax the even-indexed components, even iterations
+    the odd-indexed ones, so dependent neighbours in banded systems
+    never update together.  Condition (c) holds with period two.  For
+    ``n_components == 1`` every iteration relaxes the lone component
+    (the odd half would otherwise be empty).
+    """
+
+    def __init__(self, n_components: int) -> None:
+        super().__init__(n_components)
+        evens = tuple(range(0, n_components, 2))
+        odds = tuple(range(1, n_components, 2))
+        self._halves = (odds if odds else evens, evens)
+
+    def active_set(self, j: int) -> tuple[int, ...]:
+        return self._halves[j % 2]
 
 
 class _StarvationGuard:

@@ -212,12 +212,34 @@ class TestLockstepPlanValidation:
         with pytest.raises(LockstepIncompatible, match="processor 0 compute_time"):
             lockstep_plan(procs, None)
 
-    def test_rejects_unequal_round_durations(self):
+    def test_rejects_incommensurate_round_durations(self):
+        from repro.runtime.simulator import ConstantTime
+
+        procs = self._procs(compute_time=ConstantTime(1.5))
+        with pytest.raises(LockstepIncompatible, match="round duration"):
+            lockstep_plan(procs, None)
+
+    def test_admits_integer_multiple_round_durations(self):
         from repro.runtime.simulator import ConstantTime
 
         procs = self._procs(compute_time=ConstantTime(2.0))
-        with pytest.raises(LockstepIncompatible, match="round duration"):
-            lockstep_plan(procs, None)
+        plan = lockstep_plan(procs, None)
+        assert plan.compute == 1.0 and plan.computes == [2.0, 1.0]
+
+    def test_rejection_names_offender_and_admissible_alternatives(self):
+        from repro.runtime.simulator import ChannelSpec, ConstantTime, UniformTime
+
+        with pytest.raises(LockstepIncompatible) as exc:
+            lockstep_plan(self._procs(compute_time=UniformTime(0.5, 1.5)), None)
+        msg = str(exc.value)
+        assert "processor 0" in msg  # the offender
+        assert "admissible" in msg and "ConstantTime" in msg  # the alternatives
+
+        with pytest.raises(LockstepIncompatible) as exc:
+            lockstep_plan(self._procs(), ChannelSpec(latency=ConstantTime(1.0)))
+        msg = str(exc.value)
+        assert "channel (0, 1)" in msg
+        assert "admissible" in msg and "strictly below" in msg
 
     def test_rejects_latency_at_or_above_round(self):
         from repro.runtime.simulator import ChannelSpec, ConstantTime
@@ -280,3 +302,168 @@ class TestFleetRouting:
 GOLDEN_DIGEST = (
     "e4dc637b7241b9d4a78b62f71aa9456af99027e7fd40c56aad093e126c048035"
 )
+
+
+def _spy_solo(calls):
+    def solo(spec):
+        calls.append(spec.key)
+        return run_scenario(spec)
+    return solo
+
+
+class TestWidenedWhitelist:
+    """ISSUE 7: new fast-path admissions, each pinned by bit-identity."""
+
+    @pytest.mark.parametrize("steering", ["even-odd"])
+    @pytest.mark.parametrize("delays,params", [
+        ("uniform", {"bound": 2}), ("log-growth", {}), ("power", {}),
+    ])
+    def test_new_engine_admissions_bit_identical(self, steering, delays, params):
+        specs = engine_specs(steering=steering, delays=delays, **params)
+        calls = []
+        batch = run_scenario_batch(specs, solo=_spy_solo(calls))
+        assert not calls, f"fell back to solo for {calls}"
+        assert_identical([run_scenario(s) for s in specs], batch)
+
+    @pytest.mark.parametrize("delays", ["log-growth", "power"])
+    def test_deterministic_delay_growth_families(self, delays):
+        specs = engine_specs(steering="cyclic", delays=delays,
+                             max_iterations=80)
+        assert_identical([run_scenario(s) for s in specs],
+                         run_scenario_batch(specs))
+
+    def test_lockstep_tiered_machine_bit_identical(self):
+        specs = sim_specs(machine="lockstep-tiered",
+                          machine_params={"tiers": 2}, max_iterations=60)
+        calls = []
+        batch = run_scenario_batch(specs, solo=_spy_solo(calls))
+        assert not calls, f"fell back to solo for {calls}"
+        assert_identical([run_scenario(s) for s in specs], batch)
+
+    def test_lockstep_tiered_tol_zero(self):
+        specs = sim_specs(machine="lockstep-tiered",
+                          machine_params={"tiers": 3, "latency": 0.02},
+                          tol=0.0, max_iterations=33)
+        assert_identical([run_scenario(s) for s in specs],
+                         run_scenario_batch(specs))
+
+    def test_heterogeneous_plan_structure(self):
+        from repro.scenarios.registry import make_machine
+
+        procs, channels = make_machine(
+            "lockstep-tiered", 8, seed=0, tiers=2
+        )
+        plan = lockstep_plan(procs, channels)
+        assert plan.compute == min(plan.computes)
+        assert sorted(set(plan.computes)) == [1.0, 2.0]
+
+
+class TestBuildBatchGolden:
+    """ISSUE 7 satellite: batch-constructed problems are bit-identical
+    to N solo builds — per scenario, including N=1 chunks and parameter
+    dicts mixing int and float dtypes."""
+
+    CASES = [
+        ("jacobi", {"n": 7, "dominance": 0.35}),
+        ("tridiagonal", {"n": 6, "off_diag": -0.8}),
+        ("lasso", {"n_samples": 12, "n_features": 6, "l1": 0.05}),
+        ("ridge", {"n_samples": 10, "n_features": 5, "l2": 0.2}),
+        ("logistic", {"n_samples": 14, "n_features": 5}),
+    ]
+
+    @staticmethod
+    def _fingerprint(op):
+        import numpy as np
+
+        probe = np.linspace(-1.0, 1.0, op.dim)
+        parts = [op.apply(probe).tobytes(), op.apply_block(probe, 0).tobytes()]
+        A = getattr(op, "A", None)
+        if A is not None:
+            parts.append(A.tobytes())
+            parts.append(op.b.tobytes())
+        return b"".join(parts)
+
+    @pytest.mark.parametrize("problem,params", CASES)
+    @pytest.mark.parametrize("count", [1, 4])
+    def test_batch_matches_solo_builds(self, problem, params, count):
+        from repro.scenarios.registry import build_batch
+
+        specs = [
+            ScenarioSpec(problem=problem, problem_params=params,
+                         max_iterations=5, tol=0.0, seed=900 + k)
+            for k in range(count)
+        ]
+        ops = build_batch(specs)
+        assert ops is not None and len(ops) == count
+        for spec, op in zip(specs, ops):
+            solo = spec.build_problem()
+            assert self._fingerprint(op) == self._fingerprint(solo), spec.key
+
+    def test_heterogeneous_specs_rejected(self):
+        from repro.scenarios.registry import build_batch
+
+        a = ScenarioSpec(problem="jacobi", problem_params={"n": 6}, seed=1)
+        b = ScenarioSpec(problem="jacobi", problem_params={"n": 7}, seed=2)
+        with pytest.raises(ValueError, match="homogeneous"):
+            build_batch([a, b])
+
+    def test_unknown_family_returns_none(self):
+        from repro.scenarios.registry import build_batch, has_batch_factory
+
+        spec = ScenarioSpec(problem="sparse-logistic", seed=0)
+        assert not has_batch_factory("sparse-logistic")
+        assert build_batch([spec]) is None
+
+    def test_empty_input(self):
+        from repro.scenarios.registry import build_batch
+
+        assert build_batch([]) == []
+
+
+class TestJitIntegration:
+    """The compiled-kernel hook, exercised with the interpreted twin
+    pinned in place of a numba build (so the test runs without wheels)."""
+
+    @pytest.fixture()
+    def pinned_kernel(self, monkeypatch):
+        from repro.runtime.simulator import kernels
+
+        monkeypatch.setattr(kernels, "_resolved",
+                            (kernels._engine_kernel_py,))
+        return kernels
+
+    @pytest.mark.parametrize("steering,delays,params,tol", [
+        ("cyclic", "constant", {"delay": 2}, 1e-8),
+        ("even-odd", "uniform", {"bound": 3}, 0.0),
+        ("all", "uniform", {"bound": 2}, 1e-8),
+    ])
+    def test_kernel_path_bit_identical(self, pinned_kernel, steering,
+                                       delays, params, tol):
+        specs = engine_specs(steering=steering, delays=delays, tol=tol,
+                             max_iterations=120, **params)
+        assert_identical([run_scenario(s) for s in specs],
+                         run_scenario_batch(specs, jit=True))
+
+    def test_ineligible_operator_uses_numpy_path(self, pinned_kernel):
+        # ForwardBackward operators are outside the kernel's shape; the
+        # jit flag must not change their results (numpy path runs).
+        specs = [
+            ScenarioSpec(problem="ridge",
+                         problem_params={"n_samples": 10, "n_features": 5},
+                         steering="cyclic", delays="zero",
+                         max_iterations=30, tol=1e-6, seed=40 + k)
+            for k in range(3)
+        ]
+        assert_identical([run_scenario(s) for s in specs],
+                         run_scenario_batch(specs, jit=True))
+
+    def test_jit_false_pins_numpy_path(self, monkeypatch):
+        from repro.runtime.simulator import kernels
+
+        def boom(*a, **k):  # the kernel must never be consulted
+            raise AssertionError("resolve_kernel called with jit=False")
+
+        monkeypatch.setattr(kernels, "resolve_kernel", boom)
+        specs = engine_specs(count=3, bound=2)
+        assert_identical([run_scenario(s) for s in specs],
+                         run_scenario_batch(specs, jit=False))

@@ -1,0 +1,120 @@
+"""The optional compiled engine kernel: twin semantics, safe resolution.
+
+Two independent contracts:
+
+* the interpreted kernel body (:func:`_engine_kernel_py`) is
+  bit-identical to the numpy-path reference loop — this pins the
+  kernel's *semantics* without needing numba wheels;
+* :func:`resolve_kernel` is strictly opt-in, resolves at most once, and
+  degrades to ``None`` (reason recorded) whenever numba is absent,
+  fails to compile, or fails the bit-identity probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.simulator import kernels
+from repro.runtime.simulator.kernels import (
+    _engine_kernel_py,
+    _probe,
+    _probe_fixture,
+    _reference_loop,
+    jit_requested,
+    jit_status,
+    resolve_kernel,
+)
+
+
+def _run(loop, tol, seed=0):
+    H, A, bvec, act_flat, act_off, labels_elem, W = _probe_fixture(seed=seed)
+    B, dim = H.shape[1], H.shape[2]
+    iterations = np.zeros(B, dtype=np.int64)
+    converged = np.zeros(B, dtype=bool)
+    x_final = np.zeros((B, dim))
+    j = loop(H, A, bvec, act_flat, act_off, labels_elem, tol, W,
+             iterations, converged, x_final)
+    return j, H, iterations, converged, x_final
+
+
+class TestTwinBitIdentity:
+    @pytest.mark.parametrize("tol", [0.0, 0.3, 1e-6])
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_interpreted_kernel_matches_reference(self, tol, seed):
+        out_k = _run(_engine_kernel_py, tol, seed)
+        out_r = _run(_reference_loop, tol, seed)
+        assert out_k[0] == out_r[0]
+        for a, b in zip(out_k[1:], out_r[1:]):
+            assert np.array_equal(a, b)
+
+    def test_probe_accepts_the_interpreted_twin(self):
+        assert _probe(_engine_kernel_py) is True
+
+    def test_probe_rejects_a_diverging_kernel(self):
+        def wrong(H, A, bvec, act_flat, act_off, labels_elem, tol, W,
+                  iterations, converged, x_final):
+            j = _engine_kernel_py(H, A, bvec, act_flat, act_off,
+                                  labels_elem, tol, W, iterations,
+                                  converged, x_final)
+            x_final[:] = np.nextafter(x_final, np.inf)  # one ULP of drift
+            return j
+
+        assert _probe(wrong) is False
+
+
+class TestResolution:
+    @pytest.fixture(autouse=True)
+    def fresh_state(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_resolved", None)
+        monkeypatch.setattr(
+            kernels, "_status",
+            {"enabled": False, "backend": None, "reason": "not requested"},
+        )
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+
+    def test_not_requested_never_imports_numba(self):
+        assert resolve_kernel() is None
+        assert kernels._resolved is None  # resolution not even attempted
+        assert jit_status()["reason"] == "not requested"
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("ON", True), ("yes", True),
+        ("0", False), ("", False), ("off", False), ("no", False),
+    ])
+    def test_env_parsing(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_JIT", value)
+        assert jit_requested() is expected
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "1")
+        assert jit_requested(False) is False
+        monkeypatch.delenv("REPRO_JIT")
+        assert jit_requested(True) is True
+
+    def test_requested_resolution_is_total_and_cached(self):
+        kern = resolve_kernel(True)
+        status = jit_status()
+        if kern is None:
+            # No numba on this host (or probe failed): reason recorded.
+            assert status["enabled"] is False
+            assert status["reason"] != "not requested"
+        else:
+            assert status["enabled"] is True
+            assert status["backend"], status
+        # Pinned: a second ask returns the same resolution object.
+        assert resolve_kernel(True) is kern
+
+    def test_missing_numba_records_reason(self, monkeypatch):
+        import builtins
+
+        real_import = builtins.__import__
+
+        def no_numba(name, *args, **kwargs):
+            if name == "numba":
+                raise ModuleNotFoundError("No module named 'numba'")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_numba)
+        assert resolve_kernel(True) is None
+        assert "numba not importable" in jit_status()["reason"]
