@@ -58,6 +58,16 @@ target is >= 10x) — again with equal digests, since batching is
 bit-identical per scenario.  When numba is installed and ``REPRO_JIT``
 is set the compiled kernel raises the batched row further; the
 recorded ``jit`` status says which path produced the numbers.
+
+The packed results store adds the **store_scaling** section:
+10⁴ synthetic summary rows written to the flat legacy layout and to
+the packed columnar layout, then digested, shard-merged, and
+re-merged in both.  Recorded per layout: write rows/sec, digest
+seconds, merge seconds, and the ``tracemalloc`` peak of the packed
+streaming aggregates (digest and ``group_medians`` must stay O(batch),
+never materializing the row set).  The acceptance bars are >= 5x
+digest and merge speedup for packed over flat at 10⁴ rows, with
+byte-identical digests throughout.
 """
 
 from __future__ import annotations
@@ -67,13 +77,16 @@ import json
 import pathlib
 import platform
 import tempfile
+import time
 import tracemalloc
 
 from benchmarks._common import emit, fleet_run, once
 from repro.analysis.fleet import compare_throughput
 from repro.analysis.reporting import render_table
 from repro.api import SolverRef, StudyConfig
-from repro.runtime.fleet import run_grid
+from repro.runtime.fleet import ScenarioResult, run_grid
+from repro.runtime.sweep_store import SweepStore
+from repro.scenarios.spec import ScenarioSpec
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 TRAJECTORY_FILE = REPO_ROOT / "BENCH_fleet.json"
@@ -179,10 +192,126 @@ def run_results_layer():
     }
 
 
+#: Row count of the store_scaling section: large enough that O(rows)
+#: rescans dominate the flat layout, small enough for a bench run.
+STORE_ROWS = 10_000
+
+
+def _store_rows(n: int) -> "list[ScenarioResult]":
+    """Synthetic-but-realistic summary rows (non-finite residuals,
+    None-able fields, small info dicts) for the store benchmarks."""
+    rows = []
+    for i in range(n):
+        spec = ScenarioSpec(problem="jacobi", seed=i,
+                            max_iterations=30 + i % 11, tol=1e-6)
+        rows.append(ScenarioResult(
+            key=spec.key, spec=spec, iterations=i % 400,
+            converged=i % 3 != 0,
+            final_residual=float("inf") if i % 101 == 0 else 1e-9 * (i + 1),
+            final_error=None if i % 4 == 0 else 1e-4 * (i % 60),
+            sim_time=None if i % 5 == 0 else 0.25 * (i % 50),
+            time_to_tol=None if i % 6 == 0 else 0.1 * (i % 40),
+            wall_time=0.001 * (i % 100),
+            info={"i": i} if i % 2 else {},
+        ))
+    return rows
+
+
+def _fill_store(store: SweepStore, rows) -> float:
+    """Write manifest + rows, returning the write wall seconds."""
+    t0 = time.perf_counter()
+    store.write_manifest([r.spec for r in rows])
+    for r in rows:
+        store.write_result(r)
+    store.flush()
+    return time.perf_counter() - t0
+
+
+def run_store_scaling():
+    """Flat vs packed layout at STORE_ROWS rows: write/digest/merge/memory."""
+    rows = _store_rows(STORE_ROWS)
+    half = len(rows) // 2
+    out = {}
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        flat = SweepStore(root / "flat", layout="flat")
+        packed = SweepStore(root / "packed")
+        flat_write_s = _fill_store(flat, rows)
+        packed_write_s = _fill_store(packed, rows)
+
+        # Digest on cold handles so neither layout benefits from warm
+        # in-memory caches.
+        t0 = time.perf_counter()
+        flat_digest = SweepStore(root / "flat", create=False).digest()
+        flat_digest_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        packed_digest = SweepStore(root / "packed", create=False).digest()
+        packed_digest_s = time.perf_counter() - t0
+        assert packed_digest == flat_digest, "packed digest diverged from flat"
+
+        # Merge two half stores into a fresh destination, per layout.
+        for name, layout in (("fshards", "flat"), ("pshards", "packed")):
+            _fill_store(SweepStore(root / name / "a", layout=layout), rows[:half])
+            _fill_store(SweepStore(root / name / "b", layout=layout), rows[half:])
+        t0 = time.perf_counter()
+        fmerged = SweepStore(root / "fmerged", layout="flat").merge(
+            root / "fshards" / "a", root / "fshards" / "b"
+        )
+        flat_merge_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pmerged = SweepStore(root / "pmerged").merge(
+            root / "pshards" / "a", root / "pshards" / "b"
+        )
+        packed_merge_s = time.perf_counter() - t0
+        assert fmerged.digest() == pmerged.digest() == flat_digest
+        # Incremental re-merge of unchanged shards (the O(changed) path).
+        t0 = time.perf_counter()
+        pmerged.merge(root / "pshards" / "a", root / "pshards" / "b")
+        packed_remerge_s = time.perf_counter() - t0
+
+        # Peak memory of the packed streaming aggregates, versus what a
+        # full flat materialization costs on the same rows.
+        probe = SweepStore(root / "packed", create=False)
+        tracemalloc.start()
+        probe.digest()
+        _, digest_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        probe.invalidate_caches()
+        tracemalloc.start()
+        probe.fleet_view().group_medians(
+            by=("problem",), metrics=("iterations", "converged")
+        )
+        _, medians_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        tracemalloc.start()
+        SweepStore(root / "flat", create=False).fleet_result()
+        _, materialize_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    out.update(
+        rows=len(rows),
+        digest=flat_digest,
+        flat_write_rows_per_sec=len(rows) / flat_write_s,
+        packed_write_rows_per_sec=len(rows) / packed_write_s,
+        flat_digest_s=flat_digest_s,
+        packed_digest_s=packed_digest_s,
+        digest_speedup=flat_digest_s / packed_digest_s,
+        flat_merge_s=flat_merge_s,
+        packed_merge_s=packed_merge_s,
+        merge_speedup=flat_merge_s / packed_merge_s,
+        packed_remerge_s=packed_remerge_s,
+        digest_peak_mb=digest_peak / 1e6,
+        group_medians_peak_mb=medians_peak / 1e6,
+        flat_materialize_peak_mb=materialize_peak / 1e6,
+    )
+    return out
+
+
 def test_fleet_throughput(benchmark):
     baseline, fleet, fleet_serial, results_layer, dispatch = once(
         benchmark, run_throughput
     )
+    store_scaling = run_store_scaling()
     assert not baseline.failures() and not fleet.failures()
 
     cmp_total = compare_throughput(baseline, fleet)
@@ -240,7 +369,31 @@ def test_fleet_throughput(benchmark):
         title=(f"{d_serial.scenario_count} many-small scenarios "
                f"({MANY_SMALL.max_iterations} iterations each)"),
     )
-    emit("fleet_throughput", f"{table}\n\n{results_table}\n\n{dispatch_table}")
+
+    ss = store_scaling
+    store_rows_tbl = [
+        ["write", f"{ss['flat_write_rows_per_sec']:.0f} rows/s",
+         f"{ss['packed_write_rows_per_sec']:.0f} rows/s",
+         ss["packed_write_rows_per_sec"] / ss["flat_write_rows_per_sec"]],
+        ["digest", f"{ss['flat_digest_s']:.3f} s",
+         f"{ss['packed_digest_s']:.3f} s", ss["digest_speedup"]],
+        ["merge (2 shards)", f"{ss['flat_merge_s']:.3f} s",
+         f"{ss['packed_merge_s']:.3f} s", ss["merge_speedup"]],
+        ["re-merge (unchanged)", "-", f"{ss['packed_remerge_s']:.3f} s", "-"],
+        ["digest peak memory", "-", f"{ss['digest_peak_mb']:.1f} MB", "-"],
+        ["group_medians peak memory",
+         f"{ss['flat_materialize_peak_mb']:.1f} MB (materialized)",
+         f"{ss['group_medians_peak_mb']:.1f} MB", "-"],
+    ]
+    store_table = render_table(
+        ["results store", "flat (legacy)", "packed", "packed/flat"],
+        store_rows_tbl,
+        title=f"store scaling at {ss['rows']} rows (identical digests)",
+    )
+    emit(
+        "fleet_throughput",
+        f"{table}\n\n{results_table}\n\n{dispatch_table}\n\n{store_table}",
+    )
 
     payload = {
         "workload": {
@@ -276,6 +429,7 @@ def test_fleet_throughput(benchmark):
             "construction_overhead": construction_overhead,
             "jit": _jit_status(),
         },
+        "store_scaling": store_scaling,
     }
     TRAJECTORY_FILE.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -292,4 +446,13 @@ def test_fleet_throughput(benchmark):
     )
     assert batched_speedup >= 8.0, (
         f"batched engine speedup {batched_speedup:.2f}x < 8x"
+    )
+    # Packed-store acceptance bars: aggregates and recombination must
+    # beat the flat layout by >= 5x at 10^4 rows (digests identical by
+    # the asserts inside run_store_scaling).
+    assert ss["digest_speedup"] >= 5.0, (
+        f"packed digest speedup {ss['digest_speedup']:.2f}x < 5x"
+    )
+    assert ss["merge_speedup"] >= 5.0, (
+        f"packed merge speedup {ss['merge_speedup']:.2f}x < 5x"
     )

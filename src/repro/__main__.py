@@ -378,12 +378,24 @@ def _cmd_store(args: argparse.Namespace) -> int:
         merged = SweepStore(args.out).merge(*shards)
         hashes = merged.manifest_hashes()
         done = len(merged.completed() & set(hashes))
+        digest = merged.digest()
+        if args.json:
+            # Machine-readable form for campaign tooling: stable keys,
+            # one JSON document on stdout, nothing else.
+            print(json.dumps({
+                "out": str(args.out),
+                "shards": [str(p) for p in args.shards],
+                "scenarios": len(hashes),
+                "completed": done,
+                "digest": digest,
+            }, indent=2))
+            return 0
         print(
             f"store: merged {len(shards)} shard store"
             f"{'s' if len(shards) != 1 else ''} into {args.out}: "
             f"{done}/{len(hashes)} scenarios complete"
         )
-        print(f"store: determinism digest {merged.digest()}")
+        print(f"store: determinism digest {digest}")
         return 0
     if args.store_verb == "digest":
         try:
@@ -391,7 +403,54 @@ def _cmd_store(args: argparse.Namespace) -> int:
         except FileNotFoundError as exc:
             print(f"store: {exc}", file=sys.stderr)
             return 2
+        if args.json:
+            try:
+                scenarios = len(store.manifest_hashes())
+            except FileNotFoundError:
+                scenarios = None
+            print(json.dumps({
+                "store": str(args.store_dir),
+                "layout": store.layout,
+                "digest": store.digest(),
+                "rows": len(store.completed()),
+                "scenarios": scenarios,
+            }, indent=2))
+            return 0
         print(store.digest())
+        return 0
+    if args.store_verb == "migrate":
+        try:
+            store = SweepStore(args.store_dir, create=False)
+        except FileNotFoundError as exc:
+            print(f"store: {exc}", file=sys.stderr)
+            return 2
+        layout_before = store.layout
+        before = store.digest()
+        try:
+            after = store.migrate()
+        except RuntimeError as exc:
+            print(f"store: {exc}", file=sys.stderr)
+            return 2
+        rows = len(store.completed())
+        if args.json:
+            print(json.dumps({
+                "store": str(args.store_dir),
+                "layout_before": layout_before,
+                "layout": store.layout,
+                "rows": rows,
+                "digest_before": before,
+                "digest": after,
+                "migrated": layout_before != store.layout,
+            }, indent=2))
+            return 0
+        if layout_before == "packed":
+            print(f"store: {args.store_dir} is already packed ({rows} rows)")
+        else:
+            print(
+                f"store: migrated {args.store_dir} flat -> packed "
+                f"({rows} rows, digest preserved)"
+            )
+        print(f"store: determinism digest {after}")
         return 0
     print(f"store: unknown verb {args.store_verb!r}", file=sys.stderr)
     return 2
@@ -477,8 +536,8 @@ def main(argv: list[str] | None = None) -> int:
                        help="also write the full FleetResult as JSON")
     sweep.add_argument("--out", default=None, metavar="DIR",
                        help="stream per-scenario results into a content-addressed "
-                            "sweep store at DIR (manifest + results/<hash>.json, "
-                            "written as workers finish)")
+                            "sweep store at DIR (sharded manifest + packed row "
+                            "batches, written as workers finish)")
     sweep.add_argument("--resume", default=None, metavar="DIR",
                        help="resume an interrupted sweep from the store at DIR: "
                             "scenarios with a persisted result are loaded, only "
@@ -548,7 +607,9 @@ def main(argv: list[str] | None = None) -> int:
             "Operate on sweep-store directories.  `merge` recombines the "
             "per-host stores of a sharded study into one store whose "
             "determinism digest is bit-identical to a single-host run; "
-            "`digest` prints a store's digest for cross-host comparison."
+            "`digest` prints a store's digest for cross-host comparison; "
+            "`migrate` upgrades a flat legacy store to the packed "
+            "columnar layout in place (digest-preserving)."
         ),
     )
     store_sub = store.add_subparsers(dest="store_verb", required=True)
@@ -560,10 +621,22 @@ def main(argv: list[str] | None = None) -> int:
                             "into an existing store is incremental)")
     merge.add_argument("shards", nargs="+", metavar="SHARD",
                        help="shard store directories to merge in")
+    merge.add_argument("--json", action="store_true",
+                       help="print a machine-readable JSON summary instead "
+                            "of prose")
     digest = store_sub.add_parser(
         "digest", help="print a store's determinism digest"
     )
     digest.add_argument("store_dir", metavar="DIR", help="sweep store directory")
+    digest.add_argument("--json", action="store_true",
+                        help="print digest plus layout/row counts as JSON")
+    migrate = store_sub.add_parser(
+        "migrate", help="upgrade a flat legacy store to the packed layout"
+    )
+    migrate.add_argument("store_dir", metavar="DIR", help="sweep store directory")
+    migrate.add_argument("--json", action="store_true",
+                         help="print a machine-readable JSON summary instead "
+                              "of prose")
 
     args = parser.parse_args(argv)
     try:

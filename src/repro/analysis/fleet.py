@@ -38,7 +38,9 @@ __all__ = [
 
 def fleet_from_store(
     store: "SweepStore | str | os.PathLike[str]",
-) -> FleetResult:
+    *,
+    lazy: bool = False,
+) -> "FleetResult | Any":
     """Load a persisted sweep back into a typed :class:`FleetResult`.
 
     Accepts a :class:`~repro.runtime.sweep_store.SweepStore`, its root
@@ -46,14 +48,19 @@ def fleet_from_store(
     still running or killed mid-flight) load with whatever scenarios
     have completed, in manifest order — so the same
     :func:`render_fleet_table`/:func:`render_backend_comparison` calls
-    work on in-flight results.
+    work on in-flight results.  With ``lazy=True`` a store loads as a
+    streaming :class:`~repro.runtime.sweep_store.StoreFleetView`
+    instead — same report surface, O(batch) memory at million-row
+    scale (bare ``fleet.json`` paths still materialize: the file *is*
+    the full document).
     """
     if isinstance(store, SweepStore):
-        return store.fleet_result()
+        return store.fleet_view() if lazy else store.fleet_result()
     path = pathlib.Path(store)
     if path.is_file():
         return FleetResult.from_json(path.read_text())
-    return SweepStore(path, create=False).fleet_result()
+    opened = SweepStore(path, create=False)
+    return opened.fleet_view() if lazy else opened.fleet_result()
 
 
 def fleet_summary_rows(

@@ -26,6 +26,7 @@ __all__ = [
     "fit_geometric_rate",
     "fit_geometric_rate_streaming",
     "iterations_to_tolerance",
+    "rates_from_store",
     "time_to_tolerance",
 ]
 
@@ -192,6 +193,27 @@ def fit_geometric_rate_streaming(
     for chunk in chunks:
         acc.update(chunk)
     return acc.fit()
+
+
+def rates_from_store(store, *, skip: int = 0) -> "dict[str, RateFit]":
+    """Per-scenario geometric rate fits from a store's persisted traces.
+
+    Streams the store's rows (:meth:`~repro.runtime.sweep_store.SweepStore.iter_rows`
+    — no ScenarioResult materialization) and fits
+    :func:`fit_geometric_rate` to each row whose trace was kept and
+    recorded at least two residuals.  Keyed by scenario key; rows
+    without a usable trace are simply absent, so the caller decides
+    whether an empty result is an error.
+    """
+    fits: "dict[str, RateFit]" = {}
+    for row in store.iter_rows():
+        if not store.has_trace(row.content_hash):
+            continue
+        trace = store.load_trace(row.content_hash)
+        if trace.residuals is None or len(trace.residuals) < 2:
+            continue  # nothing to regress
+        fits[row.key] = fit_geometric_rate(trace.residuals, skip=skip)
+    return fits
 
 
 def iterations_to_tolerance(series: np.ndarray, tol: float) -> int | None:

@@ -334,7 +334,9 @@ class Study:
         if path is None:
             raise ValueError("no store directory: pass out= or set [store] out")
         store = SweepStore(path, create=False)
-        return StudyResult(config=self.config, fleet=store.fleet_result(), store=store)
+        # Lazy view: reporting on a million-row store streams rows shard
+        # by shard instead of materializing every ScenarioResult.
+        return StudyResult(config=self.config, fleet=store.fleet_view(), store=store)
 
 
 class StudyResult:
@@ -350,9 +352,12 @@ class StudyResult:
         self,
         *,
         config: StudyConfig,
-        fleet: FleetResult,
+        fleet: "FleetResult | Any",
         store: "SweepStore | None" = None,
     ) -> None:
+        # ``fleet`` is either the run's typed FleetResult or, for
+        # report-over-store (Study.result), a lazy StoreFleetView with
+        # the same aggregate surface.
         self.config = config
         self.fleet = fleet
         self.store = store
@@ -360,10 +365,10 @@ class StudyResult:
 
     # -- delegation ----------------------------------------------------
     @property
-    def results(self) -> tuple[ScenarioResult, ...]:
+    def results(self) -> "Sequence[ScenarioResult]":
         return self.fleet.results
 
-    def ok(self) -> tuple[ScenarioResult, ...]:
+    def ok(self) -> "Sequence[ScenarioResult]":
         return self.fleet.ok()
 
     def failures(self) -> tuple[ScenarioResult, ...]:
@@ -397,16 +402,9 @@ class StudyResult:
                 "rates() needs persisted traces: run the study with an out "
                 "directory and keep_traces=True"
             )
-        from repro.analysis.rates import fit_geometric_rate
+        from repro.analysis.rates import rates_from_store
 
-        fits: dict[str, Any] = {}
-        for r in self.fleet.ok():
-            if not self.store.has_trace(r.content_hash):
-                continue
-            trace = self.store.load_trace(r.content_hash)
-            if trace.residuals is None or len(trace.residuals) < 2:
-                continue
-            fits[r.key] = fit_geometric_rate(trace.residuals, skip=skip)
+        fits: dict[str, Any] = rates_from_store(self.store, skip=skip)
         if not fits:
             raise RuntimeError(
                 "no persisted traces in the store: run with keep_traces=True"

@@ -182,6 +182,62 @@ class ScenarioResult:
         return cls(spec=spec, **record)
 
 
+def _group_medians(
+    rows: "Iterable[Any]",
+    by: "Callable[[Any], tuple[Any, ...]] | Sequence[str]",
+    metrics: "Sequence[str]",
+) -> "dict[tuple[Any, ...], dict[str, float]]":
+    """Median of each metric over groups of non-failed rows.
+
+    The one grouping implementation behind both
+    :meth:`FleetResult.group_medians` (in-memory results) and
+    :meth:`repro.runtime.sweep_store.StoreFleetView.group_medians`
+    (rows streamed from a packed store) — ``rows`` only needs the
+    metric attributes, ``spec`` and ``error``, so it accepts
+    :class:`ScenarioResult` and :class:`~repro.runtime.sweep_store.RowView`
+    alike.  Failed rows are skipped; only the grouped rows are held,
+    never materialized result objects.
+    """
+    # Validate metric names before grouping: a typo must raise even
+    # on an empty or all-failed fleet (zero groups would otherwise
+    # skip the loop and pass silently).
+    for m in metrics:
+        if m not in METRIC_FIELDS:
+            raise KeyError(f"unknown metric {m!r}; choose from {METRIC_FIELDS}")
+    if not callable(by):
+        fields = tuple(by)
+        by = lambda r: tuple(getattr(r.spec, f) for f in fields)  # noqa: E731
+    # Accumulate raw metric values, never the row objects themselves:
+    # streamed rows must be droppable as soon as they're binned, or a
+    # million-row group would pin a million RowViews.
+    counts: dict[tuple[Any, ...], int] = {}
+    values: dict[tuple[Any, ...], list[list[Any]]] = {}
+    for r in rows:
+        if r.error is not None:
+            continue
+        gkey = by(r)
+        counts[gkey] = counts.get(gkey, 0) + 1
+        vals = values.get(gkey)
+        if vals is None:
+            vals = values[gkey] = [[] for _ in metrics]
+        for j, m in enumerate(metrics):
+            v = getattr(r, m)
+            if v is not None:
+                vals[j].append(v)
+    out: dict[tuple[Any, ...], dict[str, float]] = {}
+    for gkey in sorted(counts, key=repr):
+        agg: dict[str, float] = {"count": float(counts[gkey])}
+        for j, m in enumerate(metrics):
+            raw = values[gkey][j]
+            if raw and all(isinstance(v, (bool, np.bool_)) for v in raw):
+                agg[m] = sum(map(bool, raw)) / len(raw)
+                continue
+            vals_f = [float(v) for v in raw if np.isfinite(v)]
+            agg[m] = statistics.median(vals_f) if vals_f else float("nan")
+        out[gkey] = agg
+    return out
+
+
 @dataclass(frozen=True)
 class FleetResult:
     """Aggregate outcome of one fleet execution.
@@ -248,31 +304,7 @@ class FleetResult:
         ``None``/non-finite values are skipped and a group whose values
         all vanish reports ``nan``.
         """
-        # Validate metric names before grouping: a typo must raise even
-        # on an empty or all-failed fleet (zero groups would otherwise
-        # skip the loop and pass silently).
-        for m in metrics:
-            if m not in METRIC_FIELDS:
-                raise KeyError(f"unknown metric {m!r}; choose from {METRIC_FIELDS}")
-        if not callable(by):
-            fields = tuple(by)
-            by = lambda r: tuple(getattr(r.spec, f) for f in fields)  # noqa: E731
-        groups: dict[tuple[Any, ...], list[ScenarioResult]] = {}
-        for r in self.ok():
-            groups.setdefault(by(r), []).append(r)
-        out: dict[tuple[Any, ...], dict[str, float]] = {}
-        for gkey in sorted(groups, key=repr):
-            rows = groups[gkey]
-            agg: dict[str, float] = {"count": float(len(rows))}
-            for m in metrics:
-                raw = [getattr(r, m) for r in rows if getattr(r, m) is not None]
-                if raw and all(isinstance(v, (bool, np.bool_)) for v in raw):
-                    agg[m] = sum(map(bool, raw)) / len(raw)
-                    continue
-                vals = [float(v) for v in raw if np.isfinite(v)]
-                agg[m] = statistics.median(vals) if vals else float("nan")
-            out[gkey] = agg
-        return out
+        return _group_medians(self.results, by, metrics)
 
     def to_rows(
         self, metrics: Sequence[str] = ("iterations", "converged", "final_residual")
@@ -1001,6 +1033,13 @@ def run_grid(
             chunk_size=chunk_size, batch=batch and not keep_traces, jit=jit,
         )
     )
+
+    # Seal any in-flight append-log rows into packed batches now that
+    # the sweep is done — readers work either way, but sealed stores
+    # digest/merge at full columnar speed.
+    for store in (sweep, cache_store):
+        if store is not None and hasattr(store, "flush"):
+            store.flush()
 
     fleet = FleetResult(
         results=tuple(slots[i] for i in range(len(specs))),

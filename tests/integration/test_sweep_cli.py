@@ -128,7 +128,9 @@ class TestSweepStoreCLI:
         assert "results in" in capsys.readouterr().out
         assert (out / "manifest.json").is_file()
         assert (out / "fleet.json").is_file()
-        assert len(list((out / "results").glob("*.json"))) == 4
+        from repro.runtime.sweep_store import SweepStore
+
+        assert len(SweepStore(out, create=False).completed()) == 4
 
     def test_keep_traces_writes_loadable_traces(self, tmp_path, capsys):
         out = tmp_path / "store"
@@ -171,7 +173,7 @@ class TestSweepStoreCLI:
         run_grid(grid.expand()[:2], store=SweepStore(out), executor="serial")
         assert main(_sweep("--resume", str(out))) == 0
         assert "2/4" in capsys.readouterr().out
-        assert len(list((out / "results").glob("*.json"))) == 4
+        assert len(SweepStore(out, create=False).completed()) == 4
 
     def test_resume_keep_traces_counts_traceless_rows_as_incomplete(
         self, tmp_path, capsys

@@ -241,4 +241,4 @@ class TestCacheShardInteraction:
         store = SweepStore(tmp_path / "h0", create=False)
         assert len(store.completed()) == len(shard0)
         for spec in shard0:
-            assert store.result_path(spec.content_hash).exists()
+            assert store.load_result_by_hash(spec.content_hash) is not None

@@ -113,10 +113,13 @@ class TestMergeDigest:
         # the missing scenario and certify identically.
         store0 = SweepStore(d0, create=False)
         victim = shard0[0].content_hash
-        store0.result_path(victim).unlink()
+        store0.discard_result(victim)
         (d0 / "fleet.json").unlink()
         assert len(store0.completed()) == len(shard0) - 1
         run_grid(shard0, store=d0, resume=True, executor="serial")
+        # run_grid wrote through its own store handle; this instance's
+        # cached completed-set is stale until told otherwise.
+        store0.invalidate_caches()
         assert len(store0.completed()) == len(shard0)
 
         merged = SweepStore(tmp_path / "merged").merge(d0, d1)
@@ -229,7 +232,7 @@ class TestTwoShardAcceptance:
         store0 = SweepStore(d0, create=False)
         victims = shard0[-(len(shard0) // 3):]
         for spec in victims:
-            store0.result_path(spec.content_hash).unlink()
+            store0.discard_result(spec.content_hash)
         (d0 / "fleet.json").unlink()
         import repro.runtime.fleet as fleet_mod
 

@@ -526,11 +526,15 @@ class TestStoreWallTimeAndStrictJson:
         assert doc["wall_time"] > 0
 
     def test_persisted_row_files_are_strict_json(self, tmp_path):
+        # Every JSON file the store writes — manifests, log rows, batch
+        # sidecars — must parse under a strict (no NaN/Infinity) parser.
         specs = _grid(n_seeds=1).expand()
         store = SweepStore(tmp_path / "s")
         run_grid(specs, store=store, executor="serial")
-        for h in store.completed():
-            self._strict(store.result_path(h).read_text())
+        json_files = [p for p in (tmp_path / "s").rglob("*.json")]
+        assert json_files
+        for p in json_files:
+            self._strict(p.read_text())
 
     def test_fleet_json_aggregate_is_strict(self, tmp_path):
         specs = _grid(n_seeds=1).expand()
