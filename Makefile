@@ -4,7 +4,7 @@
 PY ?= python
 PP := PYTHONPATH=src:.$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-slow test-all lint bench-fleet sweep example-fleet examples doctest
+.PHONY: test test-slow test-all lint bench-fleet sweep example-fleet example-faults examples doctest
 
 ## tier-1: the fast suite (slow-marked fleet stress tests are skipped)
 test:
@@ -40,6 +40,10 @@ sweep:
 example-fleet:
 	$(PP) $(PY) examples/fleet_sweep.py
 
+## runnable fault-injection walkthrough (convergence vs fault intensity)
+example-faults:
+	$(PP) $(PY) examples/fault_sweep.py
+
 ## executable docs: the package-docstring Quickstart + repro.api doctests
 doctest:
 	$(PP) $(PY) -m pytest --doctest-modules src/repro/__init__.py src/repro/api/__init__.py -q
@@ -48,6 +52,7 @@ doctest:
 examples:
 	$(PP) $(PY) examples/quickstart.py
 	$(PP) $(PY) examples/fleet_sweep.py
+	$(PP) $(PY) examples/fault_sweep.py
 	rm -rf /tmp/repro-study-example
 	$(PP) $(PY) -m repro study run examples/study.toml --out /tmp/repro-study-example
 	$(PP) $(PY) -m repro study report examples/study.toml --out /tmp/repro-study-example

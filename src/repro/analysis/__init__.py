@@ -7,12 +7,15 @@ from repro.analysis.comparison import (
     speedup,
 )
 from repro.analysis.fleet import (
+    FAULT_COUNTERS,
     ThroughputComparison,
     backend_comparison_rows,
     compare_throughput,
+    fault_intensity_rows,
     fleet_from_store,
     fleet_summary_rows,
     render_backend_comparison,
+    render_fault_intensity,
     render_fleet_table,
     render_study_report,
 )
@@ -27,6 +30,7 @@ from repro.analysis.rates import (
 from repro.analysis.reporting import render_schedule, render_series, render_table
 
 __all__ = [
+    "FAULT_COUNTERS",
     "MacroEpochComparison",
     "RateFit",
     "SpeedupReport",
@@ -35,12 +39,14 @@ __all__ = [
     "backend_comparison_rows",
     "compare_macro_epoch",
     "compare_throughput",
+    "fault_intensity_rows",
     "fit_geometric_rate",
     "fit_geometric_rate_streaming",
     "fleet_from_store",
     "fleet_summary_rows",
     "iterations_to_tolerance",
     "render_backend_comparison",
+    "render_fault_intensity",
     "render_fleet_table",
     "render_schedule",
     "render_series",

@@ -20,6 +20,10 @@ import pathlib
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+import statistics
+
+import numpy as np
+
 from repro.analysis.reporting import render_table
 from repro.runtime.fleet import FleetResult
 from repro.runtime.sweep_store import SweepStore
@@ -31,9 +35,17 @@ __all__ = [
     "backend_comparison_rows",
     "render_backend_comparison",
     "render_study_report",
+    "fault_intensity_rows",
+    "render_fault_intensity",
+    "FAULT_COUNTERS",
     "ThroughputComparison",
     "compare_throughput",
 ]
+
+#: Fault-log counters that quantify injected-fault intensity; carried
+#: in each row's ``info`` dict by the simulator engines (absent — and
+#: treated as zero — for fault-free rows).
+FAULT_COUNTERS = ("fault_crashes", "fault_drops", "fault_limp_episodes")
 
 
 def fleet_from_store(
@@ -185,6 +197,85 @@ def render_study_report(
             group_by=tuple(g for g in pivot_by if g != "backend"),
         )
     return out
+
+
+def fault_intensity_rows(
+    fleet: FleetResult,
+    *,
+    group_by: Sequence[str] = ("fault",),
+    metrics: Sequence[str] = ("iterations", "converged", "final_residual"),
+    counters: Sequence[str] = FAULT_COUNTERS,
+) -> tuple[list[str], list[list[Any]]]:
+    """Convergence metrics against measured fault intensity, per group.
+
+    Groups rows by the given :class:`~repro.scenarios.spec.ScenarioSpec`
+    fields (``fault`` by default; ``fault_params``/``topology_params``
+    group by their canonical repr so dict-valued axes work), then
+    reports for each group the *measured* fault intensity — the mean of
+    each fault-log counter from the rows' ``info`` stats — alongside
+    the usual convergence summary (boolean metrics as rates, numeric
+    ones as medians over non-failed rows).  Rows sort by total mean
+    counter intensity, so the table reads fault-free baseline first,
+    harshest regime last.
+    """
+
+    def gkey(r: Any) -> tuple[Any, ...]:
+        out = []
+        for f in group_by:
+            v = getattr(r.spec, f)
+            out.append(repr(dict(sorted(v.items()))) if isinstance(v, dict) else v)
+        return tuple(out)
+
+    counts: dict[tuple[Any, ...], int] = {}
+    mvals: dict[tuple[Any, ...], list[list[Any]]] = {}
+    cvals: dict[tuple[Any, ...], list[float]] = {}
+    for r in fleet.results:
+        if r.error is not None:
+            continue
+        g = gkey(r)
+        counts[g] = counts.get(g, 0) + 1
+        if g not in mvals:
+            mvals[g] = [[] for _ in metrics]
+            cvals[g] = [0.0 for _ in counters]
+        for j, m in enumerate(metrics):
+            v = getattr(r, m)
+            if v is not None:
+                mvals[g][j].append(v)
+        info = getattr(r, "info", None) or {}
+        for j, c in enumerate(counters):
+            cvals[g][j] += float(info.get(c, 0))
+    headers = [*group_by, "n", *(f"mean_{c}" for c in counters), *metrics]
+    rows: list[list[Any]] = []
+    for g in counts:
+        n = counts[g]
+        means = [tot / n for tot in cvals[g]]
+        row: list[Any] = [*g, n, *means]
+        for j, m in enumerate(metrics):
+            raw = mvals[g][j]
+            if raw and all(isinstance(v, (bool, np.bool_)) for v in raw):
+                row.append(sum(map(bool, raw)) / len(raw))
+                continue
+            vals_f = [float(v) for v in raw if np.isfinite(v)]
+            row.append(statistics.median(vals_f) if vals_f else float("nan"))
+        rows.append(row)
+    base = len(group_by) + 1
+    rows.sort(key=lambda row: (sum(row[base:base + len(counters)]), repr(row[:base])))
+    return headers, rows
+
+
+def render_fault_intensity(
+    fleet: FleetResult,
+    *,
+    group_by: Sequence[str] = ("fault",),
+    metrics: Sequence[str] = ("iterations", "converged", "final_residual"),
+    counters: Sequence[str] = FAULT_COUNTERS,
+    title: str | None = "convergence vs fault intensity",
+) -> str:
+    """Monospace convergence-vs-fault-intensity table."""
+    headers, rows = fault_intensity_rows(
+        fleet, group_by=group_by, metrics=metrics, counters=counters
+    )
+    return render_table(headers, rows, title=title)
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ from repro.api.config import (
     ComponentRef,
     DelayRef,
     ExecutionSpec,
+    FaultRef,
     MachineRef,
     ProblemRef,
     ReportSpec,
@@ -38,6 +39,7 @@ from repro.api.config import (
     SteeringRef,
     StoreSpec,
     StudyConfig,
+    TopologyRef,
     infer_kind,
 )
 from repro.api.study import (
@@ -54,6 +56,7 @@ __all__ = [
     "ComponentRef",
     "DelayRef",
     "ExecutionSpec",
+    "FaultRef",
     "MachineRef",
     "ProblemRef",
     "ReportSpec",
@@ -64,6 +67,7 @@ __all__ = [
     "Study",
     "StudyConfig",
     "StudyResult",
+    "TopologyRef",
     "dumps_toml",
     "infer_kind",
     "load_study",

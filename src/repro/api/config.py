@@ -41,6 +41,8 @@ __all__ = [
     "SteeringRef",
     "DelayRef",
     "MachineRef",
+    "FaultRef",
+    "TopologyRef",
     "SolverRef",
     "StoreSpec",
     "ReportSpec",
@@ -52,8 +54,8 @@ _KINDS = ("engine", "simulator")
 _EXECUTORS = ("auto", "serial", "thread", "process")
 
 #: ScenarioSpec fields a report may group by.
-_GROUPABLE = ("problem", "kind", "steering", "delays", "machine", "backend",
-              "seed", "max_iterations", "tol")
+_GROUPABLE = ("problem", "kind", "steering", "delays", "machine", "fault",
+              "topology", "backend", "seed", "max_iterations", "tol")
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +149,20 @@ class MachineRef(ComponentRef):
     """A registered machine archetype with overrides."""
 
     AXIS: ClassVar[str] = "machine"
+
+
+@dataclass(frozen=True)
+class FaultRef(ComponentRef):
+    """A registered fault model with overrides (simulator studies)."""
+
+    AXIS: ClassVar[str] = "fault"
+
+
+@dataclass(frozen=True)
+class TopologyRef(ComponentRef):
+    """A registered topology channel graph with overrides (simulator studies)."""
+
+    AXIS: ClassVar[str] = "topology"
 
 
 # ----------------------------------------------------------------------
@@ -380,12 +396,17 @@ def _coerce_axis(items: Any, ref_cls: type[ComponentRef]) -> tuple[ComponentRef,
 class StudyConfig:
     """One declarative study: solve → sweep → store → report, as data.
 
-    ``problems`` × (``delays`` × ``steerings`` | ``machines``) ×
-    ``solver.backends`` × ``n_seeds`` is the scenario grid
-    :meth:`to_grid` compiles to; ``store`` and ``report`` describe
-    what :meth:`repro.api.Study.run` does with the results.  Axis
-    entries accept plain names, ``(name, params)`` pairs, dicts, or
-    ``*Ref`` objects — everything normalizes to refs at construction.
+    ``problems`` × (``delays`` × ``steerings`` | ``machines`` ×
+    ``faults`` × ``topologies``) × ``solver.backends`` × ``n_seeds`` is
+    the scenario grid :meth:`to_grid` compiles to; ``store`` and
+    ``report`` describe what :meth:`repro.api.Study.run` does with the
+    results.  Axis entries accept plain names, ``(name, params)``
+    pairs, dicts, or ``*Ref`` objects — everything normalizes to refs
+    at construction.  The ``faults``/``topologies`` axes apply to
+    simulator studies only and default to the structural no-ops
+    (``none``/``native``), under which they are omitted from the
+    canonical document so pre-fault study files keep their content
+    hashes.
     """
 
     problems: tuple[ProblemRef, ...]
@@ -394,6 +415,8 @@ class StudyConfig:
     steerings: tuple[SteeringRef, ...] = ("cyclic",)
     delays: tuple[DelayRef, ...] = ("zero",)
     machines: tuple[MachineRef, ...] = ("uniform",)
+    faults: tuple[FaultRef, ...] = ("none",)
+    topologies: tuple[TopologyRef, ...] = ("native",)
     n_seeds: int = 1
     master_seed: int = 0
     store: StoreSpec = field(default_factory=StoreSpec)
@@ -411,6 +434,8 @@ class StudyConfig:
         object.__setattr__(self, "steerings", _coerce_axis(self.steerings, SteeringRef))
         object.__setattr__(self, "delays", _coerce_axis(self.delays, DelayRef))
         object.__setattr__(self, "machines", _coerce_axis(self.machines, MachineRef))
+        object.__setattr__(self, "faults", _coerce_axis(self.faults, FaultRef))
+        object.__setattr__(self, "topologies", _coerce_axis(self.topologies, TopologyRef))
         if isinstance(self.store, Mapping):
             object.__setattr__(self, "store", StoreSpec(**self.store))
         if isinstance(self.report, Mapping):
@@ -433,6 +458,8 @@ class StudyConfig:
             steerings=tuple(r.axis_item for r in self.steerings),
             delays=tuple(r.axis_item for r in self.delays),
             machines=tuple(r.axis_item for r in self.machines),
+            faults=tuple(r.axis_item for r in self.faults),
+            topologies=tuple(r.axis_item for r in self.topologies),
             n_seeds=self.n_seeds,
             master_seed=self.master_seed,
             backends=self.solver.backends,
@@ -465,9 +492,12 @@ class StudyConfig:
 
         Every field participates; ``None``-valued options are omitted
         (TOML has no null) and restored as defaults by
-        :meth:`from_dict`, so the round trip is exact.
+        :meth:`from_dict`, so the round trip is exact.  The
+        ``faults``/``topologies`` axes are likewise omitted at their
+        no-op defaults, keeping pre-fault documents — and their content
+        hashes — byte-identical.
         """
-        return {
+        doc = {
             "format_version": self.FORMAT_VERSION,
             "name": self.name,
             "n_seeds": int(self.n_seeds),
@@ -481,6 +511,11 @@ class StudyConfig:
             "delays": [r.to_dict() for r in self.delays],
             "machines": [r.to_dict() for r in self.machines],
         }
+        if self.faults != (FaultRef("none"),):
+            doc["faults"] = [r.to_dict() for r in self.faults]
+        if self.topologies != (TopologyRef("native"),):
+            doc["topologies"] = [r.to_dict() for r in self.topologies]
+        return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "StudyConfig":

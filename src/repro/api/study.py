@@ -476,6 +476,8 @@ def sweep(
     steerings: Sequence[Any] = ("cyclic",),
     delays: Sequence[Any] = ("zero",),
     machines: Sequence[Any] = ("uniform",),
+    faults: Sequence[Any] = ("none",),
+    topologies: Sequence[Any] = ("native",),
     n_seeds: int = 3,
     master_seed: int = 0,
     max_iterations: int = 2000,
@@ -520,6 +522,8 @@ def sweep(
         steerings=tuple(steerings),
         delays=tuple(delays),
         machines=tuple(machines),
+        faults=tuple(faults),
+        topologies=tuple(topologies),
         n_seeds=n_seeds,
         master_seed=master_seed,
         store=StoreSpec(

@@ -110,6 +110,12 @@ class ExecutionRequest:
     seed:
         Entropy for backend-internal randomness (simulator streams,
         default partial models, algorithm RNGs).
+    faults:
+        Optional :class:`~repro.runtime.simulator.faults.FaultModel`
+        injected into simulator backends (``machine`` kind); ``None``
+        keeps the fault-free fast path.  The shared-memory backend
+        rejects it — real threads cannot honor simulated crash
+        schedules.
     reference:
         Known fixed point for error tracking; ``None`` falls back to
         ``operator.fixed_point()`` where supported.
@@ -134,6 +140,7 @@ class ExecutionRequest:
     processors: Sequence[Any] | None = None
     channels: Any = None
     seed: Any = 0
+    faults: Any = None
     reference: np.ndarray | None = None
     options: dict[str, Any] = field(default_factory=dict)
 
@@ -471,6 +478,7 @@ class _SimulatorBackend(ExecutionBackend):
             channels=request.channels,
             reference=request.reference,
             seed=request.seed,
+            faults=request.faults,
         )
         record_messages = bool(opts.get("record_messages", True))
         sink = _trace_sink(request)
@@ -562,6 +570,12 @@ class SharedMemoryBackend(ExecutionBackend):
 
     def execute(self, request: ExecutionRequest) -> BackendRunResult:
         self.validate(request)
+        if request.faults is not None:
+            raise ValueError(
+                "the shared-memory backend runs real threads and cannot "
+                "honor a simulated fault model; use a simulator backend "
+                "(vectorized/reference/batched-lockstep) for fault scenarios"
+            )
         opts = request.options
         n_workers = opts.get("n_workers")
         if n_workers is None:

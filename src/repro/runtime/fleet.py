@@ -474,6 +474,18 @@ def execute_scenario(
         request.processors, request.channels = registry.make_machine(
             spec.machine, n, seeds[3], **spec.machine_params
         )
+        n_procs = len(request.processors)
+        if spec.topology != "native":
+            # An explicit channel graph replaces the archetype's fabric.
+            topo = registry.make_topology(
+                spec.topology, n_procs, seeds[6], **spec.topology_params
+            )
+            if topo is not None:
+                request.channels = topo
+        if spec.fault != "none":
+            request.faults = registry.make_fault(
+                spec.fault, n_procs, seeds[5], **spec.fault_params
+            )
         request.options["record_messages"] = False
         # The fleet summarizes scalar outcomes; skip the per-update
         # trace recording of the shared-memory backend unless the

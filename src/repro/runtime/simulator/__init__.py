@@ -14,6 +14,20 @@ from repro.runtime.simulator.batched import (
 )
 from repro.runtime.simulator.channel import ChannelSpec, ChannelState
 from repro.runtime.simulator.engine import DistributedSimulator
+from repro.runtime.simulator.faults import (
+    ChaosFault,
+    CrashRestart,
+    FaultLog,
+    FaultModel,
+    FaultState,
+    Limplock,
+    LossyChannel,
+    ReorderingChannel,
+    clique_topology,
+    ring_topology,
+    star_topology,
+    two_tier_topology,
+)
 from repro.runtime.simulator.network import (
     shared_memory_network,
     two_cluster_grid,
@@ -35,23 +49,35 @@ from repro.runtime.simulator.timing import (
 __all__ = [
     "ChannelSpec",
     "ChannelState",
+    "ChaosFault",
     "ConstantTime",
+    "CrashRestart",
     "DistributedSimulator",
     "DurationModel",
     "ExponentialTime",
+    "FaultLog",
+    "FaultModel",
+    "FaultState",
+    "Limplock",
     "LinearGrowthTime",
     "LockstepIncompatible",
+    "LossyChannel",
     "MessageRecord",
     "ParetoTime",
     "PhaseRecord",
     "ProcessorSpec",
     "ReferenceSimulator",
+    "ReorderingChannel",
     "SimulationResult",
     "UniformTime",
     "batchable",
+    "clique_topology",
+    "ring_topology",
     "run_scenario_batch",
     "shared_memory_network",
+    "star_topology",
     "two_cluster_grid",
+    "two_tier_topology",
     "uniform_cluster",
     "wide_area_network",
 ]

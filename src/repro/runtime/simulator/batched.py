@@ -189,9 +189,11 @@ def _fast_key(spec: ScenarioSpec) -> "tuple[Any, ...]":
     """
     return (
         spec.problem, spec.kind, spec.steering, spec.delays, spec.machine,
+        spec.fault, spec.topology,
         spec.backend, int(spec.max_iterations), float(spec.tol),
         repr(spec.problem_params), repr(spec.steering_params),
         repr(spec.delay_params), repr(spec.machine_params),
+        repr(spec.fault_params), repr(spec.topology_params),
     )
 
 
@@ -726,7 +728,9 @@ _ADMISSIBLE = (
     "refreshing / think time, and lossless ConstantTime channel latency "
     "strictly below the fastest compute duration; deterministic steering "
     "(all/cyclic/block-cyclic/even-odd) and delay models (zero/constant/"
-    "log-growth/power) additionally share one instance per batch"
+    "log-growth/power) additionally share one instance per batch; fault "
+    "injection and topology overrides are excluded (fault='none', "
+    "topology='native')"
 )
 
 
@@ -937,6 +941,14 @@ def _run_lockstep_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
     ``max_time=inf``); a scenario that stops (tolerance or budget)
     freezes at its own commit while the rest continue down the shared
     schedule.
+
+    Fault-bearing groups are rejected by name up front: injected
+    crashes, limping and message fates perturb the event schedule
+    per scenario, so the whole premise of one shared value-free replay
+    fails.  The rejection is a :class:`LockstepIncompatible` naming the
+    offending spec and the admissible alternative, and
+    :func:`run_scenario_batch` routes the group through the solo event
+    loop — which executes faults exactly.
     """
     from repro.analysis.rates import time_to_tolerance
     from repro.scenarios import registry
@@ -945,6 +957,20 @@ def _run_lockstep_batch(specs: Sequence[ScenarioSpec]) -> "list[Any]":
     t0 = time.perf_counter()
     B = len(specs)
     head = specs[0]
+    # _fast_key puts fault/topology in the group identity, so the head
+    # speaks for every member.
+    if head.fault != "none":
+        raise LockstepIncompatible(
+            f"scenario {head.key!r} injects fault {head.fault!r}: fault "
+            "events (crashes, limping, message fates) make the event "
+            f"schedule scenario-dependent; {_ADMISSIBLE}"
+        )
+    if head.topology != "native":
+        raise LockstepIncompatible(
+            f"scenario {head.key!r} overrides channels with topology "
+            f"{head.topology!r}, which the shared value-free schedule "
+            f"replay does not model; {_ADMISSIBLE}"
+        )
     max_iterations = head.max_iterations
     tol = head.tol
 

@@ -48,6 +48,11 @@ import numpy as np
 from repro.core.trace import TraceStore, resolve_sink
 from repro.operators.base import FixedPointOperator
 from repro.runtime.simulator.channel import ChannelSpec, ChannelState
+from repro.runtime.simulator.faults.base import (
+    FaultModel,
+    FaultState,
+    max_staleness as _max_staleness,
+)
 from repro.runtime.simulator.processor import ProcessorSpec
 from repro.runtime.simulator.records import MessageRecord, PhaseRecord, SimulationResult
 from repro.utils.rng import as_generator, spawn_generators
@@ -99,6 +104,11 @@ class DistributedSimulator:
     seed:
         Master seed; every processor and channel gets an independent
         child stream, so runs are bit-reproducible.
+    faults:
+        Optional :class:`~repro.runtime.simulator.faults.FaultModel`
+        injecting crashes, stragglers and per-message channel fates.
+        The model draws from its *own* seed streams, so ``faults=None``
+        runs are bit-identical to a build without the fault layer.
     """
 
     def __init__(
@@ -110,8 +120,10 @@ class DistributedSimulator:
         default_channel: ChannelSpec | None = None,
         reference: np.ndarray | None = None,
         seed: int | np.random.Generator | None = 0,
+        faults: "FaultModel | None" = None,
     ) -> None:
         self.operator = operator
+        self.faults = faults
         self.processors = list(processors)
         n = operator.n_components
         owned: list[int] = []
@@ -237,6 +249,16 @@ class DistributedSimulator:
         phase_states: list[_PhaseState | None] = [None] * P
         phase_counts = [0] * P
 
+        # Fault layer: per-run state with its own seed streams.  All
+        # hooks below hide behind `fstate is not None`, so fault-free
+        # runs draw nothing extra and stay bit-identical to the
+        # pre-fault goldens.
+        fstate: FaultState | None = (
+            self.faults.start(P) if self.faults is not None else None
+        )
+        fates_active = fstate is not None and fstate.affects_channels
+        down = [False] * P
+
         # Global committed state (owner-authoritative).
         global_x = x0.copy()
         global_labels = np.zeros(n, dtype=np.int64)
@@ -258,6 +280,9 @@ class DistributedSimulator:
             ps = self.processors[pid]
             phase_counts[pid] += 1
             dur = ps.compute_time.sample(phase_counts[pid], self._proc_rng[pid])
+            crash_at = rejoin_at = None
+            if fstate is not None:
+                dur, crash_at, rejoin_at = fstate.on_phase_start(pid, t, dur)
             state = _PhaseState(
                 index=phase_counts[pid],
                 start=t,
@@ -267,7 +292,9 @@ class DistributedSimulator:
             )
             phase_states[pid] = state
             step_dt = dur / ps.inner_steps
-            heappush(heap, (t + step_dt, next(seq), "step", (pid,)))
+            heappush(heap, (t + step_dt, next(seq), "step", (pid, state.index)))
+            if crash_at is not None:
+                heappush(heap, (crash_at, next(seq), "crash", (pid, state.index, rejoin_at)))
 
         def send_burst(
             pid: int, snapshot: np.ndarray, labels_arr: np.ndarray, t: float, partial: bool
@@ -290,6 +317,25 @@ class DistributedSimulator:
             # A float entry means "all m messages arrive at exactly
             # this time" (constant-latency fast path, no array work).
             arrs = [chan.delivery_times(t, m) for _, chan, _ in dsts]
+            if fates_active:
+                # Per-message fault fates on each (src, dst) pair: one
+                # batched 2m-uniform draw per destination consumes the
+                # pair stream exactly like the reference's m sequential
+                # per-message draws, and unequal realized arrivals
+                # simply route the burst down the per-component path.
+                faulted = []
+                for di, (dst, _, _) in enumerate(dsts):
+                    arr = arrs[di]
+                    drop, extra = fstate.message_fates(pid, dst, m)
+                    if isinstance(arr, float):
+                        arr = np.full(m, arr)
+                    fstate.log.fault_drops += int(
+                        np.count_nonzero(drop & ~np.isnan(arr))
+                    )
+                    arr = arr + extra
+                    arr[drop] = np.nan
+                    faulted.append(arr)
+                arrs = faulted
             if record_messages:
                 for i, c in enumerate(comps):
                     label_i = int(labels_arr[i])
@@ -360,6 +406,9 @@ class DistributedSimulator:
             final_time = t
             if kind == "msg":
                 dst, comp, value, label, partial, apply_policy = payload
+                if down[dst]:
+                    fstate.log.downtime_drops += 1
+                    continue
                 vl = view_labels[dst]
                 if apply_policy == "overwrite":
                     # Last-arrival-wins: an old message can replace newer
@@ -379,6 +428,9 @@ class DistributedSimulator:
                 # components are distinct, so the per-message apply
                 # rules commute and batching preserves semantics.
                 dst, src, bpayload, labels_arr, partial, apply_policy = payload
+                if down[dst]:
+                    fstate.log.downtime_drops += len(self._own_comps[src])
+                    continue
                 vl = view_labels[dst]
                 ocomps = self._own_comps[src]
                 oelems = self._own_elems[src]
@@ -398,10 +450,35 @@ class DistributedSimulator:
                         vl[ocomps[mask]] = labels_arr[mask]
                 continue
 
-            (pid,) = payload
+            if kind == "crash":
+                # Processor dies mid-phase: the in-flight phase (its
+                # commit, sends, and pending step events) is lost, and
+                # messages arriving before the repair are dropped.
+                pid, pindex, rejoin_at = payload
+                state = phase_states[pid]
+                if state is None or state.index != pindex:
+                    continue
+                phase_states[pid] = None
+                down[pid] = True
+                fstate.log.crashes += 1
+                fstate.log.record("crash", t, pid)
+                heappush(heap, (rejoin_at, next(seq), "repair", (pid,)))
+                continue
+            if kind == "repair":
+                (pid,) = payload
+                down[pid] = False
+                fstate.log.repairs += 1
+                fstate.log.record("repair", t, pid)
+                # Restart from the (stale) local view — newer peer
+                # messages keep flowing, so labels stay admissible.
+                start_phase(pid, t)
+                continue
+
+            pid, pindex = payload
             ps = self.processors[pid]
             state = phase_states[pid]
-            assert state is not None
+            if state is None or state.index != pindex:
+                continue  # stale step event of a crashed phase
             state.steps_done += 1
             k = state.steps_done
 
@@ -434,7 +511,7 @@ class DistributedSimulator:
                         state.start + (k + 1) * state.duration / ps.inner_steps,
                         next(seq),
                         "step",
-                        (pid,),
+                        (pid, state.index),
                     ),
                 )
                 continue
@@ -488,9 +565,13 @@ class DistributedSimulator:
             ),
             "phases_completed": float(len(phases)),
         }
+        trace = builder.build()
+        if fstate is not None:
+            stats.update(fstate.log.summary())
+            stats["fault_max_staleness"] = _max_staleness(trace)
         return SimulationResult(
             x=global_x.copy(),
-            trace=builder.build(),
+            trace=trace,
             phases=phases,
             messages=messages,
             final_time=final_time,

@@ -1,0 +1,49 @@
+"""Fault injection for the discrete-event machine simulators.
+
+The paper's unbounded-delay convergence theory is a statement about
+*unreliable* hardware; this package makes the unreliability explicit
+and sweepable.  :mod:`~repro.runtime.simulator.faults.base` defines the
+:class:`FaultModel`/:class:`FaultState`/:class:`FaultLog` contract both
+engines honor, :mod:`~repro.runtime.simulator.faults.models` the
+concrete regimes (crash/restart, limplock stragglers, lossy and
+reordering channels, and their chaos composite), and
+:mod:`~repro.runtime.simulator.faults.topology` the explicit cluster
+channel graphs (clique, star, ring, two-tier racks).  The scenario
+registry exposes them as the ``fault`` and ``topology`` grid axes.
+"""
+
+from repro.runtime.simulator.faults.base import (
+    FaultLog,
+    FaultModel,
+    FaultState,
+    max_staleness,
+)
+from repro.runtime.simulator.faults.models import (
+    ChaosFault,
+    CrashRestart,
+    Limplock,
+    LossyChannel,
+    ReorderingChannel,
+)
+from repro.runtime.simulator.faults.topology import (
+    clique_topology,
+    ring_topology,
+    star_topology,
+    two_tier_topology,
+)
+
+__all__ = [
+    "ChaosFault",
+    "CrashRestart",
+    "FaultLog",
+    "FaultModel",
+    "FaultState",
+    "Limplock",
+    "LossyChannel",
+    "ReorderingChannel",
+    "clique_topology",
+    "max_staleness",
+    "ring_topology",
+    "star_topology",
+    "two_tier_topology",
+]

@@ -1,0 +1,201 @@
+"""Fault-injection core: models, per-run state, and the fault log.
+
+A :class:`FaultModel` is plain configuration plus a seed; calling
+:meth:`FaultModel.start` materializes a :class:`FaultState` holding the
+model's *own* RNG streams and a fresh :class:`FaultLog`.  Both
+simulator engines (:class:`~repro.runtime.simulator.engine.DistributedSimulator`
+and the frozen :class:`~repro.runtime.simulator.reference.ReferenceSimulator`)
+consult the state through exactly two hooks, so fault semantics stay
+enforceably bit-identical across engines:
+
+* :meth:`FaultState.on_phase_start` — called once when a processor
+  begins a phase; may inflate the duration (limplock) and/or schedule a
+  mid-phase crash with a repair time (crash/restart);
+* :meth:`FaultState.message_fates` — called once per (src, dst) burst;
+  returns a per-message drop mask and extra-latency vector layered on
+  top of whatever the base :class:`~repro.runtime.simulator.channel.ChannelSpec`
+  produced (lossy / reordering channels).
+
+Determinism contract
+--------------------
+The fault layer never touches the simulator's master seed: its streams
+spawn from the model's own :class:`numpy.random.SeedSequence`, so a
+fault-free run draws *nothing* from the fault layer and stays
+bit-identical to the pre-fault golden digests.  Streams are keyed
+per-processor (consumed in that processor's phase-start order, which
+both engines realize identically) and per-ordered-(src, dst) pair
+(consumed in per-pair send order, which both engines also realize
+identically even though their *global* send loops differ).  Every hook
+draws a fixed number of uniforms regardless of outcome, so one
+realized event can never shift later draws.
+
+:meth:`FaultModel.start` is idempotent: it re-derives the child
+streams from a fresh copy of the seed sequence, so running the same
+model through both engines (or resuming a killed sweep) replays the
+exact same fault schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FaultLog", "FaultModel", "FaultState", "max_staleness"]
+
+
+def max_staleness(trace) -> int:
+    """Largest realized delay ``(j - 1) - L_i(j)`` over a trace's (S, L).
+
+    Row ``j`` of the trace's label matrix holds the labels iteration
+    ``j + 1`` consumed, each at most ``j`` (condition (a)); the
+    difference is exactly the realized per-read staleness the fault
+    log reports.
+    """
+    J = trace.n_iterations
+    if not J:
+        return 0
+    iters = np.arange(J, dtype=np.int64).reshape(-1, 1)
+    return int((iters - trace.labels).max())
+
+
+class FaultLog:
+    """Mutable record of realized fault events for one simulation run.
+
+    Counters are plain ints so they survive strict-JSON round-trips
+    and pack into the sweep store's int64 columns; ``events`` keeps the
+    ``(kind, time, processor)`` tuples for analysis and tests.
+    """
+
+    __slots__ = (
+        "crashes",
+        "repairs",
+        "fault_drops",
+        "downtime_drops",
+        "limp_episodes",
+        "events",
+    )
+
+    def __init__(self) -> None:
+        self.crashes = 0
+        self.repairs = 0
+        self.fault_drops = 0
+        self.downtime_drops = 0
+        self.limp_episodes = 0
+        self.events: list[tuple[str, float, int]] = []
+
+    def record(self, kind: str, time: float, pid: int) -> None:
+        self.events.append((kind, float(time), int(pid)))
+
+    def summary(self) -> dict[str, int]:
+        """The int counters carried into ``SimulationResult.stats``."""
+        return {
+            "fault_crashes": int(self.crashes),
+            "fault_repairs": int(self.repairs),
+            "fault_drops": int(self.fault_drops),
+            "fault_downtime_drops": int(self.downtime_drops),
+            "fault_limp_episodes": int(self.limp_episodes),
+        }
+
+
+class FaultModel:
+    """Base fault model: pure configuration plus its own seed.
+
+    Subclasses override :meth:`phase_plan` (processor-side faults) and
+    — with ``affects_channels = True`` — :meth:`message_fates`
+    (channel-side faults).  The base implementation injects nothing, so
+    an unsubclassed model is a structural no-op.
+    """
+
+    #: Whether :meth:`message_fates` must be consulted per burst.  The
+    #: engines keep their scalar fast paths when this is False.
+    affects_channels: bool = False
+
+    def __init__(self, *, seed: "int | np.random.SeedSequence" = 0) -> None:
+        self.seed = seed
+
+    def start(self, n_processors: int) -> "FaultState":
+        """Fresh per-run state (streams + log); idempotent per model."""
+        return FaultState(self, n_processors)
+
+    # -- hooks (rng is the per-processor / per-pair stream) ------------
+    def phase_plan(
+        self, rng: np.random.Generator, log: FaultLog, pid: int, t: float,
+        duration: float,
+    ) -> "tuple[float, float | None, float | None]":
+        """``(duration, crash_at, rejoin_at)`` for a phase starting at ``t``.
+
+        ``crash_at`` (strictly inside the possibly inflated phase) and
+        ``rejoin_at`` are ``None`` when the phase survives.  Must draw
+        a fixed number of uniforms per call for a given ``pid``.
+        """
+        return float(duration), None, None
+
+    def message_fates(
+        self, rng: np.random.Generator, count: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(drop_mask, extra_latency)`` for ``count`` messages on one pair.
+
+        Must consume exactly ``2 * count`` uniforms so batched (engine)
+        and sequential (reference) calls read the same stream.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} sets affects_channels but does not "
+            "implement message_fates"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} seed={self.seed!r}>"
+
+
+def _uniform_pairs(rng: np.random.Generator, count: int) -> "tuple[np.ndarray, np.ndarray]":
+    """Two interleaved uniform vectors from ``2 * count`` sequential draws.
+
+    ``rng.random(2 * count)`` consumes the stream exactly like
+    ``count`` sequential ``rng.random(2)`` calls, so the engine's
+    per-burst batch and the reference's per-message draws coincide.
+    """
+    u = rng.random(2 * count)
+    return u[0::2], u[1::2]
+
+
+class FaultState:
+    """Per-run fault state: spawned RNG streams plus the live log.
+
+    One state drives one simulation run.  Streams come from a *copy* of
+    the model's seed sequence (spawning mutates a ``SeedSequence``'s
+    child counter, and :meth:`FaultModel.start` must be idempotent so
+    both engines replay the identical fault schedule).
+    """
+
+    __slots__ = ("model", "log", "_proc_rng", "_pair_rng", "_P")
+
+    def __init__(self, model: FaultModel, n_processors: int) -> None:
+        P = int(n_processors)
+        if P < 1:
+            raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+        base = model.seed
+        if isinstance(base, np.random.SeedSequence):
+            base = np.random.SeedSequence(base.entropy, spawn_key=base.spawn_key)
+        else:
+            base = np.random.SeedSequence(base)
+        children = base.spawn(P + P * P)
+        self.model = model
+        self.log = FaultLog()
+        self._P = P
+        self._proc_rng = [np.random.Generator(np.random.PCG64(c)) for c in children[:P]]
+        self._pair_rng = [np.random.Generator(np.random.PCG64(c)) for c in children[P:]]
+
+    @property
+    def affects_channels(self) -> bool:
+        return self.model.affects_channels
+
+    def on_phase_start(
+        self, pid: int, t: float, duration: float
+    ) -> "tuple[float, float | None, float | None]":
+        """Delegate to the model with processor ``pid``'s own stream."""
+        return self.model.phase_plan(self._proc_rng[pid], self.log, pid, t, duration)
+
+    def message_fates(
+        self, src: int, dst: int, count: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-message ``(drop_mask, extra_latency)`` on the (src, dst) stream."""
+        return self.model.message_fates(self._pair_rng[src * self._P + dst], count)

@@ -1,0 +1,219 @@
+"""Concrete fault models: crash/restart, limplock, lossy/reordering channels.
+
+Each model draws a *fixed* number of uniforms per hook call (see
+:mod:`repro.runtime.simulator.faults.base`), so realized faults never
+shift later draws and both simulator engines replay identical fault
+schedules.  Crash and repair times come from continuous draws, so fault
+events almost surely never tie with message arrivals or phase
+boundaries on the event heap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.simulator.faults.base import FaultLog, FaultModel, _uniform_pairs
+from repro.utils.validation import check_probability
+
+__all__ = ["ChaosFault", "CrashRestart", "Limplock", "LossyChannel", "ReorderingChannel"]
+
+
+def _crash_draw(
+    rng: np.random.Generator, t: float, duration: float, crash_rate: float,
+    repair_mean: float,
+) -> "tuple[float | None, float | None]":
+    """Three-uniform crash draw: whether, when, and how long the repair.
+
+    A phase of length ``d`` crashes with probability ``1 - exp(-rate*d)``
+    (a Poisson death clock); the crash lands uniformly inside the phase
+    and the repair delay is exponential with mean ``repair_mean``.
+    Always consumes exactly three uniforms.
+    """
+    u = rng.random(3)
+    if u[0] >= -np.expm1(-crash_rate * duration):
+        return None, None
+    crash_at = t + u[1] * duration
+    rejoin_at = crash_at + repair_mean * -np.log1p(-u[2])
+    return float(crash_at), float(rejoin_at)
+
+
+class CrashRestart(FaultModel):
+    """Processors die mid-phase and rejoin after a repair delay.
+
+    A crash discards the in-flight phase (its commit and sends never
+    happen), marks the processor down — messages arriving while down
+    are lost — and schedules a repair after an exponential delay, at
+    which point the processor restarts a phase from its (now stale)
+    local view.  Admissibility is preserved: labels stay conservative
+    and peers keep sending newer updates the survivor applies on
+    rejoin.
+    """
+
+    def __init__(
+        self, *, crash_rate: float = 0.02, repair_mean: float = 5.0,
+        seed: "int | np.random.SeedSequence" = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if crash_rate < 0:
+            raise ValueError(f"crash_rate must be >= 0, got {crash_rate}")
+        if repair_mean <= 0:
+            raise ValueError(f"repair_mean must be > 0, got {repair_mean}")
+        self.crash_rate = crash_rate
+        self.repair_mean = repair_mean
+
+    def phase_plan(
+        self, rng: np.random.Generator, log: FaultLog, pid: int, t: float,
+        duration: float,
+    ) -> "tuple[float, float | None, float | None]":
+        crash_at, rejoin_at = _crash_draw(
+            rng, t, duration, self.crash_rate, self.repair_mean
+        )
+        return float(duration), crash_at, rejoin_at
+
+
+class Limplock(FaultModel):
+    """A straggler whose phases run ``factor`` times slower.
+
+    Permanent by default (every phase of the straggler degrades);
+    with ``episodic=True`` each of the straggler's phases limps
+    independently with probability ``episode_prob`` — the
+    slow-but-not-dead regime of HDFS limplock studies.
+    """
+
+    def __init__(
+        self, *, straggler: int = 0, factor: float = 8.0, episodic: bool = False,
+        episode_prob: float = 0.25, seed: "int | np.random.SeedSequence" = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if straggler < 0:
+            raise ValueError(f"straggler must be >= 0, got {straggler}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        check_probability(episode_prob, "episode_prob")
+        self.straggler = straggler
+        self.factor = factor
+        self.episodic = episodic
+        self.episode_prob = episode_prob
+
+    def phase_plan(
+        self, rng: np.random.Generator, log: FaultLog, pid: int, t: float,
+        duration: float,
+    ) -> "tuple[float, float | None, float | None]":
+        if pid != self.straggler:
+            return float(duration), None, None
+        if self.episodic and rng.random() >= self.episode_prob:
+            return float(duration), None, None
+        log.limp_episodes += 1
+        log.record("limp", t, pid)
+        return float(duration * self.factor), None, None
+
+
+class LossyChannel(FaultModel):
+    """Per-message Bernoulli drops layered on every channel.
+
+    Admissible in the paper's sense as long as later messages keep
+    flowing: a dropped update is superseded by fresher ones.
+    """
+
+    affects_channels = True
+
+    def __init__(
+        self, *, drop_prob: float = 0.05, seed: "int | np.random.SeedSequence" = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        check_probability(drop_prob, "drop_prob")
+        self.drop_prob = drop_prob
+
+    def message_fates(
+        self, rng: np.random.Generator, count: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        u_drop, _ = _uniform_pairs(rng, count)
+        return u_drop < self.drop_prob, np.zeros(count)
+
+
+class ReorderingChannel(FaultModel):
+    """Random extra latency on a fraction of messages (reordering).
+
+    A hit message is delayed by an exponential extra latency *after*
+    any FIFO monotonization of the base channel, so it can overtake or
+    be overtaken — genuinely out-of-order delivery on top of any
+    :class:`~repro.runtime.simulator.channel.ChannelSpec`.
+    """
+
+    affects_channels = True
+
+    def __init__(
+        self, *, delay_prob: float = 0.3, extra_mean: float = 1.0,
+        seed: "int | np.random.SeedSequence" = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        check_probability(delay_prob, "delay_prob")
+        if extra_mean <= 0:
+            raise ValueError(f"extra_mean must be > 0, got {extra_mean}")
+        self.delay_prob = delay_prob
+        self.extra_mean = extra_mean
+
+    def message_fates(
+        self, rng: np.random.Generator, count: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        u_hit, u_lat = _uniform_pairs(rng, count)
+        extra = np.where(
+            u_hit < self.delay_prob, -self.extra_mean * np.log1p(-u_lat), 0.0
+        )
+        return np.zeros(count, dtype=bool), extra
+
+
+class ChaosFault(FaultModel):
+    """Compound regime: crashes + a permanent limplock straggler + lossy
+    jittered channels — the everything-goes-wrong scenario the
+    ``FAULT_GOLDEN`` determinism digest pins.
+
+    Phase draws: the straggler's duration inflates first (no draw),
+    then the crash clock draws its fixed three uniforms against the
+    inflated duration.  Message draws: every message draws (drop,
+    extra-latency); survivors always carry the exponential jitter.
+    """
+
+    affects_channels = True
+
+    def __init__(
+        self, *, crash_rate: float = 0.01, repair_mean: float = 4.0,
+        straggler: int = 0, limp_factor: float = 4.0, drop_prob: float = 0.05,
+        extra_mean: float = 0.5, seed: "int | np.random.SeedSequence" = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if crash_rate < 0:
+            raise ValueError(f"crash_rate must be >= 0, got {crash_rate}")
+        if repair_mean <= 0:
+            raise ValueError(f"repair_mean must be > 0, got {repair_mean}")
+        if straggler < 0:
+            raise ValueError(f"straggler must be >= 0, got {straggler}")
+        if limp_factor < 1.0:
+            raise ValueError(f"limp_factor must be >= 1, got {limp_factor}")
+        check_probability(drop_prob, "drop_prob")
+        if extra_mean <= 0:
+            raise ValueError(f"extra_mean must be > 0, got {extra_mean}")
+        self.crash_rate = crash_rate
+        self.repair_mean = repair_mean
+        self.straggler = straggler
+        self.limp_factor = limp_factor
+        self.drop_prob = drop_prob
+        self.extra_mean = extra_mean
+
+    def phase_plan(
+        self, rng: np.random.Generator, log: FaultLog, pid: int, t: float,
+        duration: float,
+    ) -> "tuple[float, float | None, float | None]":
+        if pid == self.straggler:
+            log.limp_episodes += 1
+            duration = duration * self.limp_factor
+        crash_at, rejoin_at = _crash_draw(
+            rng, t, duration, self.crash_rate, self.repair_mean
+        )
+        return float(duration), crash_at, rejoin_at
+
+    def message_fates(
+        self, rng: np.random.Generator, count: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        u_drop, u_lat = _uniform_pairs(rng, count)
+        return u_drop < self.drop_prob, -self.extra_mean * np.log1p(-u_lat)

@@ -1,0 +1,92 @@
+"""Cluster topologies: explicit channel graphs instead of implicit all-to-all.
+
+Each generator returns a *total* ``(src, dst) -> ChannelSpec`` map over
+every ordered processor pair — no link is missing, so the paper's
+totality condition (every component keeps being updated and
+communicated) is structural, with latencies shaped by the graph:
+
+* ``clique`` — flat all-to-all at one latency (the baseline fabric);
+* ``star`` — spokes reach the hub in one latency, each other in two
+  (store-and-forward through the hub, modelled as doubled latency);
+* ``ring`` — latency proportional to hop distance around the ring;
+* ``two-tier`` — rack-scoped fast links, slower inter-rack uplinks
+  (the classic datacenter fabric).
+
+Generators are deterministic given their parameters (the ``seed``
+wiring argument exists for registry-signature uniformity), so a
+topology never perturbs any RNG stream: fault-free, topology-bearing
+scenarios stay bit-identical across engines and resumes.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.simulator.channel import ChannelSpec
+from repro.runtime.simulator.timing import ConstantTime
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "clique_topology",
+    "ring_topology",
+    "star_topology",
+    "two_tier_topology",
+]
+
+ChannelMap = "dict[tuple[int, int], ChannelSpec]"
+
+
+def _pairs(n_processors: int):
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    for s in range(n_processors):
+        for d in range(n_processors):
+            if s != d:
+                yield s, d
+
+
+def clique_topology(n_processors: int, *, latency: float = 0.05) -> ChannelMap:
+    """Flat all-to-all: every ordered pair at one constant latency."""
+    check_positive(latency, "latency")
+    spec = ChannelSpec(latency=ConstantTime(latency))
+    return {(s, d): spec for s, d in _pairs(n_processors)}
+
+
+def star_topology(
+    n_processors: int, *, latency: float = 0.05, hub: int = 0
+) -> ChannelMap:
+    """Hub-and-spoke: hub links at ``latency``, spoke-spoke at twice that."""
+    check_positive(latency, "latency")
+    if not 0 <= hub < n_processors:
+        raise ValueError(f"hub must be in [0, {n_processors}), got {hub}")
+    direct = ChannelSpec(latency=ConstantTime(latency))
+    relayed = ChannelSpec(latency=ConstantTime(2.0 * latency))
+    return {
+        (s, d): direct if hub in (s, d) else relayed
+        for s, d in _pairs(n_processors)
+    }
+
+
+def ring_topology(n_processors: int, *, latency: float = 0.05) -> ChannelMap:
+    """Ring: latency scales with hop distance (shorter way around)."""
+    check_positive(latency, "latency")
+    out = {}
+    for s, d in _pairs(n_processors):
+        hops = min(abs(s - d), n_processors - abs(s - d))
+        out[(s, d)] = ChannelSpec(latency=ConstantTime(latency * hops))
+    return out
+
+
+def two_tier_topology(
+    n_processors: int, *, rack_size: int = 2, intra_latency: float = 0.02,
+    inter_latency: float = 0.5,
+) -> ChannelMap:
+    """Two-tier rack fabric: fast within a rack, slow across racks."""
+    if rack_size < 1:
+        raise ValueError(f"rack_size must be >= 1, got {rack_size}")
+    check_positive(intra_latency, "intra_latency")
+    check_positive(inter_latency, "inter_latency")
+    fast = ChannelSpec(latency=ConstantTime(intra_latency))
+    slow = ChannelSpec(latency=ConstantTime(inter_latency))
+    return {
+        (s, d): fast if s // rack_size == d // rack_size else slow
+        for s, d in _pairs(n_processors)
+    }

@@ -12,7 +12,11 @@ against.
 
 Do not optimize this module — its value is that it never changes.
 See ``engine.py`` for the semantics documentation; the two modules
-implement the same contract.
+implement the same contract.  The fault-injection hooks are the one
+sanctioned *semantic extension* since the freeze: they were added to
+both engines in lockstep (the contract itself grew), hide entirely
+behind ``faults=None``, and the pre-fault golden digests still pin the
+fault-free behaviour bit for bit.
 """
 
 from __future__ import annotations
@@ -26,6 +30,11 @@ import numpy as np
 from repro.core.trace import TraceStore, resolve_sink
 from repro.operators.base import FixedPointOperator
 from repro.runtime.simulator.channel import ChannelSpec, ChannelState
+from repro.runtime.simulator.faults.base import (
+    FaultModel,
+    FaultState,
+    max_staleness as _max_staleness,
+)
 from repro.runtime.simulator.processor import ProcessorSpec
 from repro.runtime.simulator.records import MessageRecord, PhaseRecord, SimulationResult
 from repro.utils.rng import as_generator, spawn_generators
@@ -77,6 +86,11 @@ class ReferenceSimulator:
     seed:
         Master seed; every processor and channel gets an independent
         child stream, so runs are bit-reproducible.
+    faults:
+        Optional :class:`~repro.runtime.simulator.faults.FaultModel`;
+        the fault semantics are a contract extension applied to both
+        engines identically (the fault layer draws from its own seed
+        streams, so ``faults=None`` behaviour is unchanged).
     """
 
     def __init__(
@@ -88,8 +102,10 @@ class ReferenceSimulator:
         default_channel: ChannelSpec | None = None,
         reference: np.ndarray | None = None,
         seed: int | np.random.Generator | None = 0,
+        faults: "FaultModel | None" = None,
     ) -> None:
         self.operator = operator
+        self.faults = faults
         self.processors = list(processors)
         n = operator.n_components
         owned: list[int] = []
@@ -177,6 +193,13 @@ class ReferenceSimulator:
         phase_states: list[_PhaseState | None] = [None] * P
         phase_counts = [0] * P
 
+        # Fault layer (mirrors engine.py exactly; no draws when absent).
+        fstate: FaultState | None = (
+            self.faults.start(P) if self.faults is not None else None
+        )
+        fates_active = fstate is not None and fstate.affects_channels
+        down = [False] * P
+
         # Global committed state (owner-authoritative).
         global_x = x0.copy()
         global_labels = np.zeros(n, dtype=np.int64)
@@ -199,6 +222,9 @@ class ReferenceSimulator:
             ps = self.processors[pid]
             phase_counts[pid] += 1
             dur = ps.compute_time.sample(phase_counts[pid], self._proc_rng[pid])
+            crash_at = rejoin_at = None
+            if fstate is not None:
+                dur, crash_at, rejoin_at = fstate.on_phase_start(pid, t, dur)
             state = _PhaseState(
                 index=phase_counts[pid],
                 start=t,
@@ -208,7 +234,9 @@ class ReferenceSimulator:
             )
             phase_states[pid] = state
             step_dt = dur / ps.inner_steps
-            schedule(t + step_dt, "step", (pid,))
+            schedule(t + step_dt, "step", (pid, state.index))
+            if crash_at is not None:
+                schedule(crash_at, "crash", (pid, state.index, rejoin_at))
 
         def send_component(
             pid: int, comp: int, value: np.ndarray, label: int, t: float, partial: bool
@@ -218,6 +246,18 @@ class ReferenceSimulator:
                     continue
                 chan = self._channels[(pid, dst)]
                 arrival = chan.delivery_time(t)
+                if fates_active:
+                    # One per-message fault fate on the (pid, dst)
+                    # stream; drawn even when the base channel already
+                    # dropped the message, so the stream stays aligned
+                    # with the engine's per-burst batch draws.
+                    drop, extra = fstate.message_fates(pid, dst, 1)
+                    if drop[0]:
+                        if arrival is not None:
+                            fstate.log.fault_drops += 1
+                        arrival = None
+                    elif arrival is not None:
+                        arrival = float(arrival + extra[0])
                 if record_messages:
                     messages.append(
                         MessageRecord(pid, dst, comp, label, t, arrival, partial)
@@ -246,6 +286,9 @@ class ReferenceSimulator:
             final_time = t
             if kind == "msg":
                 dst, comp, value, label, partial, apply_policy = payload
+                if down[dst]:
+                    fstate.log.downtime_drops += 1
+                    continue
                 vl = view_labels[dst]
                 if apply_policy == "overwrite":
                     # Last-arrival-wins: an old message can replace newer
@@ -260,10 +303,35 @@ class ReferenceSimulator:
                         vl[comp] = label
                 continue
 
-            (pid,) = payload
+            if kind == "crash":
+                # Processor dies mid-phase: the in-flight phase (its
+                # commit, sends, and pending step events) is lost, and
+                # messages arriving before the repair are dropped.
+                pid, pindex, rejoin_at = payload
+                state = phase_states[pid]
+                if state is None or state.index != pindex:
+                    continue
+                phase_states[pid] = None
+                down[pid] = True
+                fstate.log.crashes += 1
+                fstate.log.record("crash", t, pid)
+                schedule(rejoin_at, "repair", (pid,))
+                continue
+            if kind == "repair":
+                (pid,) = payload
+                down[pid] = False
+                fstate.log.repairs += 1
+                fstate.log.record("repair", t, pid)
+                # Restart from the (stale) local view — newer peer
+                # messages keep flowing, so labels stay admissible.
+                start_phase(pid, t)
+                continue
+
+            pid, pindex = payload
             ps = self.processors[pid]
             state = phase_states[pid]
-            assert state is not None
+            if state is None or state.index != pindex:
+                continue  # stale step event of a crashed phase
             state.steps_done += 1
             k = state.steps_done
 
@@ -296,7 +364,7 @@ class ReferenceSimulator:
                 schedule(
                     state.start + (k + 1) * state.duration / ps.inner_steps,
                     "step",
-                    (pid,),
+                    (pid, state.index),
                 )
                 continue
 
@@ -350,9 +418,13 @@ class ReferenceSimulator:
             ),
             "phases_completed": float(len(phases)),
         }
+        trace = builder.build()
+        if fstate is not None:
+            stats.update(fstate.log.summary())
+            stats["fault_max_staleness"] = _max_staleness(trace)
         return SimulationResult(
             x=global_x.copy(),
-            trace=builder.build(),
+            trace=trace,
             phases=phases,
             messages=messages,
             final_time=final_time,

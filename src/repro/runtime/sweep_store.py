@@ -127,6 +127,14 @@ DIGEST_FIELDS = (
 #: batches store them as a float column plus a ``<field>_none`` mask.
 _OPTIONAL_FIELDS = ("final_error", "sim_time", "time_to_tol")
 
+#: Fault-log counters lifted out of each row's ``info`` dict into int64
+#: batch columns (0 for fault-free rows), so fault-intensity analytics
+#: scan columns instead of parsing sidecar JSON.  Purely additive: the
+#: digest reads only the ``hash``/``digest_json`` members, row documents
+#: reconstruct ``info`` from the sidecar, and batches written before
+#: these columns existed load unchanged.
+_FAULT_FIELDS = ("fault_crashes", "fault_drops", "fault_limp_episodes")
+
 
 def digest_rows(pairs: "Iterable[tuple[str, ScenarioResult]]") -> str:
     """SHA-256 over ``(content_hash, deterministic fields)`` pairs.
@@ -755,11 +763,14 @@ class SweepStore:
         for f in _OPTIONAL_FIELDS:
             arrays[f] = np.zeros(n, np.float64)
             arrays[f + "_none"] = np.zeros(n, bool)
+        for f in _FAULT_FIELDS:
+            arrays[f] = np.zeros(n, np.int64)
         for i, (h, doc) in enumerate(docs):
+            info = doc.get("info") or {}
             meta_rows.append({
                 "key": doc.get("key"),
                 "spec": doc.get("spec"),
-                "info": doc.get("info") or {},
+                "info": info,
                 "trace_path": doc.get("trace_path"),
             })
             arrays["iterations"][i] = int(doc.get("iterations", 0))
@@ -775,6 +786,8 @@ class SweepStore:
                     arrays[f + "_none"][i] = True
                 else:
                     arrays[f][i] = float(_decode_nonfinite(v))
+            for f in _FAULT_FIELDS:
+                arrays[f][i] = int(info.get(f, 0))
         d = self._shard_dir(prefix)
         d.mkdir(parents=True, exist_ok=True)
         npz = d / f"batch-{fp}.npz"

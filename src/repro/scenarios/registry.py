@@ -65,6 +65,17 @@ from repro.runtime.simulator import (
     uniform_cluster,
     wide_area_network,
 )
+from repro.runtime.simulator.faults import (
+    ChaosFault,
+    CrashRestart,
+    Limplock,
+    LossyChannel,
+    ReorderingChannel,
+    clique_topology,
+    ring_topology,
+    star_topology,
+    two_tier_topology,
+)
 from repro.steering.policies import (
     AllComponents,
     BlockCyclic,
@@ -86,6 +97,8 @@ __all__ = [
     "STEERING_FACTORIES",
     "DELAY_FACTORIES",
     "MACHINE_FACTORIES",
+    "FAULT_FACTORIES",
+    "TOPOLOGY_FACTORIES",
     "available",
     "build_batch",
     "describe_axes",
@@ -95,6 +108,8 @@ __all__ = [
     "make_steering",
     "make_delays",
     "make_machine",
+    "make_fault",
+    "make_topology",
     "register",
     "register_batch",
 ]
@@ -102,7 +117,7 @@ __all__ = [
 SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
 
 #: The scenario-grid axes, in the order the CLI prints them.
-SCENARIO_AXES = ("problem", "steering", "delays", "machine")
+SCENARIO_AXES = ("problem", "steering", "delays", "machine", "fault", "topology")
 
 
 # ----------------------------------------------------------------------
@@ -688,6 +703,120 @@ def _machine_lossy(n: int, seed: Any, *, n_processors: int = 4,
 
 
 # ----------------------------------------------------------------------
+# Faults: (n_processors, seed, **params) -> FaultModel | None
+# ----------------------------------------------------------------------
+#
+# Fault factories receive the machine's processor count (for validating
+# processor-indexed parameters like `straggler`) and the scenario's
+# dedicated fault seed child; "none" returns None so the simulators keep
+# their fault-free fast path and bit-identical golden digests.
+
+@register("fault", "none")
+def _fault_none(n_processors: int, seed: Any) -> Any:
+    """No injected faults (the default; keeps golden digests intact)."""
+    return None
+
+
+@register("fault", "crash-restart")
+def _fault_crash_restart(n_processors: int, seed: Any, *, crash_rate: float = 0.02,
+                         repair_mean: float = 5.0) -> Any:
+    """Processors die mid-phase and rejoin after an exponential repair."""
+    return CrashRestart(crash_rate=crash_rate, repair_mean=repair_mean, seed=seed)
+
+
+@register("fault", "limplock")
+def _fault_limplock(n_processors: int, seed: Any, *, straggler: int = 0,
+                    factor: float = 8.0, episodic: bool = False,
+                    episode_prob: float = 0.25) -> Any:
+    """One degraded-but-alive straggler (permanent or episodic limping)."""
+    if not 0 <= straggler < n_processors:
+        raise ValueError(
+            f"straggler must be in [0, {n_processors}), got {straggler}"
+        )
+    return Limplock(
+        straggler=straggler, factor=factor, episodic=episodic,
+        episode_prob=episode_prob, seed=seed,
+    )
+
+
+@register("fault", "lossy-channel")
+def _fault_lossy_channel(n_processors: int, seed: Any, *,
+                         drop_prob: float = 0.05) -> Any:
+    """IID per-message drops layered on every channel."""
+    return LossyChannel(drop_prob=drop_prob, seed=seed)
+
+
+@register("fault", "reordering-channel")
+def _fault_reordering_channel(n_processors: int, seed: Any, *,
+                              delay_prob: float = 0.3,
+                              extra_mean: float = 1.0) -> Any:
+    """Random extra latency on a fraction of messages (reordering)."""
+    return ReorderingChannel(delay_prob=delay_prob, extra_mean=extra_mean, seed=seed)
+
+
+@register("fault", "chaos")
+def _fault_chaos(n_processors: int, seed: Any, *, crash_rate: float = 0.01,
+                 repair_mean: float = 4.0, straggler: int = 0,
+                 limp_factor: float = 4.0, drop_prob: float = 0.05,
+                 extra_mean: float = 0.5) -> Any:
+    """Crashes + a limping straggler + lossy jittered channels at once."""
+    if not 0 <= straggler < n_processors:
+        raise ValueError(
+            f"straggler must be in [0, {n_processors}), got {straggler}"
+        )
+    return ChaosFault(
+        crash_rate=crash_rate, repair_mean=repair_mean, straggler=straggler,
+        limp_factor=limp_factor, drop_prob=drop_prob, extra_mean=extra_mean,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Topologies: (n_processors, seed, **params) -> channel map | None
+# ----------------------------------------------------------------------
+#
+# Topology factories override the machine archetype's channels with an
+# explicit (src, dst) -> ChannelSpec graph; "native" returns None,
+# meaning keep whatever the machine archetype built.  The generators are
+# deterministic — the seed argument is registry-signature wiring only.
+
+@register("topology", "native")
+def _topology_native(n_processors: int, seed: Any) -> Any:
+    """Keep the machine archetype's own channels (the default)."""
+    return None
+
+
+@register("topology", "clique")
+def _topology_clique(n_processors: int, seed: Any, *, latency: float = 0.05) -> Any:
+    """Flat all-to-all at one constant latency."""
+    return clique_topology(n_processors, latency=latency)
+
+
+@register("topology", "star")
+def _topology_star(n_processors: int, seed: Any, *, latency: float = 0.05,
+                   hub: int = 0) -> Any:
+    """Hub-and-spoke: hub links fast, spoke-spoke relayed (doubled latency)."""
+    return star_topology(n_processors, latency=latency, hub=hub)
+
+
+@register("topology", "ring")
+def _topology_ring(n_processors: int, seed: Any, *, latency: float = 0.05) -> Any:
+    """Ring: latency proportional to hop distance."""
+    return ring_topology(n_processors, latency=latency)
+
+
+@register("topology", "two-tier")
+def _topology_two_tier(n_processors: int, seed: Any, *, rack_size: int = 2,
+                       intra_latency: float = 0.02,
+                       inter_latency: float = 0.5) -> Any:
+    """Two-tier rack fabric: fast within a rack, slow across racks."""
+    return two_tier_topology(
+        n_processors, rack_size=rack_size, intra_latency=intra_latency,
+        inter_latency=inter_latency,
+    )
+
+
+# ----------------------------------------------------------------------
 # Backward-compatible module-level tables (live views)
 # ----------------------------------------------------------------------
 
@@ -695,6 +824,8 @@ PROBLEM_FACTORIES = REGISTRY.factories("problem")
 STEERING_FACTORIES = REGISTRY.factories("steering")
 DELAY_FACTORIES = REGISTRY.factories("delays")
 MACHINE_FACTORIES = REGISTRY.factories("machine")
+FAULT_FACTORIES = REGISTRY.factories("fault")
+TOPOLOGY_FACTORIES = REGISTRY.factories("topology")
 
 
 # ----------------------------------------------------------------------
@@ -702,7 +833,7 @@ MACHINE_FACTORIES = REGISTRY.factories("machine")
 # ----------------------------------------------------------------------
 
 def available(axis: str) -> tuple[str, ...]:
-    """Registered names for one axis (``problem``/``steering``/``delays``/``machine``)."""
+    """Registered names for one axis (``problem``/``steering``/``delays``/``machine``/``fault``/``topology``)."""
     return REGISTRY.names(axis)
 
 
@@ -734,3 +865,13 @@ def make_delays(name: str, n: int, seed: SeedLike = 0, **params: Any) -> Any:
 def make_machine(name: str, n: int, seed: SeedLike = 0, **params: Any) -> Any:
     """Instantiate a registered machine: ``(processors, channels)``."""
     return REGISTRY.make("machine", name, n, seed, **params)
+
+
+def make_fault(name: str, n_processors: int, seed: SeedLike = 0, **params: Any) -> Any:
+    """Instantiate a registered fault model (``None`` for ``"none"``)."""
+    return REGISTRY.make("fault", name, n_processors, seed, **params)
+
+
+def make_topology(name: str, n_processors: int, seed: SeedLike = 0, **params: Any) -> Any:
+    """Instantiate a registered topology channel map (``None`` for ``"native"``)."""
+    return REGISTRY.make("topology", name, n_processors, seed, **params)

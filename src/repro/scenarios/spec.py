@@ -129,6 +129,14 @@ class ScenarioSpec:
         Engine-kind ingredients (ignored for simulators).
     machine, machine_params:
         Simulator-kind ingredient (ignored for engines).
+    fault, fault_params:
+        Simulator-kind fault model injected into the machine run
+        (``"none"`` — the default — injects nothing and keeps the run
+        bit-identical to a pre-fault scenario).  Engine scenarios must
+        keep the default: faults are machine-level events.
+    topology, topology_params:
+        Simulator-kind channel-graph override (``"native"`` — the
+        default — keeps the machine archetype's own channels).
     backend:
         Execution-backend name from the
         :mod:`repro.runtime.backends` registry.  Engine scenarios take
@@ -152,6 +160,10 @@ class ScenarioSpec:
     delay_params: dict[str, Any] = field(default_factory=dict)
     machine: str = "uniform"
     machine_params: dict[str, Any] = field(default_factory=dict)
+    fault: str = "none"
+    fault_params: dict[str, Any] = field(default_factory=dict)
+    topology: str = "native"
+    topology_params: dict[str, Any] = field(default_factory=dict)
     backend: str | None = None
     seed: int = 0
     max_iterations: int = 2000
@@ -161,6 +173,19 @@ class ScenarioSpec:
         if self.kind not in _KINDS:
             raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
         object.__setattr__(self, "backend", _check_backend(self.backend, self.kind))
+        if self.fault == "none" and self.fault_params:
+            raise ValueError(
+                f"fault='none' takes no params, got {dict(self.fault_params)!r}"
+            )
+        if self.topology == "native" and self.topology_params:
+            raise ValueError(
+                f"topology='native' takes no params, got {dict(self.topology_params)!r}"
+            )
+        if self.kind == "engine" and (self.fault != "none" or self.topology != "native"):
+            raise ValueError(
+                "fault/topology apply only to kind='simulator' scenarios; "
+                f"got fault={self.fault!r}, topology={self.topology!r} on an engine spec"
+            )
         if self.max_iterations < 1:
             raise ValueError(f"max_iterations must be >= 1, got {self.max_iterations}")
         if self.tol < 0:
@@ -175,6 +200,10 @@ class ScenarioSpec:
                 mid += f"[{self.backend}]"
         else:
             mid = f"{self.machine}[{self.backend}]"
+            if self.fault != "none":
+                mid += f"+fault={self.fault}"
+            if self.topology != "native":
+                mid += f"+topo={self.topology}"
         return f"{self.problem}/{mid}/seed={self.seed}"
 
     def canonical(self) -> dict[str, Any]:
@@ -187,8 +216,13 @@ class ScenarioSpec:
         ``TypeError`` rather than silently dropping out of the hash.
         This is the document :attr:`content_hash` digests and sweep
         manifests persist.
+
+        The fault/topology fields participate only away from their
+        ``"none"``/``"native"`` defaults, so every pre-fault scenario
+        keeps its historical content hash (and therefore its sweep-store
+        row key and digest) bit for bit.
         """
-        return {
+        doc = {
             "problem": self.problem,
             "kind": self.kind,
             "problem_params": _canon(self.problem_params),
@@ -203,6 +237,13 @@ class ScenarioSpec:
             "max_iterations": int(self.max_iterations),
             "tol": float(self.tol),
         }
+        if self.fault != "none":
+            doc["fault"] = self.fault
+            doc["fault_params"] = _canon(self.fault_params)
+        if self.topology != "native":
+            doc["topology"] = self.topology
+            doc["topology_params"] = _canon(self.topology_params)
+        return doc
 
     @property
     def content_hash(self) -> str:
@@ -233,13 +274,17 @@ class ScenarioSpec:
         return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
     def spawn_seeds(self) -> list[np.random.SeedSequence]:
-        """Five independent child streams: problem, steering, delays, machine, backend.
+        """Seven independent child streams, one per ingredient.
 
-        The last stream feeds backend-internal randomness (e.g. the
+        In order: problem, steering, delays, machine, backend, fault,
+        topology.  Stream 4 feeds backend-internal randomness (e.g. the
         flexible engine's default partial-update model) so no backend
-        ever shares a stream with an ingredient factory.
+        ever shares a stream with an ingredient factory.  Spawning is
+        prefix-stable, so adding the fault/topology children never
+        perturbed the first five streams — pre-fault scenarios replay
+        bit-identically.
         """
-        return np.random.SeedSequence(self.seed).spawn(5)
+        return np.random.SeedSequence(self.seed).spawn(7)
 
     def build_problem(self) -> Any:
         return registry.make_problem(
@@ -251,14 +296,17 @@ class ScenarioSpec:
 class ScenarioGrid:
     """Declarative cartesian grid of scenarios.
 
-    ``problems``/``steerings``/``delays``/``machines`` accept registry
-    names or ``(name, params)`` pairs; ``n_seeds`` replicates every
-    combination with independent seeds spawned from ``master_seed``.
-    Engine grids sweep problems × delays × steerings; simulator grids
-    sweep problems × machines.  ``backends`` is a fully fledged grid
-    axis over execution-backend names (a single name or ``None`` — the
-    kind's default — is normalized to a one-element axis), so
-    cross-backend populations come out of one expansion.
+    ``problems``/``steerings``/``delays``/``machines``/``faults``/
+    ``topologies`` accept registry names or ``(name, params)`` pairs;
+    ``n_seeds`` replicates every combination with independent seeds
+    spawned from ``master_seed``.  Engine grids sweep problems × delays
+    × steerings; simulator grids sweep problems × machines × faults ×
+    topologies (the fault/topology axes must stay at their
+    ``"none"``/``"native"`` defaults on engine grids).  ``backends`` is
+    a fully fledged grid axis over execution-backend names (a single
+    name or ``None`` — the kind's default — is normalized to a
+    one-element axis), so cross-backend populations come out of one
+    expansion.
     """
 
     problems: tuple[Any, ...]
@@ -266,6 +314,8 @@ class ScenarioGrid:
     steerings: tuple[Any, ...] = ("cyclic",)
     delays: tuple[Any, ...] = ("zero",)
     machines: tuple[Any, ...] = ("uniform",)
+    faults: tuple[Any, ...] = ("none",)
+    topologies: tuple[Any, ...] = ("native",)
     n_seeds: int = 1
     master_seed: int = 0
     backends: tuple[str, ...] | str | None = None
@@ -290,8 +340,23 @@ class ScenarioGrid:
         if self.kind == "engine":
             object.__setattr__(self, "steerings", _normalize_axis(self.steerings, "steering"))
             object.__setattr__(self, "delays", _normalize_axis(self.delays, "delays"))
+            # Accept the defaults in either spelling — bare names or
+            # normalized (name, params) pairs (the StudyConfig layer
+            # always hands over pairs) — and reject anything else.
+            faults = _normalize_axis(self.faults, "fault")
+            topologies = _normalize_axis(self.topologies, "topology")
+            if faults != (("none", {}),) or topologies != (("native", {}),):
+                raise ValueError(
+                    "faults/topologies axes apply only to kind='simulator' grids; "
+                    f"got faults={tuple(self.faults)!r}, "
+                    f"topologies={tuple(self.topologies)!r}"
+                )
+            object.__setattr__(self, "faults", faults)
+            object.__setattr__(self, "topologies", topologies)
         else:
             object.__setattr__(self, "machines", _normalize_axis(self.machines, "machine"))
+            object.__setattr__(self, "faults", _normalize_axis(self.faults, "fault"))
+            object.__setattr__(self, "topologies", _normalize_axis(self.topologies, "topology"))
 
     @property
     def size(self) -> int:
@@ -299,7 +364,10 @@ class ScenarioGrid:
         if self.kind == "engine":
             base = len(self.problems) * len(self.delays) * len(self.steerings)
         else:
-            base = len(self.problems) * len(self.machines)
+            base = (
+                len(self.problems) * len(self.machines)
+                * len(self.faults) * len(self.topologies)
+            )
         return base * len(self.backends) * self.n_seeds
 
     def expand(self) -> tuple[ScenarioSpec, ...]:
@@ -344,8 +412,14 @@ class ScenarioGrid:
                         )
                     )
         else:
-            for i, ((prob, pp), (mach, mp), _) in enumerate(
-                itertools.product(self.problems, self.machines, range(self.n_seeds))
+            # Fault/topology sit between machines and seeds so a default
+            # grid (both axes singleton) enumerates — and therefore
+            # seeds — exactly as it did before those axes existed.
+            for i, ((prob, pp), (mach, mp), (flt, fp), (topo, tp), _) in enumerate(
+                itertools.product(
+                    self.problems, self.machines, self.faults, self.topologies,
+                    range(self.n_seeds),
+                )
             ):
                 for backend in self.backends:
                     specs.append(
@@ -355,6 +429,10 @@ class ScenarioGrid:
                             kind="simulator",
                             machine=mach,
                             machine_params=mp,
+                            fault=flt,
+                            fault_params=fp,
+                            topology=topo,
+                            topology_params=tp,
                             backend=backend,
                             seed=seeds[i],
                             max_iterations=self.max_iterations,

@@ -335,6 +335,71 @@ class TestCrossBackendReplay:
         assert _replay_digest(rep) == g["sha256"]
 
 
+# Captured 2026-08-08 from DistributedSimulator == ReferenceSimulator
+# (python 3.11, numpy 2.4, linux x86-64): the fifo_constant regime with
+# a ChaosFault (crashes + limplock straggler + lossy jittered channels)
+# drawn from the fault model's OWN seed streams.  Pins the fault layer's
+# determinism end to end: crash schedules, limp inflation and message
+# fates must replay identically forever — and because the fault RNG is
+# a separate stream, the four fault-free GOLDEN digests above must stay
+# untouched by the layer's existence.
+FAULT_GOLDEN = {
+    "sha256": "03480f19f850b485a017ab0c97286bf41a4975cae94dc8d505a56dc270832437",
+    "n_iterations": 400,
+    "final_time": 66.46370153256584,
+    "final_residual": 0.01663724310189753,
+    "x0": 0.4686449715182853,
+    "messages": 5600,
+    "converged": False,
+    "fault_crashes": 13,
+    "fault_repairs": 12,
+    "fault_drops": 423,
+    "fault_downtime_drops": 844,
+    "fault_limp_episodes": 13,
+    "fault_max_staleness": 190,
+}
+
+
+def _build_faulted(cls):
+    from repro.runtime.simulator import ChaosFault
+
+    op = _make_operator()
+    procs = [
+        ProcessorSpec(components=(2 * i, 2 * i + 1), compute_time=UniformTime(0.8, 1.2))
+        for i in range(8)
+    ]
+    chan = ChannelSpec(latency=ConstantTime(0.05))
+    faults = ChaosFault(
+        crash_rate=0.02, repair_mean=4.0, straggler=2, limp_factor=4.0,
+        drop_prob=0.08, extra_mean=0.5, seed=99,
+    )
+    return cls(op, procs, channels=chan, seed=42, faults=faults)
+
+
+class TestFaultGolden:
+    """The fault-injection layer replays bit-identically on both engines."""
+
+    @pytest.mark.parametrize(
+        "cls", [DistributedSimulator, ReferenceSimulator],
+        ids=["vectorized", "reference"],
+    )
+    def test_chaos_scenario_matches_golden(self, cls):
+        res = _build_faulted(cls).run(
+            np.zeros(16), max_iterations=400, tol=1e-10, residual_every=5
+        )
+        assert res.trace.n_iterations == FAULT_GOLDEN["n_iterations"]
+        assert res.converged == FAULT_GOLDEN["converged"]
+        assert res.final_time == FAULT_GOLDEN["final_time"]
+        assert res.final_residual == FAULT_GOLDEN["final_residual"]
+        assert float(res.x[0]) == FAULT_GOLDEN["x0"]
+        assert len(res.messages) == FAULT_GOLDEN["messages"]
+        for stat in ("fault_crashes", "fault_repairs", "fault_drops",
+                     "fault_downtime_drops", "fault_limp_episodes",
+                     "fault_max_staleness"):
+            assert res.stats[stat] == FAULT_GOLDEN[stat], stat
+        assert _digest(res) == FAULT_GOLDEN["sha256"]
+
+
 class TestStreamEquivalence:
     """Batched draws consume the RNG exactly like sequential draws."""
 

@@ -63,7 +63,7 @@ class TestScenarioSpec:
         a = ScenarioSpec(problem="jacobi", seed=1).spawn_seeds()
         b = ScenarioSpec(problem="jacobi", seed=1).spawn_seeds()
         assert [s.generate_state(1)[0] for s in a] == [s.generate_state(1)[0] for s in b]
-        assert len({int(s.generate_state(1)[0]) for s in a}) == 5
+        assert len({int(s.generate_state(1)[0]) for s in a}) == 7
 
 
 class TestScenarioGrid:

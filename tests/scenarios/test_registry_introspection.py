@@ -49,6 +49,29 @@ class TestEveryEntryConstructibleWithDefaults:
             covered = sorted(i for p in procs for i in p.components)
             assert covered == list(range(self.N)), entry.name
 
+    def test_faults(self):
+        from repro.runtime.simulator.faults import FaultModel
+
+        for entry in REGISTRY.entries("fault"):
+            model = entry.build(4, 3, **dict(entry.defaults))
+            if entry.name == "none":
+                assert model is None
+            else:
+                assert isinstance(model, FaultModel), entry.name
+
+    def test_topologies(self):
+        from repro.runtime.simulator.channel import ChannelSpec
+
+        P = 4
+        for entry in REGISTRY.entries("topology"):
+            topo = entry.build(P, 3, **dict(entry.defaults))
+            if entry.name == "native":
+                assert topo is None
+                continue
+            # Total directed channel map over every ordered pair.
+            assert set(topo) == {(s, d) for s in range(P) for d in range(P) if s != d}
+            assert all(isinstance(c, ChannelSpec) for c in topo.values()), entry.name
+
 
 class TestIntrospection:
     def test_defaults_are_keyword_only_params(self):
